@@ -1,0 +1,55 @@
+"""Ablation of the communication-granularity optimisation (Section 2.1).
+
+Transferring a frame one word at a time pays a bus-transaction overhead per
+word; burst (DMA) transfers amortise it per message.  The paper motivates its
+compiler-managed marshaling with exactly this observation, so this benchmark
+runs a hardware-heavy Vorbis partition both ways and checks that bursting is
+what makes the accelerated partitions viable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import VORBIS_PARAMS, print_table, run_vorbis_partition
+
+
+@pytest.fixture(scope="module")
+def granularity_results():
+    return {
+        "partition E, burst (DMA)": run_vorbis_partition("E", burst=True),
+        "partition E, word-at-a-time": run_vorbis_partition("E", burst=False),
+        "partition A, burst (DMA)": run_vorbis_partition("A", burst=True),
+        "partition A, word-at-a-time": run_vorbis_partition("A", burst=False),
+    }
+
+
+def test_granularity_table(granularity_results, benchmark):
+    rows = {
+        name: result.fpga_cycles / VORBIS_PARAMS.n_frames
+        for name, result in granularity_results.items()
+    }
+    print_table(
+        "Communication granularity: burst vs. word-at-a-time transfers",
+        rows,
+        "FPGA cycles / frame",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(result.completed for result in granularity_results.values())
+
+
+def test_bursting_never_hurts(granularity_results):
+    assert (
+        granularity_results["partition E, burst (DMA)"].fpga_cycles
+        <= granularity_results["partition E, word-at-a-time"].fpga_cycles
+    )
+    assert (
+        granularity_results["partition A, burst (DMA)"].fpga_cycles
+        <= granularity_results["partition A, word-at-a-time"].fpga_cycles
+    )
+
+
+def test_word_transfers_increase_channel_occupancy(granularity_results):
+    burst = granularity_results["partition A, burst (DMA)"]
+    word = granularity_results["partition A, word-at-a-time"]
+    assert word.channel_busy_cycles > 2 * burst.channel_busy_cycles

@@ -1,0 +1,76 @@
+"""Ablation of the Section 6.3 software optimisations (Figures 9/10).
+
+The paper's software compilation strategy relies on four transformations to
+approach hand-written performance: guard lifting, method inlining (which
+enables dropping try/catch), sequentialisation of parallel actions, and
+partial shadowing.  This benchmark runs the full-software Vorbis partition
+under different optimisation configurations and checks that each mechanism
+pulls in the expected direction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import VORBIS_PARAMS, print_table, run_vorbis_partition
+from repro.core.optimize import OptimizationConfig
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    configs = {
+        "all optimisations (Fig. 10)": OptimizationConfig.all(),
+        "no optimisations (Fig. 9)": OptimizationConfig.none(),
+        "no guard lifting": OptimizationConfig(lift_guards=False),
+        "no inlining (try/catch)": OptimizationConfig(inline_methods=False),
+        "no partial shadowing": OptimizationConfig(partial_shadowing=False),
+        "no sequentialisation": OptimizationConfig(sequentialize=False),
+    }
+    return {
+        name: run_vorbis_partition("F", config=config) for name, config in configs.items()
+    }
+
+
+def test_ablation_table(ablation_results, benchmark):
+    rows = {
+        name: result.fpga_cycles / VORBIS_PARAMS.n_frames
+        for name, result in ablation_results.items()
+    }
+    print_table(
+        "Section 6.3 ablation: full-SW Vorbis under different compile schemes",
+        rows,
+        "FPGA cycles / frame",
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(result.completed for result in ablation_results.values())
+
+
+def test_all_configs_produce_identical_behaviour(ablation_results):
+    """Optimisations change cost, never semantics: same firings in every config."""
+    firings = {name: result.sw_firings for name, result in ablation_results.items()}
+    assert len(set(firings.values())) == 1, firings
+
+
+def test_fully_optimised_beats_naive(ablation_results):
+    optimised = ablation_results["all optimisations (Fig. 10)"].fpga_cycles
+    naive = ablation_results["no optimisations (Fig. 9)"].fpga_cycles
+    assert naive > 1.15 * optimised
+
+
+def test_guard_lifting_reduces_wasted_work(ablation_results):
+    with_lifting = ablation_results["all optimisations (Fig. 10)"]
+    without_lifting = ablation_results["no guard lifting"]
+    assert without_lifting.sw_cpu_cycles_wasted > with_lifting.sw_cpu_cycles_wasted
+    assert without_lifting.fpga_cycles >= with_lifting.fpga_cycles
+
+
+def test_try_catch_avoidance_helps(ablation_results):
+    optimised = ablation_results["all optimisations (Fig. 10)"].fpga_cycles
+    try_catch = ablation_results["no inlining (try/catch)"].fpga_cycles
+    assert try_catch >= optimised
+
+
+def test_partial_shadowing_helps(ablation_results):
+    optimised = ablation_results["all optimisations (Fig. 10)"].fpga_cycles
+    full_shadow = ablation_results["no partial shadowing"].fpga_cycles
+    assert full_shadow >= optimised

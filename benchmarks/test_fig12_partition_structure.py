@@ -1,0 +1,83 @@
+"""Figure 12: the six HW/SW decompositions of the Vorbis back-end.
+
+The paper's Figure 12 is structural: which modules sit on which side of the
+boundary in each partition.  This benchmark regenerates that information from
+the same source design by running the partitioner and the interface
+generator on every placement, printing the module placement and the
+synchronizer cut, and checking the structural invariants (F has an empty
+cut, every other partition's cut carries exactly the stage-boundary queues
+implied by its placement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.partitions import PARTITIONS, PARTITION_ORDER, build_partition
+from repro.codegen.interface import build_interface_spec
+from repro.core.domains import HW, SW
+from repro.core.partition import partition_design
+
+PARAMS = VorbisParams(n_frames=2)
+
+
+@pytest.fixture(scope="module")
+def partitionings():
+    result = {}
+    for letter in PARTITION_ORDER:
+        backend = build_partition(letter, PARAMS)
+        result[letter] = (backend, partition_design(backend.design, SW))
+    return result
+
+
+def test_fig12_structure_table(partitionings, benchmark):
+    print("\n=== Figure 12: Vorbis partitions (module placement and cut) ===")
+    for letter in PARTITION_ORDER:
+        backend, partitioning = partitionings[letter]
+        hw_stages = sorted(s for s, d in backend.placement.items() if d == HW)
+        spec = build_interface_spec(partitioning)
+        print(f"  partition {letter}: HW stages = {hw_stages or ['none']}")
+        for line in spec.report().splitlines()[1:]:
+            print("  " + line)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_full_sw_partition_has_empty_cut(partitionings):
+    _, partitioning = partitionings["F"]
+    assert partitioning.cut == []
+
+
+def test_every_hw_partition_has_a_cut(partitionings):
+    for letter in PARTITION_ORDER:
+        if letter == "F":
+            continue
+        _, partitioning = partitionings[letter]
+        assert partitioning.cut, f"partition {letter} should cross the HW/SW boundary"
+
+
+def test_cut_sizes_match_placements(partitionings):
+    """The number of crossings equals the number of stage boundaries between domains."""
+    expected_crossings = {"A": 2, "B": 2, "C": 4, "D": 2, "E": 2, "F": 0}
+    for letter, expected in expected_crossings.items():
+        _, partitioning = partitionings[letter]
+        assert len(partitioning.cut) == expected, letter
+
+
+def test_interface_spec_word_counts(partitionings):
+    """The generated interface sizes messages from the canonical type layouts."""
+    _, partitioning = partitionings["A"]
+    spec = build_interface_spec(partitioning)
+    by_name = {ch.name: ch for ch in spec.channels}
+    # A 64-point complex frame in 32/24 fixed point occupies 128 payload words.
+    assert by_name["q_pre"].payload_words == 128
+    assert by_name["q_ifft"].payload_words == 128
+
+
+def test_rules_assigned_to_one_domain_each(partitionings):
+    for letter in PARTITION_ORDER:
+        _, partitioning = partitionings[letter]
+        all_rules = set(partitioning.design.all_rules())
+        assigned = [r for prog in partitioning.programs.values() for r in prog.rules]
+        assert len(assigned) == len(all_rules)
+        assert set(assigned) == all_rules

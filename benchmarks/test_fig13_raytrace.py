@@ -1,0 +1,55 @@
+"""Figure 13 (right): execution times of the ray-tracer partitions.
+
+Regenerates the right-hand series of Figure 13 (partitions A--D of the ray
+tracer, in FPGA cycles) and asserts the paper's claims:
+
+* partition C (intersection engines plus on-chip scene/BVH block RAM in
+  hardware) is the fastest configuration;
+* partitions B and D, although they use hardware acceleration, are slower
+  than the pure-software partition A because the communication cost
+  outweighs the computation savings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import RAYTRACER_PARAMS, print_table
+from repro.apps.raytracer.partitions import PARTITION_ORDER, hw_module_names
+
+
+@pytest.fixture(scope="module")
+def figure13_rt(raytracer_results):
+    return {letter: raytracer_results[letter].fpga_cycles for letter in PARTITION_ORDER}
+
+
+def test_fig13_raytrace_table(figure13_rt, benchmark):
+    rows = {
+        f"{letter} [HW: {', '.join(hw_module_names(letter)) or 'none'}]": cycles
+        / RAYTRACER_PARAMS.n_rays
+        for letter, cycles in figure13_rt.items()
+    }
+    print_table("Figure 13 (right): ray tracer execution time", rows, "FPGA cycles / ray")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(value > 0 for value in figure13_rt.values())
+
+
+def test_partition_c_is_fastest(figure13_rt):
+    assert figure13_rt["C"] == min(figure13_rt.values())
+    # It is a substantial win over the software baseline.
+    assert figure13_rt["A"] / figure13_rt["C"] > 2.0
+
+
+def test_partitions_b_and_d_lose_to_software(figure13_rt):
+    """HW acceleration without co-locating the data is a net loss (B and D > A)."""
+    assert figure13_rt["B"] > figure13_rt["A"]
+    assert figure13_rt["D"] > figure13_rt["A"]
+
+
+def test_memory_placement_dominates(figure13_rt):
+    """B (traversal in HW, memories in SW) pays for every node fetch over the bus."""
+    assert figure13_rt["B"] > figure13_rt["C"] * 2
+
+
+def test_all_raytracer_partitions_completed(raytracer_results):
+    assert all(result.completed for result in raytracer_results.values())

@@ -1,0 +1,90 @@
+"""Figure 13 (left): execution times of the Ogg Vorbis partitions.
+
+Regenerates the paper's bar chart as a table of FPGA cycles per partition
+(A--F plus the two baselines F1 = SystemC and F2 = hand-written C++) and
+asserts every qualitative claim the paper makes about it:
+
+* the full-software partition F is *not* the slowest configuration;
+* partitions A and C are slightly slower than F (communication outweighs the
+  accelerated computation);
+* moving only the IFFT to hardware (A) has a marginal effect;
+* the full-hardware back-end E is the fastest configuration;
+* the SystemC model is roughly 3x slower than the generated software;
+* the hand-coded C++ is slightly faster than the generated software.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import VORBIS_PARAMS, print_table
+from repro.apps.vorbis.partitions import PARTITION_ORDER, hw_stage_names
+from repro.baselines.handcoded import run_handcoded_vorbis, run_systemc_vorbis
+
+
+@pytest.fixture(scope="module")
+def figure13(vorbis_results):
+    """Per-partition execution time in FPGA cycles, plus the two baselines."""
+    cycles = {letter: vorbis_results[letter].fpga_cycles for letter in PARTITION_ORDER}
+    cycles["F1 (SystemC)"] = run_systemc_vorbis(VORBIS_PARAMS).fpga_cycles()
+    cycles["F2 (hand C++)"] = run_handcoded_vorbis(VORBIS_PARAMS).fpga_cycles()
+    return cycles
+
+
+def test_fig13_vorbis_table(figure13, benchmark):
+    """Print the Figure 13 (left) series and sanity-check completion."""
+    rows = {
+        f"{letter} [HW: {', '.join(hw_stage_names(letter)) or 'none'}]"
+        if letter in PARTITION_ORDER
+        else letter: cycles / VORBIS_PARAMS.n_frames
+        for letter, cycles in figure13.items()
+    }
+    print_table("Figure 13 (left): Ogg Vorbis execution time", rows, "FPGA cycles / frame")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(value > 0 for value in figure13.values())
+
+
+def test_full_sw_is_not_slowest(figure13):
+    """"The slowest partition is not the one which computes everything in SW (F)."""
+    slowest = max(PARTITION_ORDER, key=lambda letter: figure13[letter])
+    assert slowest != "F"
+
+
+def test_partitions_a_and_c_slightly_slower_than_f(figure13):
+    """"Partitions A and C are both slightly slower than F."""
+    assert figure13["A"] > figure13["F"]
+    assert figure13["C"] > figure13["F"]
+    # C (windowing in HW, IMDCT in SW) is the worst configuration.
+    assert figure13["C"] == max(figure13[letter] for letter in PARTITION_ORDER)
+
+
+def test_ifft_only_offload_is_marginal(figure13):
+    """Moving only the IFFT to hardware changes execution time by well under 2x."""
+    ratio = figure13["A"] / figure13["F"]
+    assert 1.0 < ratio < 1.5
+
+
+def test_full_hw_backend_is_fastest(figure13):
+    assert figure13["E"] == min(figure13[letter] for letter in PARTITION_ORDER)
+    # And it is a substantial win over full software.
+    assert figure13["F"] / figure13["E"] > 1.8
+
+
+def test_hw_offload_of_imdct_pays_off(figure13):
+    """B and D (IMDCT FSMs in hardware) beat the full-software partition."""
+    assert figure13["B"] < figure13["F"]
+    assert figure13["D"] < figure13["B"]
+
+
+def test_systemc_roughly_3x_slower_than_generated(figure13):
+    ratio = figure13["F1 (SystemC)"] / figure13["F"]
+    assert 2.0 < ratio < 4.5
+
+
+def test_handcoded_slightly_faster_than_generated(figure13):
+    ratio = figure13["F"] / figure13["F2 (hand C++)"]
+    assert 1.0 < ratio < 1.5
+
+
+def test_all_partitions_completed(vorbis_results):
+    assert all(result.completed for result in vorbis_results.values())

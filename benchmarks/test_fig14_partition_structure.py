@@ -1,0 +1,76 @@
+"""Figure 14: the four HW/SW decompositions of the ray tracer.
+
+Structural counterpart of the Figure 13 (right) performance benchmark:
+regenerates the module placement and synchronizer cut of partitions A--D and
+checks the properties the paper's figure conveys (A is all-software, C keeps
+the scene memories next to the intersection hardware, B and D split the
+memory from the engine that consumes it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.raytracer.params import RayTracerParams
+from repro.apps.raytracer.partitions import PARTITIONS, PARTITION_ORDER, build_partition
+from repro.codegen.interface import build_interface_spec
+from repro.core.domains import HW, SW
+from repro.core.partition import partition_design
+
+PARAMS = RayTracerParams(n_triangles=32, image_width=3, image_height=3)
+
+
+@pytest.fixture(scope="module")
+def partitionings():
+    result = {}
+    for letter in PARTITION_ORDER:
+        tracer = build_partition(letter, PARAMS)
+        result[letter] = (tracer, partition_design(tracer.design, SW))
+    return result
+
+
+def test_fig14_structure_table(partitionings, benchmark):
+    print("\n=== Figure 14: ray-tracer partitions (module placement and cut) ===")
+    for letter in PARTITION_ORDER:
+        tracer, partitioning = partitionings[letter]
+        hw_modules = sorted(m for m, d in tracer.placement.items() if d == HW)
+        spec = build_interface_spec(partitioning)
+        print(f"  partition {letter}: HW modules = {hw_modules or ['none']}")
+        for line in spec.report().splitlines()[1:]:
+            print("  " + line)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_partition_a_is_all_software(partitionings):
+    _, partitioning = partitionings["A"]
+    assert partitioning.cut == []
+
+
+def test_partition_c_keeps_memories_with_the_engine(partitionings):
+    """In C the memory request/response queues never cross the boundary."""
+    _, partitioning = partitionings["C"]
+    cut_names = {sync.name for sync in partitioning.cut}
+    assert "bvh_req_q" not in cut_names
+    assert "scene_req_q" not in cut_names
+    assert {"ray_q", "color_q"} <= cut_names
+
+
+def test_partition_b_splits_memory_from_traversal(partitionings):
+    """In B every BVH and scene access crosses the boundary."""
+    _, partitioning = partitionings["B"]
+    cut_names = {sync.name for sync in partitioning.cut}
+    assert {"bvh_req_q", "bvh_resp_q", "scene_req_q", "scene_resp_q"} <= cut_names
+
+
+def test_partition_d_ships_leaf_bundles(partitionings):
+    """In D only the geometry-intersection queues cross the boundary."""
+    _, partitioning = partitionings["D"]
+    cut_names = {sync.name for sync in partitioning.cut}
+    assert cut_names == {"geom_req_q", "geom_resp_q"}
+
+
+def test_leaf_bundle_is_the_largest_message(partitionings):
+    _, partitioning = partitionings["D"]
+    spec = build_interface_spec(partitioning)
+    by_name = {ch.name: ch for ch in spec.channels}
+    assert by_name["geom_req_q"].payload_words > by_name["geom_resp_q"].payload_words

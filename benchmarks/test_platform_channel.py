@@ -1,0 +1,56 @@
+"""Section 7 platform micro-benchmarks: synchronizer latency and bandwidth.
+
+The paper reports, for its ML507 LocalLink/HDMA configuration, a round-trip
+latency of approximately 100 FPGA cycles through the synchronizers and a
+streaming bandwidth of up to 400 MB/s from DDR2 memory to the FPGA.  These
+benchmarks measure the same two quantities on the channel model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.platform.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def ml507():
+    return Platform.ml507()
+
+
+def test_round_trip_latency_about_100_cycles(ml507, benchmark):
+    rtt = benchmark.pedantic(
+        lambda: ml507.channel.round_trip_latency_cycles, rounds=1, iterations=1
+    )
+    rtt = ml507.channel.round_trip_latency_cycles
+    print_table("Synchronizer round trip (minimal message)", {"ml507": rtt}, "FPGA cycles")
+    assert 80 <= rtt <= 160
+
+
+def test_streaming_bandwidth_400_mb_per_s(ml507, benchmark):
+    channel = ml507.channel
+    # Stream a large burst and compute achieved bandwidth from occupancy.
+    n_words = 100_000
+    occupancy = benchmark.pedantic(
+        lambda: channel.occupancy_cycles(n_words, burst=True), rounds=1, iterations=1
+    )
+    occupancy = channel.occupancy_cycles(n_words, burst=True)
+    bytes_per_cycle = (n_words * channel.word_bits / 8) / occupancy
+    mb_per_s = bytes_per_cycle * ml507.fpga_clock_hz / 1e6
+    print_table("Streaming bandwidth (large DMA burst)", {"ml507": mb_per_s}, "MB/s")
+    assert 350 <= mb_per_s <= 450
+
+
+def test_word_transfers_are_much_slower_than_bursts(ml507):
+    """The Section 2.1 granularity argument: per-word transactions waste the bus."""
+    channel = ml507.channel
+    frame_words = 128
+    burst = channel.occupancy_cycles(frame_words, burst=True)
+    word_at_a_time = channel.occupancy_cycles(frame_words, burst=False)
+    assert word_at_a_time > 3 * burst
+
+
+def test_cpu_to_fpga_clock_ratio(ml507):
+    """The PPC440 runs at 400 MHz and the fabric at 100 MHz (Section 7)."""
+    assert ml507.cpu_cycles_per_fpga_cycle == pytest.approx(4.0)

@@ -1,0 +1,1 @@
+"""The applications evaluated in the paper: the Ogg Vorbis back-end and a ray tracer."""

@@ -1,0 +1,18 @@
+"""The ray-tracing application (Section 7.2): BVH construction, traversal, shading.
+
+Like the Vorbis back-end, the ray tracer is a BCL design whose modules can be
+placed in either computational domain; :mod:`repro.apps.raytracer.partitions`
+defines the four decompositions A--D of Figure 14.
+"""
+
+from repro.apps.raytracer.params import RayTracerParams
+from repro.apps.raytracer.pipeline import RayTracer, build_raytracer
+from repro.apps.raytracer.partitions import PARTITIONS, partition_placement
+
+__all__ = [
+    "RayTracerParams",
+    "RayTracer",
+    "build_raytracer",
+    "PARTITIONS",
+    "partition_placement",
+]

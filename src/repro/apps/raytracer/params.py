@@ -1,0 +1,43 @@
+"""Workload parameters for the ray-tracer reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RayTracerParams:
+    """Parameters of the ray-tracing workload.
+
+    The paper's benchmark uses a scene of 1024 geometry primitives; the
+    resolution of the rendered image is not stated, so it is a free parameter
+    here (cost per ray, not ray count, is what distinguishes the partitions).
+    Fixed point uses a 16.16 format: scene coordinates live in a small box,
+    but intermediate products (cross products, plane equations) need the
+    extra integer range.
+    """
+
+    #: Number of triangles in the procedurally generated scene.
+    n_triangles: int = 64
+    #: Rendered image resolution (width x height primary rays).
+    image_width: int = 8
+    image_height: int = 8
+    #: Maximum triangles per BVH leaf.
+    leaf_size: int = 4
+    #: Fixed-point format used throughout the tracer.
+    int_bits: int = 16
+    frac_bits: int = 16
+    #: Seed of the procedural scene generator.
+    seed: int = 7
+
+    @property
+    def n_rays(self) -> int:
+        return self.image_width * self.image_height
+
+    def __post_init__(self) -> None:
+        if self.n_triangles < 1:
+            raise ValueError("scene must contain at least one triangle")
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be at least 1")
+        if self.image_width < 1 or self.image_height < 1:
+            raise ValueError("image resolution must be positive")

@@ -1,0 +1,54 @@
+"""The four HW/SW partitions of the ray tracer (Figure 14).
+
+* ``A`` -- the full-software baseline.
+* ``B`` -- the traversal and intersection engines (and shading) move to
+  hardware, but the BVH and scene memories stay on the processor side, so
+  every node and leaf fetch crosses the bus.  The compute savings are
+  outweighed by communication and B is slower than A.
+* ``C`` -- the intersection engine *and* the scene/BVH data move to hardware
+  (on-chip block RAM); only rays go in and pixel values come out.  This is
+  the fastest configuration, as in the paper.
+* ``D`` -- only the ray/geometry intersection engine is in hardware; each
+  leaf test ships the candidate triangles across the boundary and D, like B,
+  loses to the pure software version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.raytracer.params import RayTracerParams
+from repro.apps.raytracer.pipeline import RayTracer, build_raytracer
+from repro.core.domains import HW, SW, Domain
+
+PARTITIONS: Dict[str, Dict[str, Domain]] = {
+    "A": {"trav": SW, "geom": SW, "bvh_mem": SW, "scene_mem": SW, "shader": SW},
+    "B": {"trav": HW, "geom": HW, "bvh_mem": SW, "scene_mem": SW, "shader": HW},
+    "C": {"trav": HW, "geom": HW, "bvh_mem": HW, "scene_mem": HW, "shader": HW},
+    "D": {"trav": SW, "geom": HW, "bvh_mem": SW, "scene_mem": SW, "shader": SW},
+}
+
+PARTITION_ORDER: List[str] = ["A", "B", "C", "D"]
+
+
+def partition_placement(letter: str) -> Dict[str, Domain]:
+    """The module placement of one of the paper's ray-tracer partitions (A--D)."""
+    if letter not in PARTITIONS:
+        raise KeyError(
+            f"unknown ray-tracer partition {letter!r}; expected one of {PARTITION_ORDER}"
+        )
+    return dict(PARTITIONS[letter])
+
+
+def build_partition(letter: str, params: Optional[RayTracerParams] = None) -> RayTracer:
+    """Build the ray-tracer design for partition ``letter``."""
+    return build_raytracer(
+        params=params,
+        placement=partition_placement(letter),
+        name=f"raytracer_{letter}",
+    )
+
+
+def hw_module_names(letter: str) -> List[str]:
+    """Which modules are in hardware for a partition (used in reports)."""
+    return sorted(mod for mod, dom in PARTITIONS[letter].items() if dom == HW)

@@ -1,0 +1,464 @@
+"""The ray tracer as an elaborated BCL design (Figure 14's module structure).
+
+Modules:
+
+* ``raygen`` (always SW) -- generates one primary ray per pixel.
+* ``bvh_mem`` / ``scene_mem`` -- the BVH node store and the triangle store,
+  served through request/response FIFOs.  Their placement is what
+  distinguishes partition C (on-chip block RAM next to the traversal engine)
+  from partition B (data left in processor-side memory).
+* ``trav`` (BVH Trav + Box Inter) -- a per-ray traversal state machine that
+  pops BVH nodes, tests bounding boxes, and requests leaf triangle bundles.
+* ``geom`` (Geom Inter) -- ray/triangle intersection over one leaf bundle.
+* ``shader`` (Light/Color) -- converts the best hit into a pixel value.
+* ``bitmap`` (always SW) -- stores pixels and counts completed rays.
+
+Every inter-module queue is a synchronizer, so any placement of the
+placeable modules onto {HW, SW} is a legal partition; the partitioner
+rejects nothing and the generated interface carries exactly the queues that
+ended up on the cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.raytracer import geometry
+from repro.apps.raytracer.bvh import Bvh, build_bvh
+from repro.apps.raytracer.params import RayTracerParams
+from repro.core.action import IfA, LetA, par
+from repro.core.domains import SW, Domain
+from repro.core.expr import BinOp, Const, FieldSelect, KernelCall, RegRead, UnOp, Var
+from repro.core.fixedpoint import FixedPoint
+from repro.core.module import Design, Module, Register
+from repro.core.primitives import RegFile
+from repro.core.synchronizers import SyncFifo
+from repro.core.types import BoolT, FixPtT, OpaqueT, StructT, UIntT, VectorT
+
+#: Module groups whose domain can be chosen per partition.
+PLACEABLE_MODULES = ("trav", "geom", "bvh_mem", "scene_mem", "shader")
+
+
+@dataclass
+class RayTracer:
+    """Handle onto one built ray-tracer design and its observation points."""
+
+    design: Design
+    params: RayTracerParams
+    placement: Dict[str, Domain]
+    bvh: Bvh
+    done_count: Register
+    checksum: Register
+    image: RegFile
+    modules: Dict[str, Module] = field(default_factory=dict)
+    syncs: Dict[str, SyncFifo] = field(default_factory=dict)
+
+    def cosim_done(self, cosim) -> bool:
+        return cosim.read_sw(self.done_count) >= self.params.n_rays
+
+    def image_values(self, reader) -> List[FixedPoint]:
+        """The rendered pixel values, via a register reader function."""
+        return list(reader(self.image.mem))
+
+
+def build_raytracer(
+    params: Optional[RayTracerParams] = None,
+    placement: Optional[Dict[str, Domain]] = None,
+    name: str = "raytracer",
+    sync_depth: int = 2,
+) -> RayTracer:
+    """Build the ray tracer with the given HW/SW placement (default: all software)."""
+    params = params or RayTracerParams()
+    placement = dict(placement or {})
+    for module_name in PLACEABLE_MODULES:
+        placement.setdefault(module_name, SW)
+    unknown = set(placement) - set(PLACEABLE_MODULES)
+    if unknown:
+        raise ValueError(f"unknown ray-tracer modules in placement: {sorted(unknown)}")
+
+    ib, fb = params.int_bits, params.frac_bits
+    types = geometry.struct_types(ib, fb, params.leaf_size)
+    ray_t, hit_t, node_t = types["ray"], types["hit"], types["node"]
+    tri_t, leaf_req_t, mem_req_t, color_t = (
+        types["triangle"],
+        types["leaf_req"],
+        types["mem_req"],
+        types["color"],
+    )
+    bundle_t = VectorT(params.leaf_size, tri_t)
+    leaf_data_t = StructT(
+        "LeafData", [("bundle", bundle_t), ("count", UIntT(16)), ("base", UIntT(16))]
+    )
+    geom_req_t = StructT(
+        "GeomReq",
+        [("ray", ray_t), ("bundle", bundle_t), ("count", UIntT(16)), ("base", UIntT(16))],
+    )
+
+    # Scene and BVH are constructed up front (the BVH Ctor pass, always software).
+    triangles = geometry.generate_scene(params.n_triangles, params.seed, ib, fb)
+    bvh = build_bvh(triangles, params.leaf_size)
+    padded_tris = list(bvh.triangles) + [
+        geometry.degenerate_triangle(ib, fb) for _ in range(params.leaf_size)
+    ]
+    light = geometry.light_direction(ib, fb)
+
+    top = Module(name)
+
+    raygen = top.add_submodule(Module("raygen", domain=SW))
+    trav = top.add_submodule(Module("trav", domain=placement["trav"]))
+    geom = top.add_submodule(Module("geom", domain=placement["geom"]))
+    bvh_mem = top.add_submodule(Module("bvh_mem", domain=placement["bvh_mem"]))
+    scene_mem = top.add_submodule(Module("scene_mem", domain=placement["scene_mem"]))
+    shader = top.add_submodule(Module("shader", domain=placement["shader"]))
+    bitmap = top.add_submodule(Module("bitmap", domain=SW))
+
+    nodes_rf = bvh_mem.add_submodule(
+        RegFile("nodes", node_t, size=bvh.n_nodes, init=bvh.nodes, read_latency=1)
+    )
+    tris_rf = scene_mem.add_submodule(
+        RegFile("tris", tri_t, size=len(padded_tris), init=padded_tris, read_latency=1)
+    )
+    image_rf = bitmap.add_submodule(
+        RegFile("image", FixPtT(ib, fb), size=params.n_rays, read_latency=1)
+    )
+
+    # -- synchronizers -------------------------------------------------------------
+    def sync(sync_name: str, ty, producer: Domain, consumer: Domain) -> SyncFifo:
+        return top.add_submodule(
+            SyncFifo(sync_name, ty, domain_enq=producer, domain_deq=consumer, depth=sync_depth)
+        )
+
+    ray_q = sync("ray_q", ray_t, SW, placement["trav"])
+    bvh_req_q = sync("bvh_req_q", mem_req_t, placement["trav"], placement["bvh_mem"])
+    bvh_resp_q = sync("bvh_resp_q", node_t, placement["bvh_mem"], placement["trav"])
+    scene_req_q = sync("scene_req_q", leaf_req_t, placement["trav"], placement["scene_mem"])
+    scene_resp_q = sync("scene_resp_q", leaf_data_t, placement["scene_mem"], placement["trav"])
+    geom_req_q = sync("geom_req_q", geom_req_t, placement["trav"], placement["geom"])
+    geom_resp_q = sync("geom_resp_q", hit_t, placement["geom"], placement["trav"])
+    hit_q = sync("hit_q", hit_t, placement["trav"], placement["shader"])
+    color_q = sync("color_q", color_t, placement["shader"], SW)
+
+    # -- registers -------------------------------------------------------------------
+    pixel_idx = raygen.add_register("pixel_idx", UIntT(32), 0)
+    busy = trav.add_register("busy", BoolT(), False)
+    awaiting_node = trav.add_register("awaiting_node", BoolT(), False)
+    awaiting_leaf = trav.add_register("awaiting_leaf", BoolT(), False)
+    awaiting_geom = trav.add_register("awaiting_geom", BoolT(), False)
+    cur_ray = trav.add_register("cur_ray", OpaqueT(geometry.camera_ray(0, params.image_width, params.image_height, ib, fb)))
+    stack = trav.add_register("stack", OpaqueT(()))
+    best = trav.add_register("best", OpaqueT(geometry.miss_hit(ib, fb)))
+    done_count = bitmap.add_register("done_count", UIntT(32), 0)
+    checksum = bitmap.add_register("checksum", UIntT(32), 0)
+
+    # -- kernels ------------------------------------------------------------------------
+    def kc(kernel_name: str, fn, args, sw_cycles, hw_cycles) -> KernelCall:
+        return KernelCall(kernel_name, fn, args, sw_cycles=sw_cycles, hw_cycles=hw_cycles)
+
+    def ray_gen_fn(pixel: int):
+        return geometry.camera_ray(pixel, params.image_width, params.image_height, ib, fb)
+
+    def process_node_fn(ray, node, stack_value):
+        if not geometry.intersect_box(ray, node["bbox_min"], node["bbox_max"]):
+            return {"stack": stack_value, "fetch_leaf": False, "leaf_req": {"start": 0, "count": 0}}
+        if node["is_leaf"]:
+            return {
+                "stack": stack_value,
+                "fetch_leaf": True,
+                "leaf_req": {"start": node["tri_start"], "count": node["tri_count"]},
+            }
+        return {
+            "stack": stack_value + (node["left"], node["right"]),
+            "fetch_leaf": False,
+            "leaf_req": {"start": 0, "count": 0},
+        }
+
+    def make_bundle_fn(start, count, *tris):
+        return {"bundle": tuple(tris), "count": count, "base": start}
+
+    def make_geom_req_fn(ray, leaf_data):
+        return {
+            "ray": ray,
+            "bundle": leaf_data["bundle"],
+            "count": leaf_data["count"],
+            "base": leaf_data["base"],
+        }
+
+    def intersect_leaf_fn(req):
+        ray = req["ray"]
+        best_hit = geometry.miss_hit(ib, fb)
+        best_hit["pixel"] = ray["pixel"]
+        for offset in range(req["count"]):
+            triangle = req["bundle"][offset]
+            t = geometry.intersect_triangle(ray, triangle)
+            if t is not None and t < best_hit["t"]:
+                best_hit = {
+                    "hit": True,
+                    "t": t,
+                    "tri": req["base"] + offset,
+                    "pixel": ray["pixel"],
+                    "shade": geometry.lambert_shade(triangle, light, ib, fb),
+                }
+        return best_hit
+
+    def better_hit_fn(current, candidate):
+        if candidate["hit"] and (not current["hit"] or candidate["t"] < current["t"]):
+            return candidate
+        return current
+
+    def make_result_fn(ray, best_hit):
+        result = dict(best_hit)
+        result["pixel"] = ray["pixel"]
+        return result
+
+    def shade_color_fn(hit):
+        value = hit["shade"] if hit["hit"] else FixedPoint.zero(ib, fb)
+        return {"pixel": hit["pixel"], "value": value}
+
+    def fold_checksum_fn(running, color):
+        return (running * 31 + color["value"].to_bits() + color["pixel"]) & 0xFFFFFFFF
+
+    # -- rules ------------------------------------------------------------------------------
+
+    raygen.add_rule(
+        "gen_ray",
+        par(
+            ray_q.call("enq", kc("ray_gen", ray_gen_fn, [RegRead(pixel_idx)], 220, 220)),
+            pixel_idx.write(BinOp("+", RegRead(pixel_idx), Const(1))),
+        ).when(BinOp("<", RegRead(pixel_idx), Const(params.n_rays))),
+    )
+
+    # BVH node memory server.
+    bvh_mem.add_rule(
+        "serve_bvh",
+        par(
+            bvh_resp_q.call(
+                "enq",
+                nodes_rf.value("sub", FieldSelect(bvh_req_q.value("first"), "index")),
+            ),
+            bvh_req_q.call("deq"),
+        ),
+    )
+
+    # Scene (triangle) memory server: always reads a full fixed-size bundle.
+    scene_mem.add_rule(
+        "serve_scene",
+        LetA(
+            "req",
+            scene_req_q.value("first"),
+            par(
+                scene_resp_q.call(
+                    "enq",
+                    kc(
+                        "make_bundle",
+                        make_bundle_fn,
+                        [FieldSelect(Var("req"), "start"), FieldSelect(Var("req"), "count")]
+                        + [
+                            tris_rf.value(
+                                "sub", BinOp("+", FieldSelect(Var("req"), "start"), Const(k))
+                            )
+                            for k in range(params.leaf_size)
+                        ],
+                        40,
+                        2,
+                    ),
+                ),
+                scene_req_q.call("deq"),
+            ),
+        ),
+    )
+
+    # Traversal state machine.
+    not_waiting = BinOp(
+        "&&",
+        BinOp("&&", UnOp("!", RegRead(awaiting_node)), UnOp("!", RegRead(awaiting_leaf))),
+        UnOp("!", RegRead(awaiting_geom)),
+    )
+    stack_depth = kc("stack_depth", lambda s: len(s), [RegRead(stack)], 6, 1)
+
+    trav.add_rule(
+        "start_ray",
+        par(
+            cur_ray.write(ray_q.value("first")),
+            ray_q.call("deq"),
+            stack.write(Const((0,))),
+            best.write(Const(geometry.miss_hit(ib, fb))),
+            busy.write(Const(True)),
+        ).when(UnOp("!", RegRead(busy))),
+    )
+
+    trav.add_rule(
+        "issue_node",
+        par(
+            bvh_req_q.call(
+                "enq",
+                kc("make_mem_req", lambda i: {"index": i}, [kc("stack_top", lambda s: s[-1], [RegRead(stack)], 8, 1)], 8, 1),
+            ),
+            stack.write(kc("stack_pop", lambda s: s[:-1], [RegRead(stack)], 8, 1)),
+            awaiting_node.write(Const(True)),
+        ).when(
+            BinOp(
+                "&&",
+                BinOp("&&", RegRead(busy), not_waiting),
+                BinOp(">", stack_depth, Const(0)),
+            )
+        ),
+    )
+
+    trav.add_rule(
+        "process_node",
+        LetA(
+            "res",
+            kc(
+                "process_node",
+                process_node_fn,
+                [RegRead(cur_ray), bvh_resp_q.value("first"), RegRead(stack)],
+                140,
+                4,
+            ),
+            par(
+                stack.write(FieldSelect(Var("res"), "stack")),
+                IfA(
+                    FieldSelect(Var("res"), "fetch_leaf"),
+                    par(
+                        scene_req_q.call("enq", FieldSelect(Var("res"), "leaf_req")),
+                        awaiting_leaf.write(Const(True)),
+                    ),
+                ),
+                bvh_resp_q.call("deq"),
+                awaiting_node.write(Const(False)),
+            ),
+        ).when(RegRead(awaiting_node)),
+    )
+
+    trav.add_rule(
+        "forward_leaf",
+        par(
+            geom_req_q.call(
+                "enq",
+                kc(
+                    "make_geom_req",
+                    make_geom_req_fn,
+                    [RegRead(cur_ray), scene_resp_q.value("first")],
+                    30,
+                    1,
+                ),
+            ),
+            scene_resp_q.call("deq"),
+            awaiting_leaf.write(Const(False)),
+            awaiting_geom.write(Const(True)),
+        ).when(RegRead(awaiting_leaf)),
+    )
+
+    trav.add_rule(
+        "merge_hit",
+        par(
+            best.write(
+                kc(
+                    "better_hit",
+                    better_hit_fn,
+                    [RegRead(best), geom_resp_q.value("first")],
+                    30,
+                    1,
+                )
+            ),
+            geom_resp_q.call("deq"),
+            awaiting_geom.write(Const(False)),
+        ).when(RegRead(awaiting_geom)),
+    )
+
+    trav.add_rule(
+        "finish_ray",
+        par(
+            hit_q.call(
+                "enq",
+                kc("make_result", make_result_fn, [RegRead(cur_ray), RegRead(best)], 20, 1),
+            ),
+            busy.write(Const(False)),
+        ).when(
+            BinOp(
+                "&&",
+                BinOp("&&", RegRead(busy), not_waiting),
+                BinOp("==", stack_depth, Const(0)),
+            )
+        ),
+    )
+
+    # Geometry intersection engine (the compute-heavy leaf test).
+    geom.add_rule(
+        "intersect_leaf",
+        par(
+            geom_resp_q.call(
+                "enq",
+                kc("intersect_leaf", intersect_leaf_fn, [geom_req_q.value("first")], 620, 8),
+            ),
+            geom_req_q.call("deq"),
+        ),
+    )
+
+    # Shading.
+    shader.add_rule(
+        "shade",
+        par(
+            color_q.call(
+                "enq", kc("shade_color", shade_color_fn, [hit_q.value("first")], 320, 6)
+            ),
+            hit_q.call("deq"),
+        ),
+    )
+
+    # Bitmap sink (always software).
+    bitmap.add_rule(
+        "store_pixel",
+        LetA(
+            "c",
+            color_q.value("first"),
+            par(
+                image_rf.call(
+                    "upd", FieldSelect(Var("c"), "pixel"), FieldSelect(Var("c"), "value")
+                ),
+                checksum.write(
+                    kc(
+                        "fold_checksum",
+                        fold_checksum_fn,
+                        [RegRead(checksum), color_q.value("first")],
+                        60,
+                        60,
+                    )
+                ),
+                done_count.write(BinOp("+", RegRead(done_count), Const(1))),
+                color_q.call("deq"),
+            ),
+        ),
+    )
+
+    design = Design(top, name)
+    return RayTracer(
+        design=design,
+        params=params,
+        placement=placement,
+        bvh=bvh,
+        done_count=done_count,
+        checksum=checksum,
+        image=image_rf,
+        modules={
+            "raygen": raygen,
+            "trav": trav,
+            "geom": geom,
+            "bvh_mem": bvh_mem,
+            "scene_mem": scene_mem,
+            "shader": shader,
+            "bitmap": bitmap,
+        },
+        syncs={
+            "ray_q": ray_q,
+            "bvh_req_q": bvh_req_q,
+            "bvh_resp_q": bvh_resp_q,
+            "scene_req_q": scene_req_q,
+            "scene_resp_q": scene_resp_q,
+            "geom_req_q": geom_req_q,
+            "geom_resp_q": geom_resp_q,
+            "hit_q": hit_q,
+            "color_q": color_q,
+        },
+    )

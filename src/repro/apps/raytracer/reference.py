@@ -1,0 +1,86 @@
+"""Pure-software reference renderer (oracle for the partitioned designs).
+
+Renders the same procedural scene with the same fixed-point kernels, the same
+BVH and the same traversal policy as the BCL design, so every partition must
+produce an identical image and checksum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.apps.raytracer import geometry
+from repro.apps.raytracer.bvh import Bvh, build_bvh
+from repro.apps.raytracer.params import RayTracerParams
+from repro.core.fixedpoint import FixedPoint
+
+
+@dataclass
+class RenderResult:
+    """Output of the reference render."""
+
+    image: List[FixedPoint]
+    checksum: int
+    hits: int
+
+
+def render(params: Optional[RayTracerParams] = None, bvh: Optional[Bvh] = None) -> RenderResult:
+    """Render the scene in plain software, pixel by pixel."""
+    params = params or RayTracerParams()
+    ib, fb = params.int_bits, params.frac_bits
+    if bvh is None:
+        triangles = geometry.generate_scene(params.n_triangles, params.seed, ib, fb)
+        bvh = build_bvh(triangles, params.leaf_size)
+    light = geometry.light_direction(ib, fb)
+
+    image: List[FixedPoint] = [FixedPoint.zero(ib, fb)] * params.n_rays
+    checksum = 0
+    hits = 0
+    for pixel in range(params.n_rays):
+        ray = geometry.camera_ray(pixel, params.image_width, params.image_height, ib, fb)
+        found, _t, tri_index = _traverse_like_design(bvh, ray, ib, fb)
+        if found:
+            shade = geometry.lambert_shade(bvh.triangles[tri_index], light, ib, fb)
+            hits += 1
+        else:
+            shade = FixedPoint.zero(ib, fb)
+        image[pixel] = shade
+        checksum = (checksum * 31 + shade.to_bits() + pixel) & 0xFFFFFFFF
+    return RenderResult(image=image, checksum=checksum, hits=hits)
+
+
+def _traverse_like_design(bvh: Bvh, ray, ib: int, fb: int):
+    """Traverse exactly as the BCL traversal module does (same stack order, same ties)."""
+    best = geometry.miss_hit(ib, fb)
+    stack = (0,)
+    while stack:
+        node_index = stack[-1]
+        stack = stack[:-1]
+        node = bvh.nodes[node_index]
+        if not geometry.intersect_box(ray, node["bbox_min"], node["bbox_max"]):
+            continue
+        if not node["is_leaf"]:
+            stack = stack + (node["left"], node["right"])
+            continue
+        candidate = geometry.miss_hit(ib, fb)
+        candidate["pixel"] = ray["pixel"]
+        for offset in range(node["tri_count"]):
+            tri_index = node["tri_start"] + offset
+            t = geometry.intersect_triangle(ray, bvh.triangles[tri_index])
+            if t is not None and t < candidate["t"]:
+                candidate = {
+                    "hit": True,
+                    "t": t,
+                    "tri": tri_index,
+                    "pixel": ray["pixel"],
+                    "shade": FixedPoint.zero(ib, fb),
+                }
+        if candidate["hit"] and (not best["hit"] or candidate["t"] < best["t"]):
+            best = candidate
+    return best["hit"], best["t"], best["tri"]
+
+
+def expected_checksum(params: Optional[RayTracerParams] = None) -> int:
+    """The image checksum every correct implementation must produce."""
+    return render(params).checksum

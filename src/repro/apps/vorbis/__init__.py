@@ -1,0 +1,19 @@
+"""The Ogg Vorbis back-end (Section 2 and 7.1): IMDCT, IFFT, windowing.
+
+The back-end is written in BCL (as an elaborated module hierarchy built with
+:mod:`repro.core`) and is fully domain-polymorphic: :func:`build_backend`
+takes a placement mapping stage names to computational domains, which is how
+the six partitions A--F of Figure 12 are expressed.
+"""
+
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.backend import VorbisBackend, build_backend
+from repro.apps.vorbis.partitions import PARTITIONS, partition_placement
+
+__all__ = [
+    "VorbisParams",
+    "VorbisBackend",
+    "build_backend",
+    "PARTITIONS",
+    "partition_placement",
+]

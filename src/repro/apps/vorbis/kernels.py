@@ -1,0 +1,283 @@
+"""Fixed-point compute kernels of the Vorbis back-end.
+
+These are the bodies of the functions the paper's rules call
+(``imdctPreLo``/``imdctPreHi``, ``applyRadix``, ``imdctPost``, the windowing
+function), implemented bit-exactly over :class:`~repro.core.fixedpoint.FixedPoint`
+so that every partition of the design produces the same PCM samples.
+
+Each kernel also has a *cost* entry in :func:`kernel_costs`: the CPU-cycle
+cost of its software implementation and the FPGA-cycle latency of its
+hardware implementation.  Those annotations are what the co-simulator's cost
+model consumes; they are calibrated against the relative magnitudes one
+obtains from the operation counts below (a complex multiply-accumulate per
+element in software, element-per-cycle datapaths in hardware).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.core.fixedpoint import FixComplex, FixedPoint
+
+FixVec = Tuple[FixedPoint, ...]
+CplxVec = Tuple[FixComplex, ...]
+
+
+# --------------------------------------------------------------------------
+# table construction (cached per format)
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _twiddles(points: int, int_bits: int, frac_bits: int) -> CplxVec:
+    """Inverse-transform twiddle factors W_k = exp(+2*pi*i*k/points)."""
+    return tuple(
+        FixComplex.from_floats(
+            math.cos(2.0 * math.pi * k / points),
+            math.sin(2.0 * math.pi * k / points),
+            int_bits,
+            frac_bits,
+        )
+        for k in range(points // 2)
+    )
+
+
+@lru_cache(maxsize=None)
+def _pre_tables(n: int, int_bits: int, frac_bits: int) -> Tuple[CplxVec, CplxVec]:
+    """The two IMDCT pre-multiply tables (preTable1 / preTable2 of Section 4.1)."""
+    lo = tuple(
+        FixComplex.from_floats(
+            math.cos(math.pi * (i + 0.25) / n),
+            -math.sin(math.pi * (i + 0.25) / n),
+            int_bits,
+            frac_bits,
+        )
+        for i in range(n)
+    )
+    hi = tuple(
+        FixComplex.from_floats(
+            math.sin(math.pi * (i + 0.75) / n),
+            math.cos(math.pi * (i + 0.75) / n),
+            int_bits,
+            frac_bits,
+        )
+        for i in range(n)
+    )
+    return lo, hi
+
+
+@lru_cache(maxsize=None)
+def _post_table(points: int, int_bits: int, frac_bits: int) -> CplxVec:
+    """The IMDCT post-rotation table applied after the IFFT."""
+    return tuple(
+        FixComplex.from_floats(
+            math.cos(math.pi * (i + 0.5) / (2 * points)),
+            -math.sin(math.pi * (i + 0.5) / (2 * points)),
+            int_bits,
+            frac_bits,
+        )
+        for i in range(points)
+    )
+
+
+@lru_cache(maxsize=None)
+def _window_table(points: int, int_bits: int, frac_bits: int) -> FixVec:
+    """The Vorbis-style sine window over ``points`` samples."""
+    return tuple(
+        FixedPoint.from_float(math.sin(math.pi * (i + 0.5) / points), int_bits, frac_bits)
+        for i in range(points)
+    )
+
+
+def bit_reverse(i: int, bits: int) -> int:
+    """Bit-reversal of an index, as used by the post step (``bitReverse`` in the paper)."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+# --------------------------------------------------------------------------
+# synthetic front end
+# --------------------------------------------------------------------------
+
+
+def gen_frame(index: int, n: int, seed: int = 2012, int_bits: int = 8, frac_bits: int = 24) -> FixVec:
+    """Generate one synthetic spectral frame (substitute for real Vorbis bitstreams).
+
+    A small multiplicative congruential generator produces deterministic
+    spectral lines in ``(-0.9, 0.9)``; content does not affect control flow,
+    only the PCM values the correctness checks compare.
+    """
+    state = (seed * 2654435761 + index * 40503 + 12345) & 0xFFFFFFFF
+    values = []
+    for _ in range(n):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        values.append(((state / float(0x7FFFFFFF)) * 1.8) - 0.9)
+    return tuple(FixedPoint.from_float(v, int_bits, frac_bits) for v in values)
+
+
+def backend_input(frame: FixVec, int_bits: int = 8, frac_bits: int = 24) -> FixVec:
+    """The back-end's ``input`` glue: apply the global gain before the IMDCT."""
+    gain = FixedPoint.from_float(0.5, int_bits, frac_bits)
+    return tuple(v * gain for v in frame)
+
+
+# --------------------------------------------------------------------------
+# IMDCT / IFFT / window kernels
+# --------------------------------------------------------------------------
+
+
+def imdct_pre(frame: FixVec, int_bits: int = 8, frac_bits: int = 24) -> CplxVec:
+    """IMDCT pre-multiply: n real spectral lines -> 2n complex IFFT inputs."""
+    n = len(frame)
+    lo, hi = _pre_tables(n, int_bits, frac_bits)
+    out = [FixComplex.zero(int_bits, frac_bits)] * (2 * n)
+    for i, value in enumerate(frame):
+        out[i] = lo[i] * value
+        out[n + i] = hi[i] * value
+    return tuple(out)
+
+
+def ifft_radix_stage(stage: int, data: CplxVec, int_bits: int = 8, frac_bits: int = 24) -> CplxVec:
+    """Apply one radix-2 decimation-in-frequency stage of the IFFT.
+
+    Stage 0 operates on the full span, the last stage on adjacent pairs.  Each
+    stage scales by 1/2 so the complete transform carries the 1/N
+    normalisation; the output of the final stage is in bit-reversed order,
+    which the IMDCT post step undoes (exactly as the paper's ``bitReverse``).
+    """
+    points = len(data)
+    twiddles = _twiddles(points, int_bits, frac_bits)
+    half_fp = FixedPoint.from_float(0.5, int_bits, frac_bits)
+    x = list(data)
+    half = points >> (stage + 1)
+    block = points >> stage
+    for start in range(0, points, block):
+        for j in range(half):
+            a = x[start + j]
+            b = x[start + j + half]
+            twiddle = twiddles[j << stage]
+            x[start + j] = (a + b) * half_fp
+            x[start + j + half] = ((a - b) * half_fp) * twiddle
+    return tuple(x)
+
+
+def ifft_rule_stage(
+    rule_stage: int,
+    data: CplxVec,
+    stages_per_rule: int,
+    int_bits: int = 8,
+    frac_bits: int = 24,
+) -> CplxVec:
+    """Apply the radix stages belonging to pipeline stage ``rule_stage``.
+
+    The paper's ``mkIFFTPipe`` has three pipeline stages; a 64-point radix-2
+    transform has six radix stages, so each pipeline stage applies two
+    (``applyRadix(stage, pos, x)`` grouped per rule).
+    """
+    points = len(data)
+    total = points.bit_length() - 1
+    first = rule_stage * stages_per_rule
+    out = data
+    for stage in range(first, min(first + stages_per_rule, total)):
+        out = ifft_radix_stage(stage, out, int_bits, frac_bits)
+    return out
+
+
+def ifft_full(data: CplxVec, int_bits: int = 8, frac_bits: int = 24) -> CplxVec:
+    """The complete (unpipelined) IFFT: every radix stage in sequence.
+
+    This is the body of ``mkIFFTComb``'s single ``doIFFT`` rule; output is in
+    bit-reversed order like the staged version.
+    """
+    points = len(data)
+    total = points.bit_length() - 1
+    out = data
+    for stage in range(total):
+        out = ifft_radix_stage(stage, out, int_bits, frac_bits)
+    return out
+
+
+def natural_order(data: CplxVec) -> CplxVec:
+    """Undo the bit-reversed ordering produced by the DIF IFFT (test helper)."""
+    points = len(data)
+    bits = points.bit_length() - 1
+    out = [data[0]] * points
+    for i in range(points):
+        out[bit_reverse(i, bits)] = data[i]
+    return tuple(out)
+
+
+def imdct_post(spectrum: CplxVec, int_bits: int = 8, frac_bits: int = 24) -> FixVec:
+    """IMDCT post step: bit-reverse, post-rotate and take the real part."""
+    points = len(spectrum)
+    bits = points.bit_length() - 1
+    post = _post_table(points, int_bits, frac_bits)
+    out = [FixedPoint.zero(int_bits, frac_bits)] * points
+    for i in range(points):
+        rotated = spectrum[i] * post[i]
+        out[bit_reverse(i, bits)] = rotated.real
+    return tuple(out)
+
+
+def window_overlap(
+    previous: FixVec, current: FixVec, int_bits: int = 8, frac_bits: int = 24
+) -> Tuple[FixVec, FixVec]:
+    """Sliding-window overlap-add.
+
+    ``previous`` is the retained second half of the previous frame (n
+    samples); ``current`` is the 2n-sample IMDCT output of this frame.
+    Returns ``(pcm, new_previous)`` where ``pcm`` has n samples.
+    """
+    n = len(previous)
+    if len(current) != 2 * n:
+        raise ValueError(f"window: expected {2 * n} current samples, got {len(current)}")
+    window = _window_table(2 * n, int_bits, frac_bits)
+    pcm = tuple(
+        previous[i] * window[n + i] + current[i] * window[i] for i in range(n)
+    )
+    new_previous = tuple(current[n + i] for i in range(n))
+    return pcm, new_previous
+
+
+def audio_checksum(pcm: FixVec, running: int) -> int:
+    """Fold a PCM block into a running 32-bit checksum (the audio-device sink).
+
+    The checksum stands in for the memory-mapped audio output; comparing it
+    across partitions is the bit-exactness check of the latency-insensitive
+    refinement claim.
+    """
+    total = running
+    for sample in pcm:
+        total = (total * 31 + sample.to_bits()) & 0xFFFFFFFF
+    return total
+
+
+# --------------------------------------------------------------------------
+# cost annotations
+# --------------------------------------------------------------------------
+
+
+def kernel_costs(n: int) -> Dict[str, Tuple[int, int]]:
+    """``(sw_cpu_cycles, hw_fpga_cycles)`` per kernel for a frame size of ``n``.
+
+    Software costs assume a scalar in-order embedded core (a handful of
+    cycles per multiply-accumulate including loads/stores); hardware costs
+    assume an element-per-cycle datapath, with the pipelined IFFT processing
+    four butterflies per cycle per stage as in the paper's mkIFFTPipe
+    discussion.
+    """
+    points = 2 * n
+    return {
+        "gen_frame": (12 * n + 16, 12 * n + 16),
+        "backend_input": (8 * n + 16, n // 2),
+        "imdct_pre": (12 * points + 32, points),
+        "ifft_rule_stage": (8 * points + 38, points // 4),
+        "imdct_post": (10 * points + 32, points),
+        "window_overlap": (16 * n + 32, points),
+        "audio_out": (8 * n + 16, 8 * n + 16),
+    }

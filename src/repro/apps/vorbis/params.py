@@ -1,0 +1,45 @@
+"""Workload parameters for the Vorbis back-end reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VorbisParams:
+    """Parameters of the Vorbis back-end workload.
+
+    The paper fixes the frame size at sixty-four (Section 4.5) and performs
+    all computation in 32-bit fixed point with 24 fractional bits
+    (Section 7.1).  ``n_frames`` is the length of the test bench; the paper
+    uses 10 000 frames, which is far more than needed to reach steady state
+    -- the benchmarks default to a smaller count and report per-frame
+    numbers.
+    """
+
+    #: Number of spectral lines per input frame (the IFFT operates on 2*n).
+    n: int = 32
+    #: Number of audio frames pushed through the pipeline.
+    n_frames: int = 32
+    #: Fixed-point format (integer bits, fractional bits).
+    int_bits: int = 8
+    frac_bits: int = 24
+    #: Seed for the synthetic front-end's spectral content.
+    seed: int = 2012
+
+    @property
+    def ifft_points(self) -> int:
+        """Number of points of the IFFT (2*n, 64 in the paper)."""
+        return 2 * self.n
+
+    @property
+    def ifft_stages(self) -> int:
+        """Number of pipeline stages of the IFFT (3 in the paper's mkIFFTPipe)."""
+        return 3
+
+    def __post_init__(self) -> None:
+        points = 2 * self.n
+        if points & (points - 1):
+            raise ValueError(f"IFFT size {points} must be a power of two")
+        if points.bit_length() - 1 < self.ifft_stages:
+            raise ValueError(f"IFFT size {points} is too small for 3 pipeline stages")

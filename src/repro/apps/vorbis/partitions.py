@@ -1,0 +1,63 @@
+"""The six HW/SW partitions of the Vorbis back-end (Figure 12).
+
+Each partition is a placement of the back-end's stage groups onto the HW and
+SW domains.  ``F`` is the full-software design and ``E`` the full-hardware
+back-end (the front end and the audio output always stay in software, as in
+the paper).  The intermediate points reproduce the trade-offs the evaluation
+discusses:
+
+* ``A`` -- only the IFFT core is in hardware.  The IMDCT invokes it with a
+  full complex frame in each direction, so the communication cost roughly
+  cancels the computation savings ("the effect of moving only the IFFT to HW
+  is marginal"; the measured partition is slightly *slower* than F).
+* ``B`` -- IFFT plus the IMDCT FSMs move to hardware; traffic drops to the
+  small real-valued frames at the group boundary and the partition beats F.
+* ``C`` -- IFFT and the windowing function are in hardware but the IMDCT FSMs
+  stay in software, so every frame crosses the boundary four times; this is
+  the slowest partition ("moving the windowing function to HW is not worth
+  the communication overhead").
+* ``D`` -- everything except the back-end input control is in hardware.
+* ``E`` -- the complete back-end, including its control, is in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.vorbis.backend import VorbisBackend, build_backend
+from repro.apps.vorbis.params import VorbisParams
+from repro.core.domains import HW, SW, Domain
+
+#: Placement of each stage group, per partition letter.
+PARTITIONS: Dict[str, Dict[str, Domain]] = {
+    "A": {"ctrl": SW, "imdct": SW, "ifft": HW, "window": SW},
+    "B": {"ctrl": SW, "imdct": HW, "ifft": HW, "window": SW},
+    "C": {"ctrl": SW, "imdct": SW, "ifft": HW, "window": HW},
+    "D": {"ctrl": SW, "imdct": HW, "ifft": HW, "window": HW},
+    "E": {"ctrl": HW, "imdct": HW, "ifft": HW, "window": HW},
+    "F": {"ctrl": SW, "imdct": SW, "ifft": SW, "window": SW},
+}
+
+#: Display order used by the Figure 13 benchmark (matches the paper's x axis).
+PARTITION_ORDER: List[str] = ["A", "B", "C", "D", "E", "F"]
+
+
+def partition_placement(letter: str) -> Dict[str, Domain]:
+    """The stage placement of one of the paper's partitions (A--F)."""
+    if letter not in PARTITIONS:
+        raise KeyError(f"unknown Vorbis partition {letter!r}; expected one of {PARTITION_ORDER}")
+    return dict(PARTITIONS[letter])
+
+
+def build_partition(letter: str, params: Optional[VorbisParams] = None) -> VorbisBackend:
+    """Build the back-end design for partition ``letter``."""
+    return build_backend(
+        params=params,
+        placement=partition_placement(letter),
+        name=f"vorbis_{letter}",
+    )
+
+
+def hw_stage_names(letter: str) -> List[str]:
+    """Which stage groups are in hardware for a partition (used in reports)."""
+    return sorted(stage for stage, dom in PARTITIONS[letter].items() if dom == HW)

@@ -1,0 +1,77 @@
+"""Hand-written software reference for the Vorbis back-end.
+
+This plays the role of the paper's "manual C++" implementation (partition F2
+in Figure 13): a direct, per-frame loop over the same fixed-point kernels,
+with no rules, no guards, no scheduler and no shadow state.  It serves two
+purposes:
+
+* it is the bit-exact oracle against which every partitioned BCL design is
+  checked (same kernels, same order, therefore identical PCM checksums), and
+* its cost estimate (the sum of the kernel software costs plus a small loop
+  overhead) gives the hand-coded baseline of the Figure 13 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.vorbis import kernels
+from repro.apps.vorbis.params import VorbisParams
+from repro.core.fixedpoint import FixedPoint
+
+
+@dataclass
+class ReferenceResult:
+    """Output of the hand-coded reference decode."""
+
+    checksum: int
+    pcm_frames: List[Tuple[FixedPoint, ...]]
+    cpu_cycles: float
+
+    def fpga_cycles(self, cpu_per_fpga: float = 4.0) -> float:
+        return self.cpu_cycles / cpu_per_fpga
+
+
+def decode(params: Optional[VorbisParams] = None, keep_pcm: bool = True) -> ReferenceResult:
+    """Run the whole back-end in plain software, frame by frame."""
+    params = params or VorbisParams()
+    n, ib, fb = params.n, params.int_bits, params.frac_bits
+    costs = kernels.kernel_costs(n)
+    stages_per_rule = (params.ifft_points.bit_length() - 1 + params.ifft_stages - 1) // params.ifft_stages
+
+    #: fixed per-frame loop overhead of the hand-written implementation
+    loop_overhead = 24
+
+    prev_half = tuple(FixedPoint.zero(ib, fb) for _ in range(n))
+    checksum = 0
+    cpu = 0.0
+    pcm_frames: List[Tuple[FixedPoint, ...]] = []
+
+    for index in range(params.n_frames):
+        frame = kernels.gen_frame(index, n, params.seed, ib, fb)
+        scaled = kernels.backend_input(frame, ib, fb)
+        spectrum = kernels.imdct_pre(scaled, ib, fb)
+        for stage in range(params.ifft_stages):
+            spectrum = kernels.ifft_rule_stage(stage, spectrum, stages_per_rule, ib, fb)
+        samples = kernels.imdct_post(spectrum, ib, fb)
+        pcm, prev_half = kernels.window_overlap(prev_half, samples, ib, fb)
+        checksum = kernels.audio_checksum(pcm, checksum)
+        if keep_pcm:
+            pcm_frames.append(pcm)
+
+        cpu += loop_overhead
+        cpu += costs["gen_frame"][0]
+        cpu += costs["backend_input"][0]
+        cpu += costs["imdct_pre"][0]
+        cpu += params.ifft_stages * costs["ifft_rule_stage"][0]
+        cpu += costs["imdct_post"][0]
+        cpu += costs["window_overlap"][0]
+        cpu += costs["audio_out"][0]
+
+    return ReferenceResult(checksum=checksum, pcm_frames=pcm_frames, cpu_cycles=cpu)
+
+
+def expected_checksum(params: Optional[VorbisParams] = None) -> int:
+    """The PCM checksum every correct implementation of the back-end must produce."""
+    return decode(params, keep_pcm=False).checksum

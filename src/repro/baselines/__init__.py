@@ -1,0 +1,1 @@
+"""Comparison baselines: hand-coded software (F2) and a SystemC-style model (F1)."""

@@ -1,0 +1,164 @@
+"""Hand-coded software baselines (the F1 / F2 columns of Figure 13).
+
+``run_handcoded_vorbis`` is the "manual C++" baseline: a direct per-frame
+loop (it simply reuses :mod:`repro.apps.vorbis.reference`).  ``run_systemc_vorbis``
+builds the same full-software pipeline as communicating processes on the
+miniature SystemC kernel of :mod:`repro.baselines.systemc`, so its slowdown
+relative to the generated software arises from event/activation overheads,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.vorbis import kernels
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.reference import ReferenceResult, decode
+from repro.baselines.systemc import ScFifo, ScProcess, SystemCSimulator
+from repro.core.fixedpoint import FixedPoint
+
+
+@dataclass
+class BaselineResult:
+    """Execution-time estimate of a baseline implementation."""
+
+    name: str
+    checksum: int
+    cpu_cycles: float
+    frames: int
+
+    def fpga_cycles(self, cpu_per_fpga: float = 4.0) -> float:
+        return self.cpu_cycles / cpu_per_fpga
+
+    def fpga_cycles_per_frame(self, cpu_per_fpga: float = 4.0) -> float:
+        return self.fpga_cycles(cpu_per_fpga) / max(1, self.frames)
+
+
+def run_handcoded_vorbis(params: Optional[VorbisParams] = None) -> BaselineResult:
+    """The hand-written C++ equivalent (partition F2)."""
+    params = params or VorbisParams()
+    ref: ReferenceResult = decode(params, keep_pcm=False)
+    return BaselineResult(
+        name="handcoded-C++",
+        checksum=ref.checksum,
+        cpu_cycles=ref.cpu_cycles,
+        frames=params.n_frames,
+    )
+
+
+def run_systemc_vorbis(params: Optional[VorbisParams] = None) -> BaselineResult:
+    """The SystemC model of the full-software partition (partition F1).
+
+    Each pipeline stage is a process sensitive to its input channel; the
+    kernel costs are identical to the generated software's, and everything
+    on top of them is event-driven simulation overhead.
+    """
+    params = params or VorbisParams()
+    n, ib, fb = params.n, params.int_bits, params.frac_bits
+    costs = kernels.kernel_costs(n)
+    stages_per_rule = (
+        params.ifft_points.bit_length() - 1 + params.ifft_stages - 1
+    ) // params.ifft_stages
+
+    sim = SystemCSimulator()
+    q_in = sim.add_fifo(ScFifo("q_in"))
+    q_ctrl = sim.add_fifo(ScFifo("q_ctrl"))
+    q_pre = sim.add_fifo(ScFifo("q_pre"))
+    q_ifft = sim.add_fifo(ScFifo("q_ifft"))
+    q_post = sim.add_fifo(ScFifo("q_post"))
+    q_pcm = sim.add_fifo(ScFifo("q_pcm"))
+
+    state = {
+        "frame_idx": 0,
+        "prev_half": tuple(FixedPoint.zero(ib, fb) for _ in range(n)),
+        "checksum": 0,
+        "frames_out": 0,
+    }
+
+    def frontend(s: SystemCSimulator) -> int:
+        if state["frame_idx"] >= params.n_frames or not q_in.can_write():
+            return 0
+        frame = kernels.gen_frame(state["frame_idx"], n, params.seed, ib, fb)
+        if s.write(q_in, frame):
+            state["frame_idx"] += 1
+            return costs["gen_frame"][0]
+        return 0
+
+    def make_stage(src: ScFifo, dst: ScFifo, fn, cost: int):
+        def stage(s: SystemCSimulator) -> int:
+            if not src.can_read() or not dst.can_write():
+                return 0
+            value = s.read(src)
+            s.write(dst, fn(value))
+            return cost
+
+        return stage
+
+    def ifft_fn(spectrum):
+        for stage in range(params.ifft_stages):
+            spectrum = kernels.ifft_rule_stage(stage, spectrum, stages_per_rule, ib, fb)
+        return spectrum
+
+    def window_proc(s: SystemCSimulator) -> int:
+        if not q_post.can_read() or not q_pcm.can_write():
+            return 0
+        samples = s.read(q_post)
+        pcm, state["prev_half"] = kernels.window_overlap(state["prev_half"], samples, ib, fb)
+        s.write(q_pcm, pcm)
+        return costs["window_overlap"][0]
+
+    def audio_proc(s: SystemCSimulator) -> int:
+        if not q_pcm.can_read():
+            return 0
+        pcm = s.read(q_pcm)
+        state["checksum"] = kernels.audio_checksum(pcm, state["checksum"])
+        state["frames_out"] += 1
+        return costs["audio_out"][0]
+
+    sim.add_process(ScProcess("frontend", frontend), [q_in.data_read])
+    sim.add_process(
+        ScProcess(
+            "ctrl",
+            make_stage(
+                q_in, q_ctrl, lambda f: kernels.backend_input(f, ib, fb), costs["backend_input"][0]
+            ),
+        ),
+        [q_in.data_written, q_ctrl.data_read],
+    )
+    sim.add_process(
+        ScProcess(
+            "imdct_pre",
+            make_stage(
+                q_ctrl, q_pre, lambda f: kernels.imdct_pre(f, ib, fb), costs["imdct_pre"][0]
+            ),
+        ),
+        [q_ctrl.data_written, q_pre.data_read],
+    )
+    sim.add_process(
+        ScProcess(
+            "ifft",
+            make_stage(q_pre, q_ifft, ifft_fn, params.ifft_stages * costs["ifft_rule_stage"][0]),
+        ),
+        [q_pre.data_written, q_ifft.data_read],
+    )
+    sim.add_process(
+        ScProcess(
+            "imdct_post",
+            make_stage(
+                q_ifft, q_post, lambda s_: kernels.imdct_post(s_, ib, fb), costs["imdct_post"][0]
+            ),
+        ),
+        [q_ifft.data_written, q_post.data_read],
+    )
+    sim.add_process(ScProcess("window", window_proc), [q_post.data_written, q_pcm.data_read])
+    sim.add_process(ScProcess("audio", audio_proc), [q_pcm.data_written])
+
+    cpu = sim.run(lambda s: state["frames_out"] >= params.n_frames)
+    return BaselineResult(
+        name="systemc",
+        checksum=state["checksum"],
+        cpu_cycles=cpu,
+        frames=params.n_frames,
+    )

@@ -1,0 +1,1 @@
+"""Source-level code generation: C++ for SW partitions, BSV for HW partitions, interface glue."""

@@ -1,0 +1,175 @@
+"""BSV (Bluespec SystemVerilog) generation for hardware partitions (Section 6.4).
+
+With the exception of dynamic loops and sequential composition, kernel BCL
+translates directly into BSV; the BSV compiler then produces Verilog through
+the mature operation-centric flow the paper builds on.  This generator emits
+the BSV module for a hardware partition: state declarations, one ``rule``
+per BCL rule with its lifted guard, and the synchronizer endpoints as
+interface FIFOs.  Dynamic loops are rejected, exactly as the paper notes
+they must be.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.action import (
+    Action,
+    IfA,
+    LetA,
+    LocalGuard,
+    Loop,
+    MethodCallA,
+    NoAction,
+    Par,
+    RegWrite,
+    Seq,
+    WhenA,
+)
+from repro.core.errors import ElaborationError
+from repro.core.expr import (
+    BinOp,
+    Const,
+    Expr,
+    FieldSelect,
+    KernelCall,
+    LetE,
+    MethodCallE,
+    Mux,
+    RegRead,
+    UnOp,
+    Var,
+    WhenE,
+)
+from repro.core.guards import is_true_const, lift_rule
+from repro.core.module import Design, Module, Rule
+from repro.core.partition import PartitionedProgram
+from repro.core.primitives import Fifo
+from repro.core.synchronizers import SyncFifo
+
+
+def _bsv_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool):
+            return "True" if expr.value else "False"
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name.replace("$", "_")
+    if isinstance(expr, RegRead):
+        return expr.reg.name
+    if isinstance(expr, UnOp):
+        return f"({expr.op}{_bsv_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        return f"({_bsv_expr(expr.left)} {expr.op} {_bsv_expr(expr.right)})"
+    if isinstance(expr, Mux):
+        return f"({_bsv_expr(expr.cond)} ? {_bsv_expr(expr.then)} : {_bsv_expr(expr.orelse)})"
+    if isinstance(expr, WhenE):
+        return f"when({_bsv_expr(expr.guard)}, {_bsv_expr(expr.body)})"
+    if isinstance(expr, LetE):
+        return f"(let {expr.name.replace('$', '_')} = {_bsv_expr(expr.value)} in {_bsv_expr(expr.body)})"
+    if isinstance(expr, FieldSelect):
+        if isinstance(expr.field, int):
+            return f"{_bsv_expr(expr.operand)}[{expr.field}]"
+        return f"{_bsv_expr(expr.operand)}.{expr.field}"
+    if isinstance(expr, KernelCall):
+        args = ", ".join(_bsv_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, MethodCallE):
+        args = ", ".join(_bsv_expr(a) for a in expr.args)
+        return f"{expr.instance.name}.{expr.method}({args})"
+    raise TypeError(f"cannot render expression {expr!r} as BSV")
+
+
+def _bsv_action(action: Action, indent: str) -> List[str]:
+    lines: List[str] = []
+    if isinstance(action, NoAction):
+        lines.append(f"{indent}noAction;")
+        return lines
+    if isinstance(action, RegWrite):
+        lines.append(f"{indent}{action.reg.name} <= {_bsv_expr(action.value)};")
+        return lines
+    if isinstance(action, IfA):
+        lines.append(f"{indent}if ({_bsv_expr(action.cond)}) begin")
+        lines.extend(_bsv_action(action.then, indent + "  "))
+        if action.orelse is not None:
+            lines.append(f"{indent}end else begin")
+            lines.extend(_bsv_action(action.orelse, indent + "  "))
+        lines.append(f"{indent}end")
+        return lines
+    if isinstance(action, WhenA):
+        lines.append(f"{indent}// when ({_bsv_expr(action.guard)})")
+        lines.extend(_bsv_action(action.body, indent))
+        return lines
+    if isinstance(action, Par):
+        for sub in action.actions:
+            lines.extend(_bsv_action(sub, indent))
+        return lines
+    if isinstance(action, Seq):
+        raise ElaborationError(
+            "sequential composition cannot be synthesised into a single-cycle BSV rule "
+            "(Section 6.4); restructure the rule or keep it in the software partition"
+        )
+    if isinstance(action, LetA):
+        lines.append(f"{indent}let {action.name.replace('$', '_')} = {_bsv_expr(action.value)};")
+        lines.extend(_bsv_action(action.body, indent))
+        return lines
+    if isinstance(action, Loop):
+        raise ElaborationError(
+            "loops with dynamic bounds cannot execute in a single clock cycle and are not "
+            "supported by the BSV backend (Section 6.4)"
+        )
+    if isinstance(action, LocalGuard):
+        lines.append(f"{indent}// localGuard")
+        lines.extend(_bsv_action(action.body, indent))
+        return lines
+    if isinstance(action, MethodCallA):
+        args = ", ".join(_bsv_expr(a) for a in action.args)
+        lines.append(f"{indent}{action.instance.name}.{action.method}({args});")
+        return lines
+    raise TypeError(f"cannot render action {action!r} as BSV")
+
+
+def generate_rule(rule: Rule) -> str:
+    """Generate one BSV ``rule`` with its lifted guard as the rule condition."""
+    body, guard = lift_rule(rule)
+    condition = "" if is_true_const(guard) else f" ({_bsv_expr(guard)})"
+    lines = [f"rule {rule.name}{condition};"]
+    lines.extend(_bsv_action(body, "  "))
+    lines.append("endrule")
+    return "\n".join(lines)
+
+
+def generate_hw_partition(
+    design: Design, program: Optional[PartitionedProgram] = None
+) -> str:
+    """Generate the BSV module for a hardware partition (whole design if ``program`` is None)."""
+    rules = program.rules if program is not None else design.all_rules()
+    modules = (
+        program.modules
+        if program is not None and program.modules
+        else [m for m in design.all_modules()]
+    )
+    module_set = set(modules)
+
+    lines = [
+        "// Generated by the BCL hardware compiler (BSV backend)",
+        f"// design: {design.name}",
+        "import FIFO::*;",
+        "import Vector::*;",
+        "",
+        f"module mk{design.name.title().replace('_', '')}HwPartition (Empty);",
+    ]
+    for module in modules:
+        for reg in module.registers:
+            lines.append(f"  Reg#({reg.ty!r}) {reg.name} <- mkReg(?);")
+        if isinstance(module, SyncFifo):
+            lines.append(f"  // synchronizer endpoint {module.name} (mapped by the interface generator)")
+        elif isinstance(module, Fifo):
+            lines.append(f"  FIFO#({module.ty!r}) {module.name} <- mkSizedFIFO({module.depth});")
+    lines.append("")
+    for rule in rules:
+        rule_text = generate_rule(rule)
+        lines.extend("  " + line for line in rule_text.splitlines())
+        lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

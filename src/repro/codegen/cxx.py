@@ -1,0 +1,247 @@
+"""C++ code generation for software partitions (Section 6.2/6.3).
+
+The generator emits one C++ class per module, one member function per rule,
+and a ``run_scheduler`` driver.  The *structure* of the emitted rule bodies
+depends on the optimisation configuration exactly as Figures 9 and 10
+describe:
+
+* without optimisation a rule body is a ``try { ... commit } catch { rollback }``
+  block operating on shadow copies of every register it may touch;
+* with guard lifting + inlining the rule first checks its hoisted guard, then
+  executes in place, and only rules whose residual body can still fail keep
+  an explicit ``goto rollback`` path with partial shadows.
+
+The output is compilable-looking C++ text; the tests check its structural
+properties (presence/absence of try/catch, shadow declarations, guard
+checks) rather than compiling it, since the measured implementation in this
+reproduction is the cost-modelled interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.action import (
+    Action,
+    IfA,
+    LetA,
+    LocalGuard,
+    Loop,
+    MethodCallA,
+    NoAction,
+    Par,
+    RegWrite,
+    Seq,
+    WhenA,
+)
+from repro.core.expr import (
+    BinOp,
+    Const,
+    Expr,
+    FieldSelect,
+    KernelCall,
+    LetE,
+    MethodCallE,
+    Mux,
+    RegRead,
+    UnOp,
+    Var,
+    WhenE,
+)
+from repro.core.guards import is_true_const
+from repro.core.module import Design, Module, Rule
+from repro.core.optimize import CompiledRule, OptimizationConfig, compile_design_rules
+from repro.core.partition import PartitionedProgram
+
+
+def _cxx_expr(expr: Expr) -> str:
+    """Render an expression as C++."""
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        return repr(expr.value) if not isinstance(expr.value, (int, float)) else str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name.replace("$", "_")
+    if isinstance(expr, RegRead):
+        return f"{expr.reg.name}.read()"
+    if isinstance(expr, UnOp):
+        op = {"!": "!", "-": "-", "~": "~"}[expr.op]
+        return f"({op}{_cxx_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        return f"({_cxx_expr(expr.left)} {expr.op} {_cxx_expr(expr.right)})"
+    if isinstance(expr, Mux):
+        return f"({_cxx_expr(expr.cond)} ? {_cxx_expr(expr.then)} : {_cxx_expr(expr.orelse)})"
+    if isinstance(expr, WhenE):
+        return f"bcl::when({_cxx_expr(expr.guard)}, {_cxx_expr(expr.body)})"
+    if isinstance(expr, LetE):
+        return f"[&]{{ auto {expr.name.replace('$', '_')} = {_cxx_expr(expr.value)}; return {_cxx_expr(expr.body)}; }}()"
+    if isinstance(expr, FieldSelect):
+        if isinstance(expr.field, int):
+            return f"std::get<{expr.field}>({_cxx_expr(expr.operand)})"
+        return f"{_cxx_expr(expr.operand)}.{expr.field}"
+    if isinstance(expr, KernelCall):
+        args = ", ".join(_cxx_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, MethodCallE):
+        args = ", ".join(_cxx_expr(a) for a in expr.args)
+        return f"{expr.instance.name}.{expr.method}({args})"
+    raise TypeError(f"cannot render expression {expr!r} as C++")
+
+
+def _cxx_action(action: Action, indent: str, shadow_suffix: str = "") -> List[str]:
+    """Render an action as C++ statements."""
+    lines: List[str] = []
+    if isinstance(action, NoAction):
+        return lines
+    if isinstance(action, RegWrite):
+        lines.append(f"{indent}{action.reg.name}{shadow_suffix}.write({_cxx_expr(action.value)});")
+        return lines
+    if isinstance(action, IfA):
+        lines.append(f"{indent}if ({_cxx_expr(action.cond)}) {{")
+        lines.extend(_cxx_action(action.then, indent + "  ", shadow_suffix))
+        if action.orelse is not None:
+            lines.append(f"{indent}}} else {{")
+            lines.extend(_cxx_action(action.orelse, indent + "  ", shadow_suffix))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(action, WhenA):
+        lines.append(f"{indent}if (!({_cxx_expr(action.guard)})) throw GuardFailure();")
+        lines.extend(_cxx_action(action.body, indent, shadow_suffix))
+        return lines
+    if isinstance(action, (Par, Seq)):
+        for sub in action.actions:
+            lines.extend(_cxx_action(sub, indent, shadow_suffix))
+        return lines
+    if isinstance(action, LetA):
+        lines.append(
+            f"{indent}auto {action.name.replace('$', '_')} = {_cxx_expr(action.value)};"
+        )
+        lines.extend(_cxx_action(action.body, indent, shadow_suffix))
+        return lines
+    if isinstance(action, Loop):
+        lines.append(f"{indent}while ({_cxx_expr(action.cond)}) {{")
+        lines.extend(_cxx_action(action.body, indent + "  ", shadow_suffix))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(action, LocalGuard):
+        lines.append(f"{indent}try {{")
+        lines.extend(_cxx_action(action.body, indent + "  ", shadow_suffix))
+        lines.append(f"{indent}}} catch (GuardFailure&) {{ /* localGuard: noAction */ }}")
+        return lines
+    if isinstance(action, MethodCallA):
+        args = ", ".join(_cxx_expr(a) for a in action.args)
+        lines.append(f"{indent}{action.instance.name}{shadow_suffix}.{action.method}({args});")
+        return lines
+    raise TypeError(f"cannot render action {action!r} as C++")
+
+
+def generate_rule(compiled: CompiledRule) -> str:
+    """Generate the C++ member function of one rule.
+
+    Returns the Figure-9 style (try/catch over full shadows) or Figure-10
+    style (guard check up front, goto rollback, partial shadows) depending on
+    the compiled rule's optimisation configuration.
+    """
+    rule = compiled.rule
+    config = compiled.config
+    lines: List[str] = [f"bool {rule.name}() {{"]
+
+    if config.lift_guards and not is_true_const(compiled.guard):
+        lines.append(f"  if (!({_cxx_expr(compiled.guard)})) return false;  // lifted guard")
+
+    if not compiled.can_fail:
+        # In-place execution: no shadows, no exception handling at all.
+        lines.extend(_cxx_action(compiled.body, "  "))
+        lines.append("  return true;")
+        lines.append("}")
+        return "\n".join(lines)
+
+    shadows = sorted(reg.name for reg in compiled.shadow_registers)
+    for name in shadows:
+        lines.append(f"  auto {name}_s = {name}.shadow();")
+
+    if config.inline_methods:
+        # Figure 10: explicit branch to rollback, no try/catch.
+        lines.append("  // inlined methods: guard failures branch to rollback")
+        body = _cxx_action(compiled.body, "  ", shadow_suffix="_s")
+        body = [line.replace("throw GuardFailure();", "goto rollback;") for line in body]
+        lines.extend(body)
+        for name in shadows:
+            lines.append(f"  {name}.commit({name}_s);")
+        lines.append("  return true;")
+        lines.append("rollback:")
+        for name in shadows:
+            lines.append(f"  {name}_s.rollback({name});")
+        lines.append("  return false;")
+    else:
+        # Figure 9: try/catch with commit in the try block and rollback in the catch.
+        lines.append("  try {")
+        lines.extend(_cxx_action(compiled.body, "    ", shadow_suffix="_s"))
+        for name in shadows:
+            lines.append(f"    {name}.commit({name}_s);")
+        lines.append("    return true;")
+        lines.append("  } catch (GuardFailure&) {")
+        for name in shadows:
+            lines.append(f"    {name}_s.rollback({name});")
+        lines.append("    return false;")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_module_class(module: Module, compiled: Dict[Rule, CompiledRule]) -> str:
+    """Generate one C++ class for a module (state members + rule member functions)."""
+    lines = [f"class {module.name} {{", "public:"]
+    for reg in module.registers:
+        lines.append(f"  bcl::Reg<{reg.ty!r}> {reg.name};")
+    for sub in module.submodules:
+        lines.append(f"  {sub.name} {sub.name}_inst;")
+    lines.append("")
+    for rule in module.rules:
+        if rule in compiled:
+            body = generate_rule(compiled[rule])
+            lines.extend("  " + line for line in body.splitlines())
+            lines.append("")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def generate_sw_partition(
+    design: Design,
+    program: Optional[PartitionedProgram] = None,
+    config: Optional[OptimizationConfig] = None,
+) -> str:
+    """Generate the complete C++ translation unit for a software partition.
+
+    When ``program`` is ``None`` the whole design is treated as software
+    (the paper's full-software use case).
+    """
+    config = config or OptimizationConfig.all()
+    compiled = compile_design_rules(design, config)
+    rules = program.rules if program is not None else design.all_rules()
+    rule_set = set(rules)
+    modules = (
+        program.modules
+        if program is not None and program.modules
+        else [m for m in design.all_modules() if m.rules]
+    )
+
+    header = [
+        "// Generated by the BCL software compiler",
+        f"// design: {design.name}",
+        f"// optimisations: {config.describe()}",
+        '#include "bcl_runtime.h"',
+        "",
+    ]
+    body: List[str] = []
+    for module in modules:
+        module_compiled = {r: c for r, c in compiled.items() if r in rule_set and r.module is module}
+        if module.rules:
+            body.append(generate_module_class(module, module_compiled))
+            body.append("")
+
+    scheduler = ["int run_scheduler() {", "  bool any = true;", "  while (any) {", "    any = false;"]
+    for rule in rules:
+        scheduler.append(f"    any |= {rule.module.name}_inst.{rule.name}();")
+    scheduler.extend(["  }", "  return 0;", "}"])
+    return "\n".join(header + body + scheduler) + "\n"

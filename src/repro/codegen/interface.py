@@ -1,0 +1,156 @@
+"""Interface (transactor) generation: the compiler's third output (Figure 6).
+
+For every synchronizer on the HW/SW cut the compiler must produce the glue
+that implements its two endpoints over the physical channel: a virtual
+channel id, marshaling/demarshaling code sized by the element type's
+canonical bit layout, and an arbiter entry that multiplexes all virtual
+channels onto the one physical link.  This module derives that information
+from a partitioning (:class:`InterfaceSpec`) and renders it in three forms:
+
+* a software-side C header (virtual-channel table + send/receive helpers),
+* a hardware-side BSV arbiter/marshaler skeleton, and
+* a human-readable report used by the examples and the Figure 12/14
+  structure benchmarks.
+
+Because the spec is derived purely from the cut, the paper's "Interface
+Only" methodology falls out for free: a team can implement either side by
+hand against this contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.domains import Domain
+from repro.core.partition import Partitioning
+from repro.core.synchronizers import SyncFifo
+from repro.core.types import words_for
+from repro.platform.marshal import message_words
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One synchronizer's mapping onto the physical channel."""
+
+    vc_id: int
+    name: str
+    producer: str
+    consumer: str
+    element_type: str
+    payload_words: int
+    message_words: int
+    depth: int
+
+    @property
+    def direction(self) -> str:
+        return f"{self.producer}->{self.consumer}"
+
+
+@dataclass
+class InterfaceSpec:
+    """The complete HW/SW interface of one partitioned design."""
+
+    design_name: str
+    channels: List[ChannelSpec]
+    word_bits: int = 32
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    def channels_towards(self, consumer_domain: str) -> List[ChannelSpec]:
+        return [c for c in self.channels if c.consumer == consumer_domain]
+
+    def report(self) -> str:
+        """Human-readable summary of the generated interface."""
+        lines = [f"HW/SW interface for {self.design_name}: {self.n_channels} virtual channel(s)"]
+        for ch in self.channels:
+            lines.append(
+                f"  vc{ch.vc_id:<3} {ch.name:<14} {ch.direction:<10} depth={ch.depth} "
+                f"{ch.payload_words:>4} payload words ({ch.message_words} with header)  {ch.element_type}"
+            )
+        return "\n".join(lines)
+
+
+def build_interface_spec(partitioning: Partitioning, word_bits: int = 32) -> InterfaceSpec:
+    """Derive the interface specification from a partitioned design's cut set."""
+    channels: List[ChannelSpec] = []
+    for vc_id, sync in enumerate(partitioning.cut):
+        channels.append(
+            ChannelSpec(
+                vc_id=vc_id,
+                name=sync.name,
+                producer=sync.domain_enq.name,
+                consumer=sync.domain_deq.name,
+                element_type=repr(sync.ty),
+                payload_words=words_for(sync.ty, word_bits),
+                message_words=message_words(sync.ty, word_bits),
+                depth=sync.depth,
+            )
+        )
+    return InterfaceSpec(design_name=partitioning.design.name, channels=channels, word_bits=word_bits)
+
+
+def generate_sw_header(spec: InterfaceSpec) -> str:
+    """Generate the software-side C header describing the virtual-channel table."""
+    lines = [
+        "/* Generated HW/SW interface header -- do not edit by hand. */",
+        f"/* design: {spec.design_name} */",
+        "#pragma once",
+        "#include <stdint.h>",
+        "",
+        f"#define BCL_CHANNEL_WORD_BITS {spec.word_bits}",
+        f"#define BCL_NUM_VIRTUAL_CHANNELS {spec.n_channels}",
+        "",
+    ]
+    for ch in spec.channels:
+        macro = ch.name.upper()
+        lines.append(f"#define BCL_VC_{macro} {ch.vc_id}")
+        lines.append(f"#define BCL_VC_{macro}_PAYLOAD_WORDS {ch.payload_words}")
+        lines.append(f"#define BCL_VC_{macro}_DEPTH {ch.depth}")
+    lines.append("")
+    lines.append("typedef struct { uint8_t vc; uint16_t len; } bcl_msg_header_t;")
+    lines.append("")
+    for ch in spec.channels:
+        if ch.consumer == "HW":
+            lines.append(
+                f"int bcl_send_{ch.name}(const uint32_t payload[{ch.payload_words}]); /* SW -> HW */"
+            )
+        if ch.producer == "HW":
+            lines.append(
+                f"int bcl_recv_{ch.name}(uint32_t payload[{ch.payload_words}]);      /* HW -> SW */"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def generate_hw_arbiter(spec: InterfaceSpec) -> str:
+    """Generate the hardware-side BSV arbiter/marshaling skeleton."""
+    lines = [
+        "// Generated HW/SW interface (hardware side): arbitration + (de)marshaling",
+        f"// design: {spec.design_name}",
+        "import FIFO::*;",
+        "",
+        "module mkHwSwInterface (Empty);",
+        "  // One marshaling engine per outbound virtual channel, one demarshaler per inbound.",
+    ]
+    for ch in spec.channels:
+        if ch.producer == "HW":
+            lines.append(
+                f"  // vc {ch.vc_id}: marshal {ch.name} ({ch.payload_words} words) onto the link"
+            )
+            lines.append(f"  FIFO#(Bit#({spec.word_bits})) {ch.name}_out <- mkSizedFIFO({ch.depth});")
+        else:
+            lines.append(
+                f"  // vc {ch.vc_id}: demarshal {ch.name} ({ch.payload_words} words) from the link"
+            )
+            lines.append(f"  FIFO#(Bit#({spec.word_bits})) {ch.name}_in <- mkSizedFIFO({ch.depth});")
+    lines.append("")
+    lines.append("  // Round-robin arbitration of outbound virtual channels onto the physical link.")
+    outbound = [ch for ch in spec.channels if ch.producer == "HW"]
+    for ch in outbound:
+        lines.append(f"  rule arbitrate_{ch.name};")
+        lines.append(f"    // grant vc {ch.vc_id} when its turn comes and it has a full message")
+        lines.append("  endrule")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,1 @@
+"""The BCL kernel language: types, expressions, actions, modules and semantics."""

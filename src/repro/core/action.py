@@ -1,0 +1,186 @@
+"""BCL actions (guarded atomic state updates).
+
+The action fragment of the kernel grammar (Figure 7)::
+
+    a ::= r := e             -- register update
+        | if e then a        -- conditional action
+        | a | a              -- parallel composition
+        | a ; a              -- sequential composition
+        | a when e           -- guarded action
+        | (t = e in a)       -- let action
+        | loop e a           -- loop action
+        | localGuard a       -- local guard action
+        | m.g(e)             -- action method call
+
+Parallel composition executes both branches against the *same* initial state
+(updates are merged and a write to the same register from both sides is a
+dynamic DOUBLE-WRITE error); sequential composition lets the second action
+observe the first's updates.  Guards (``when``) invalidate the whole
+enclosing atomic action when false, except inside ``localGuard`` which turns
+a guard failure into a no-op.  See Section 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.ast import Node
+from repro.core.expr import Expr, lift_value
+
+
+class Action(Node):
+    """Base class of all actions."""
+
+    def when(self, guard: Expr) -> "WhenA":
+        """``self when guard`` -- attach an explicit guard to this action."""
+        return WhenA(self, guard)
+
+    def par(self, other: "Action") -> "Par":
+        """Parallel composition ``self | other``."""
+        return Par([self, other])
+
+    def seq(self, other: "Action") -> "Seq":
+        """Sequential composition ``self ; other``."""
+        return Seq([self, other])
+
+
+class NoAction(Action):
+    """The action with no effect (and a true guard)."""
+
+    _child_fields = ()
+
+    def __repr__(self) -> str:
+        return "NoAction()"
+
+
+class RegWrite(Action):
+    """Register update ``r := e``."""
+
+    _child_fields = ("value",)
+
+    def __init__(self, reg: "Register", value: Union[Expr, object]):  # noqa: F821
+        self.reg = reg
+        self.value = lift_value(value)
+
+    def __repr__(self) -> str:
+        return f"RegWrite({self.reg.name}, {self.value!r})"
+
+
+class IfA(Action):
+    """Conditional action ``if cond then body``.
+
+    A false condition makes the action a no-op (local effect); contrast with
+    :class:`WhenA` whose false guard invalidates the whole atomic action
+    (global effect).
+    """
+
+    _child_fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Expr, then: Action, orelse: Optional[Action] = None):
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class Par(Action):
+    """Parallel composition of two or more actions (``a | a``)."""
+
+    _child_fields = ("actions",)
+
+    def __init__(self, actions: Sequence[Action]):
+        if len(actions) < 1:
+            raise ValueError("parallel composition needs at least one action")
+        self.actions = list(actions)
+
+
+class Seq(Action):
+    """Sequential composition of two or more actions (``a ; a``)."""
+
+    _child_fields = ("actions",)
+
+    def __init__(self, actions: Sequence[Action]):
+        if len(actions) < 1:
+            raise ValueError("sequential composition needs at least one action")
+        self.actions = list(actions)
+
+
+class WhenA(Action):
+    """Guarded action ``body when guard``."""
+
+    _child_fields = ("body", "guard")
+
+    def __init__(self, body: Action, guard: Expr):
+        self.body = body
+        self.guard = guard
+
+
+class LetA(Action):
+    """Non-strict let binding inside an action: ``(name = value in body)``."""
+
+    _child_fields = ("value", "body")
+
+    def __init__(self, name: str, value: Expr, body: Action):
+        self.name = name
+        self.value = value
+        self.body = body
+
+
+class Loop(Action):
+    """Loop action ``loop cond body``.
+
+    The body is executed repeatedly (sequential composition of iterations)
+    while ``cond`` evaluates to true.  Loops cannot be executed in a single
+    hardware clock cycle, so the HW code generator rejects them (Section 6.4);
+    they are the software idiom for dynamic-length work (Section 6.3,
+    ``xferSW``).
+    """
+
+    _child_fields = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: Action, max_iterations: int = 1_000_000):
+        self.cond = cond
+        self.body = body
+        self.max_iterations = max_iterations
+
+
+class LocalGuard(Action):
+    """``localGuard a`` -- convert a guard failure inside ``a`` into a no-op."""
+
+    _child_fields = ("body",)
+
+    def __init__(self, body: Action):
+        self.body = body
+
+
+class MethodCallA(Action):
+    """Call of an *action* method ``m.g(e...)`` on a module instance."""
+
+    _child_fields = ("args",)
+
+    def __init__(self, instance: "Module", method: str, args: Sequence[Expr] = ()):  # noqa: F821
+        self.instance = instance
+        self.method = method
+        self.args = [lift_value(a) for a in args]
+
+    def __repr__(self) -> str:
+        return f"MethodCallA({self.instance.name}.{self.method}, {self.args!r})"
+
+
+def par(*actions: Action) -> Action:
+    """Parallel composition of any number of actions (flattening singletons)."""
+    acts = [a for a in actions if not isinstance(a, NoAction)]
+    if not acts:
+        return NoAction()
+    if len(acts) == 1:
+        return acts[0]
+    return Par(acts)
+
+
+def seq(*actions: Action) -> Action:
+    """Sequential composition of any number of actions (flattening singletons)."""
+    acts = [a for a in actions if not isinstance(a, NoAction)]
+    if not acts:
+        return NoAction()
+    if len(acts) == 1:
+        return acts[0]
+    return Seq(acts)

@@ -1,0 +1,49 @@
+"""Base machinery shared by BCL expressions and actions.
+
+The kernel grammar (Figure 7 of the paper) has two syntactic categories:
+*expressions* (pure, possibly guarded computations of values) and *actions*
+(guarded state updates).  Both are represented as immutable-ish Python object
+trees.  This module provides the common :class:`Node` base class plus generic
+traversal helpers used by the analyses (read/write sets, guard lifting,
+method inlining, code generation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+
+class Node:
+    """Base class of every BCL AST node (expressions and actions)."""
+
+    #: attribute names holding child nodes, in evaluation order.  Subclasses
+    #: set this; attributes may hold a Node, a list/tuple of Nodes, or
+    #: non-Node leaves (which are ignored by traversal).
+    _child_fields: tuple = ()
+
+    def children(self) -> List["Node"]:
+        """Direct child nodes in evaluation order."""
+        out: List[Node] = []
+        for field in self._child_fields:
+            value = getattr(self, field)
+            if isinstance(value, Node):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                out.extend(v for v in value if isinstance(v, Node))
+        return out
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this subtree (including ``self``)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def contains(self, predicate: Callable[["Node"], bool]) -> bool:
+        """True if any node in the subtree satisfies ``predicate``."""
+        return any(predicate(node) for node in self.walk())
+
+    def __repr__(self) -> str:
+        fields = []
+        for field in self._child_fields:
+            fields.append(f"{field}={getattr(self, field)!r}")
+        return f"{self.__class__.__name__}({', '.join(fields)})"

@@ -1,0 +1,217 @@
+"""Computational domains (Section 4.2).
+
+A *computational domain* is the type-level mechanism by which a BCL design is
+partitioned between hardware and software.  Every method is annotated with a
+domain name; a rule may refer to methods of only one domain, so each rule
+belongs to exactly one domain.  Inter-domain communication is possible only
+through *synchronizer* primitives whose methods span two domains
+(:mod:`repro.core.synchronizers`), which guarantees that no inadvertent
+cross-boundary communication exists -- a common HW/SW codesign pitfall.
+
+This module implements domain names (including *domain variables*, the
+paper's domain polymorphism), the per-rule domain inference, and the
+consistency check that rejects rules straddling two domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.action import MethodCallA, RegWrite
+from repro.core.errors import TypeCheckError
+from repro.core.expr import MethodCallE, RegRead
+from repro.core.module import Design, Method, Module, Register, Rule
+
+
+class DomainError(TypeCheckError):
+    """A rule or method violates the one-domain-per-rule invariant."""
+
+
+class Domain:
+    """A computational domain name, e.g. ``HW`` or ``SW``.
+
+    Domains are compared by name, so independently constructed ``Domain("HW")``
+    objects are interchangeable with the :data:`HW` singleton.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and not other.is_variable and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Domain", self.name))
+
+    def __repr__(self) -> str:
+        return f"Domain({self.name})"
+
+
+class DomainVar(Domain):
+    """A domain *variable* -- the paper's domain polymorphism.
+
+    A design may declare synchronizers such as ``Sync#(t, a, HW)`` where ``a``
+    is a free domain variable; :func:`substitute_domains` instantiates the
+    variable to a concrete domain, after which same-domain synchronizers can
+    be specialised away into plain FIFOs.
+    """
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DomainVar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("DomainVar", self.name))
+
+    def __repr__(self) -> str:
+        return f"DomainVar({self.name})"
+
+
+#: The two domains used throughout the paper's evaluation.
+HW = Domain("HW")
+SW = Domain("SW")
+
+
+def effective_module_domain(module: Optional[Module]) -> Optional[Domain]:
+    """The domain a module's state and ordinary methods belong to.
+
+    A module inherits its domain from the nearest ancestor that declares one;
+    ``None`` means unconstrained (the design's default domain applies).
+    """
+    while module is not None:
+        if module.domain is not None:
+            return module.domain
+        module = module.parent
+    return None
+
+
+def method_domain(method: Method) -> Optional[Domain]:
+    """The domain of a method: its own annotation, else its module's domain."""
+    if method.domain is not None:
+        return method.domain
+    return effective_module_domain(method.module)
+
+
+def register_domain(register: Register) -> Optional[Domain]:
+    """The domain owning a register (its enclosing module's domain)."""
+    return effective_module_domain(register.parent)
+
+
+def _domains_of_action(rule: Rule) -> Set[Domain]:
+    """Every concrete domain referenced by the rule's action."""
+    found: Set[Domain] = set()
+    for node in rule.action.walk():
+        dom: Optional[Domain] = None
+        if isinstance(node, (MethodCallA, MethodCallE)):
+            dom = method_domain(node.instance.get_method(node.method))
+        elif isinstance(node, RegWrite):
+            dom = register_domain(node.reg)
+        elif isinstance(node, RegRead):
+            dom = register_domain(node.reg)
+        if dom is not None:
+            found.add(dom)
+    return found
+
+
+def infer_rule_domain(rule: Rule, default: Optional[Domain] = None) -> Domain:
+    """Infer the (single) domain a rule belongs to.
+
+    Raises :class:`DomainError` if the rule references methods or state of
+    more than one concrete domain, which is exactly the type error that an
+    incorrectly partitioned BCL program produces.
+    """
+    domains = _domains_of_action(rule)
+    if rule.domain is not None:
+        domains.add(rule.domain)
+    variables = {d for d in domains if d.is_variable}
+    concrete = {d for d in domains if not d.is_variable}
+    if variables:
+        raise DomainError(
+            f"rule {rule.full_name} references unresolved domain variables "
+            f"{sorted(v.name for v in variables)}; substitute them before partitioning"
+        )
+    if len(concrete) > 1:
+        raise DomainError(
+            f"rule {rule.full_name} spans domains {sorted(d.name for d in concrete)}; "
+            "inter-domain communication must go through a synchronizer"
+        )
+    if concrete:
+        return next(iter(concrete))
+    if default is not None:
+        return default
+    raise DomainError(
+        f"rule {rule.full_name} references no domain-annotated state and no default was given"
+    )
+
+
+def infer_design_domains(design: Design, default: Optional[Domain] = None) -> Dict[Rule, Domain]:
+    """Infer and record the domain of every rule in the design.
+
+    Returns the mapping and also stores the result on each rule's ``domain``
+    attribute (so later passes -- partitioning, scheduling, code generation --
+    can read it directly).
+    """
+    assignment: Dict[Rule, Domain] = {}
+    for rule in design.all_rules():
+        dom = infer_rule_domain(rule, default)
+        rule.domain = dom
+        assignment[rule] = dom
+    return assignment
+
+
+def design_domains(design: Design) -> List[Domain]:
+    """The sorted list of concrete domains that appear anywhere in the design."""
+    found: Set[Domain] = set()
+    for module in design.all_modules():
+        if module.domain is not None and not module.domain.is_variable:
+            found.add(module.domain)
+        for method in module.methods.values():
+            if method.domain is not None and not method.domain.is_variable:
+                found.add(method.domain)
+    for rule in design.all_rules():
+        if rule.domain is not None and not rule.domain.is_variable:
+            found.add(rule.domain)
+    return sorted(found, key=lambda d: d.name)
+
+
+def substitute_domains(design: Design, binding: Dict[str, Domain]) -> None:
+    """Instantiate domain variables throughout the design (domain polymorphism).
+
+    ``binding`` maps variable names to concrete domains.  Modules, methods and
+    rules annotated with a matching :class:`DomainVar` are rewritten in place.
+    """
+
+    def subst(dom: Optional[Domain]) -> Optional[Domain]:
+        if dom is not None and dom.is_variable and dom.name in binding:
+            return binding[dom.name]
+        return dom
+
+    for module in design.all_modules():
+        module.domain = subst(module.domain)
+        for method in module.methods.values():
+            method.domain = subst(method.domain)
+    for rule in design.all_rules():
+        rule.domain = subst(rule.domain)
+
+
+def unresolved_domain_variables(design: Design) -> List[str]:
+    """Names of domain variables still present anywhere in the design."""
+    names: Set[str] = set()
+    for module in design.all_modules():
+        candidates: Iterable[Optional[Domain]] = [module.domain] + [
+            m.domain for m in module.methods.values()
+        ]
+        for dom in candidates:
+            if dom is not None and dom.is_variable:
+                names.add(dom.name)
+    for rule in design.all_rules():
+        if rule.domain is not None and rule.domain.is_variable:
+            names.add(rule.domain.name)
+    return sorted(names)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the BCL kernel.
+
+Guard failure is *control flow* in BCL (Section 5 of the paper): an action
+whose guard evaluates to false invalidates the whole enclosing atomic action
+unless a ``localGuard`` intercepts it.  The software implementation of the
+paper realises this with C++ ``throw``; the Python interpreter uses
+:class:`GuardFail` in exactly the same way.
+"""
+
+from __future__ import annotations
+
+
+class BCLError(Exception):
+    """Base class for every error raised by the BCL kernel."""
+
+
+class GuardFail(BCLError):
+    """Raised when a ``when`` guard (implicit or explicit) evaluates to false.
+
+    This is not a user-visible error: the interpreter catches it at the rule
+    boundary (the rule simply does not fire) or at an enclosing
+    ``localGuard``.
+    """
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason or "guard failed")
+        self.reason = reason
+
+
+class DoubleWriteError(BCLError):
+    """Two branches of a parallel composition updated the same state element.
+
+    The paper calls this a DOUBLE WRITE ERROR; it is a dynamic error because
+    the two writes may be conditional on dynamic expressions.
+    """
+
+
+class TypeCheckError(BCLError):
+    """A BCL term is ill-typed (including domain annotation violations)."""
+
+
+class ElaborationError(BCLError):
+    """Static elaboration failed (unknown method, bad module wiring, ...)."""
+
+
+class SchedulingError(BCLError):
+    """The scheduler could not produce a legal execution (e.g. livelock bound)."""
+
+
+class PartitionError(BCLError):
+    """The design cannot be split into the requested computational domains."""
+
+
+class SimulationError(BCLError):
+    """The co-simulator reached an inconsistent configuration."""

@@ -1,0 +1,240 @@
+"""BCL expressions.
+
+Expressions are the pure fragment of the kernel grammar (Figure 7)::
+
+    e ::= r                  -- register read
+        | c                  -- constant
+        | t                  -- variable reference
+        | e op e             -- primitive operation
+        | e ? e : e          -- conditional expression
+        | e when e           -- guarded expression
+        | (t = e in e)       -- let expression
+        | m.f(e)             -- value method call
+
+This module adds one extension over the kernel grammar: :class:`KernelCall`,
+a call to a *foreign compute kernel* (a pure Python function) annotated with
+its hardware and software cost.  The paper's rules call functions such as
+``applyRadix`` or ``imdctPreLo`` whose bodies are ordinary arithmetic; the
+kernel-call node lets the applications express those bodies at natural
+granularity while the cost annotations feed the performance model
+(see DESIGN.md, "Two execution layers").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.core.ast import Node
+from repro.core.types import BCLType
+
+# Operators usable in BinOp / UnOp, mapped to their Python evaluation.
+BINARY_OPS: dict = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "&&": lambda a, b: bool(a) and bool(b),
+    "||": lambda a, b: bool(a) or bool(b),
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+UNARY_OPS: dict = {
+    "-": lambda a: -a,
+    "!": lambda a: not a,
+    "~": lambda a: ~a,
+}
+
+
+class Expr(Node):
+    """Base class of all expressions."""
+
+    def when(self, guard: "Expr") -> "WhenE":
+        """``self when guard`` -- attach an explicit guard to this expression."""
+        return WhenE(self, guard)
+
+
+class Const(Expr):
+    """A literal constant.  ``ty`` is optional and used only for checking/codegen."""
+
+    _child_fields = ()
+
+    def __init__(self, value: Any, ty: Optional[BCLType] = None):
+        self.value = value
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Var(Expr):
+    """Reference to a let-bound variable or method parameter."""
+
+    _child_fields = ()
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class RegRead(Expr):
+    """Read of a register (state element)."""
+
+    _child_fields = ()
+
+    def __init__(self, reg: "Register"):  # noqa: F821 - forward ref to module.Register
+        self.reg = reg
+
+    def __repr__(self) -> str:
+        return f"RegRead({self.reg.name})"
+
+
+class UnOp(Expr):
+    """Unary primitive operation."""
+
+    _child_fields = ("operand",)
+
+    def __init__(self, op: str, operand: Expr):
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+
+class BinOp(Expr):
+    """Binary primitive operation (``e op e``)."""
+
+    _child_fields = ("left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Mux(Expr):
+    """Conditional expression ``cond ? then : else``.
+
+    Unlike a guarded expression, both arms are legal to evaluate; only the
+    selected arm's guard matters (when-axiom A.4/A.5 analogues for
+    expressions).
+    """
+
+    _child_fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Expr, then: Expr, orelse: Expr):
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class WhenE(Expr):
+    """Guarded expression ``body when guard``."""
+
+    _child_fields = ("body", "guard")
+
+    def __init__(self, body: Expr, guard: Expr):
+        self.body = body
+        self.guard = guard
+
+
+class LetE(Expr):
+    """Non-strict let binding inside an expression: ``(name = value in body)``."""
+
+    _child_fields = ("value", "body")
+
+    def __init__(self, name: str, value: Expr, body: Expr):
+        self.name = name
+        self.value = value
+        self.body = body
+
+
+class MethodCallE(Expr):
+    """Call of a *value* method ``m.f(e...)`` on a module instance."""
+
+    _child_fields = ("args",)
+
+    def __init__(self, instance: "Module", method: str, args: Sequence[Expr] = ()):  # noqa: F821
+        self.instance = instance
+        self.method = method
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return f"MethodCallE({self.instance.name}.{self.method}, {self.args!r})"
+
+
+class FieldSelect(Expr):
+    """Select a struct field or a vector element from an expression value."""
+
+    _child_fields = ("operand",)
+
+    def __init__(self, operand: Expr, field: Union[str, int]):
+        self.operand = operand
+        self.field = field
+
+
+class KernelCall(Expr):
+    """Call of a foreign compute kernel.
+
+    ``fn`` is a pure Python function of the evaluated argument values.
+    ``sw_cycles`` / ``hw_cycles`` give the execution cost of the kernel in
+    CPU cycles (software partition) and FPGA cycles (hardware partition);
+    each may be a constant or a callable of the evaluated arguments.
+    """
+
+    _child_fields = ("args",)
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        args: Sequence[Expr] = (),
+        sw_cycles: Union[int, Callable[..., int]] = 1,
+        hw_cycles: Union[int, Callable[..., int]] = 1,
+    ):
+        self.name = name
+        self.fn = fn
+        self.args = list(args)
+        self.sw_cycles = sw_cycles
+        self.hw_cycles = hw_cycles
+
+    def cost(self, which: str, arg_values: Sequence[Any]) -> int:
+        """Evaluate the cost annotation ``which`` ('sw' or 'hw') for the given args."""
+        spec = self.sw_cycles if which == "sw" else self.hw_cycles
+        if callable(spec):
+            return int(spec(*arg_values))
+        return int(spec)
+
+    def __repr__(self) -> str:
+        return f"KernelCall({self.name}, {self.args!r})"
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def const(value: Any, ty: Optional[BCLType] = None) -> Const:
+    return Const(value, ty)
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def lift_value(value: Union[Expr, Any]) -> Expr:
+    """Wrap a plain Python value in :class:`Const`; pass expressions through."""
+    return value if isinstance(value, Expr) else Const(value)

@@ -1,0 +1,224 @@
+"""Fixed-point and complex fixed-point arithmetic.
+
+The paper's Vorbis evaluation uses 32-bit fixed-point values with 24 bits of
+fractional precision (Section 7.1), and the data-format discussion in
+Section 2.3 motivates a *single* canonical bit-level representation shared by
+the hardware and software partitions.  :class:`FixedPoint` is that
+representation: a signed two's-complement integer of ``int_bits + frac_bits``
+bits interpreted with a binary point ``frac_bits`` from the right.
+
+All arithmetic wraps (two's complement) exactly as the synthesized hardware
+would, so software and hardware partitions of the same design produce
+bit-identical results -- which is what the partition-equivalence tests rely
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+Number = Union[int, float, "FixedPoint"]
+
+
+def _wrap(raw: int, total_bits: int) -> int:
+    """Wrap ``raw`` into the signed two's-complement range of ``total_bits``."""
+    mask = (1 << total_bits) - 1
+    raw &= mask
+    if raw >= 1 << (total_bits - 1):
+        raw -= 1 << total_bits
+    return raw
+
+
+@dataclass(frozen=True)
+class FixedPoint:
+    """A signed fixed-point number with ``int_bits`` integer and ``frac_bits`` fractional bits.
+
+    The value is stored as the raw (scaled) integer ``raw`` so that the
+    represented real number is ``raw / 2**frac_bits``.  Instances are
+    immutable and hashable, which lets them be used directly as register
+    values in the interpreter's store.
+    """
+
+    raw: int
+    int_bits: int = 8
+    frac_bits: int = 24
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_float(cls, value: float, int_bits: int = 8, frac_bits: int = 24) -> "FixedPoint":
+        """Quantise a Python float to the nearest representable fixed-point value."""
+        raw = int(round(value * (1 << frac_bits)))
+        return cls(_wrap(raw, int_bits + frac_bits), int_bits, frac_bits)
+
+    @classmethod
+    def from_raw(cls, raw: int, int_bits: int = 8, frac_bits: int = 24) -> "FixedPoint":
+        """Build a value directly from its raw two's-complement integer."""
+        return cls(_wrap(raw, int_bits + frac_bits), int_bits, frac_bits)
+
+    @classmethod
+    def zero(cls, int_bits: int = 8, frac_bits: int = 24) -> "FixedPoint":
+        return cls(0, int_bits, frac_bits)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        return self.int_bits + self.frac_bits
+
+    def to_float(self) -> float:
+        return self.raw / float(1 << self.frac_bits)
+
+    def to_bits(self) -> int:
+        """Unsigned bit pattern (for marshaling onto the channel)."""
+        return self.raw & ((1 << self.total_bits) - 1)
+
+    @classmethod
+    def from_bits(cls, bits: int, int_bits: int = 8, frac_bits: int = 24) -> "FixedPoint":
+        return cls.from_raw(bits, int_bits, frac_bits)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _coerce(self, other: Number) -> "FixedPoint":
+        if isinstance(other, FixedPoint):
+            if (other.int_bits, other.frac_bits) != (self.int_bits, self.frac_bits):
+                raise TypeError(
+                    "fixed-point format mismatch: "
+                    f"{self.int_bits}.{self.frac_bits} vs {other.int_bits}.{other.frac_bits}"
+                )
+            return other
+        if isinstance(other, bool):
+            raise TypeError("cannot mix bool with FixedPoint arithmetic")
+        if isinstance(other, (int, float)):
+            return FixedPoint.from_float(float(other), self.int_bits, self.frac_bits)
+        raise TypeError(f"cannot coerce {type(other).__name__} to FixedPoint")
+
+    def _make(self, raw: int) -> "FixedPoint":
+        return FixedPoint(_wrap(raw, self.total_bits), self.int_bits, self.frac_bits)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: Number) -> "FixedPoint":
+        o = self._coerce(other)
+        return self._make(self.raw + o.raw)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "FixedPoint":
+        o = self._coerce(other)
+        return self._make(self.raw - o.raw)
+
+    def __rsub__(self, other: Number) -> "FixedPoint":
+        o = self._coerce(other)
+        return o - self
+
+    def __mul__(self, other: Number) -> "FixedPoint":
+        o = self._coerce(other)
+        return self._make((self.raw * o.raw) >> self.frac_bits)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "FixedPoint":
+        o = self._coerce(other)
+        if o.raw == 0:
+            raise ZeroDivisionError("fixed-point division by zero")
+        return self._make((self.raw << self.frac_bits) // o.raw)
+
+    def __neg__(self) -> "FixedPoint":
+        return self._make(-self.raw)
+
+    def __abs__(self) -> "FixedPoint":
+        return self._make(abs(self.raw))
+
+    def __lshift__(self, n: int) -> "FixedPoint":
+        return self._make(self.raw << n)
+
+    def __rshift__(self, n: int) -> "FixedPoint":
+        return self._make(self.raw >> n)
+
+    # -- comparisons -------------------------------------------------------
+
+    def __lt__(self, other: Number) -> bool:
+        return self.raw < self._coerce(other).raw
+
+    def __le__(self, other: Number) -> bool:
+        return self.raw <= self._coerce(other).raw
+
+    def __gt__(self, other: Number) -> bool:
+        return self.raw > self._coerce(other).raw
+
+    def __ge__(self, other: Number) -> bool:
+        return self.raw >= self._coerce(other).raw
+
+    def __float__(self) -> float:
+        return self.to_float()
+
+    def __repr__(self) -> str:
+        return f"FixedPoint({self.to_float():.6f}, fmt={self.int_bits}.{self.frac_bits})"
+
+
+@dataclass(frozen=True)
+class FixComplex:
+    """A complex number whose real and imaginary parts are :class:`FixedPoint`.
+
+    Mirrors the ``Complex#(FixPt)`` type of the paper's IFFT interface.
+    """
+
+    real: FixedPoint
+    imag: FixedPoint
+
+    @classmethod
+    def from_floats(
+        cls, real: float, imag: float = 0.0, int_bits: int = 8, frac_bits: int = 24
+    ) -> "FixComplex":
+        return cls(
+            FixedPoint.from_float(real, int_bits, frac_bits),
+            FixedPoint.from_float(imag, int_bits, frac_bits),
+        )
+
+    @classmethod
+    def zero(cls, int_bits: int = 8, frac_bits: int = 24) -> "FixComplex":
+        return cls(FixedPoint.zero(int_bits, frac_bits), FixedPoint.zero(int_bits, frac_bits))
+
+    def __add__(self, other: "FixComplex") -> "FixComplex":
+        return FixComplex(self.real + other.real, self.imag + other.imag)
+
+    def __sub__(self, other: "FixComplex") -> "FixComplex":
+        return FixComplex(self.real - other.real, self.imag - other.imag)
+
+    def __mul__(self, other: Union["FixComplex", FixedPoint, int, float]) -> "FixComplex":
+        if isinstance(other, FixComplex):
+            return FixComplex(
+                self.real * other.real - self.imag * other.imag,
+                self.real * other.imag + self.imag * other.real,
+            )
+        return FixComplex(self.real * other, self.imag * other)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FixComplex":
+        return FixComplex(-self.real, -self.imag)
+
+    def conj(self) -> "FixComplex":
+        return FixComplex(self.real, -self.imag)
+
+    def to_complex(self) -> complex:
+        return complex(self.real.to_float(), self.imag.to_float())
+
+    def __repr__(self) -> str:
+        return f"FixComplex({self.real.to_float():.6f}, {self.imag.to_float():.6f})"
+
+
+def fix_vector(values: Iterable[float], int_bits: int = 8, frac_bits: int = 24) -> Tuple[FixedPoint, ...]:
+    """Quantise an iterable of floats into a tuple of :class:`FixedPoint`."""
+    return tuple(FixedPoint.from_float(v, int_bits, frac_bits) for v in values)
+
+
+def fix_complex_vector(
+    values: Iterable[complex], int_bits: int = 8, frac_bits: int = 24
+) -> Tuple[FixComplex, ...]:
+    """Quantise an iterable of complex floats into a tuple of :class:`FixComplex`."""
+    return tuple(
+        FixComplex.from_floats(v.real, v.imag, int_bits, frac_bits) for v in map(complex, values)
+    )

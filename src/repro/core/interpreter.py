@@ -1,0 +1,142 @@
+"""A reference one-rule-at-a-time simulator for whole (unpartitioned) designs.
+
+This is the executable form of the execution procedure in Section 4.1::
+
+    Repeatedly:
+      1. Choose a rule to execute.
+      2. Compute the set of state updates and the value of the rule's guard.
+      3. If the guard is true, apply the updates.
+
+Rule choice is the only source of non-determinism in BCL; the simulator makes
+it explicit and controllable (round-robin, fixed priority, or seeded random)
+so that tests can check that *all* schedules produce acceptable behaviours
+and that partitioned designs are observationally equivalent to the original.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import SchedulingError
+from repro.core.module import Design, Register, Rule
+from repro.core.semantics import Evaluator, EvalHooks, RuleOutcome, Store, commit, try_rule
+
+
+class Simulator:
+    """Executes a design under one-rule-at-a-time semantics.
+
+    Parameters
+    ----------
+    design:
+        The elaborated design to execute.
+    policy:
+        ``"round-robin"`` (default), ``"priority"`` (rule urgency, then
+        declaration order) or ``"random"``.
+    seed:
+        Seed for the ``"random"`` policy, to keep runs reproducible.
+    hooks:
+        Optional :class:`~repro.core.semantics.EvalHooks` observer (used by
+        the software cost model).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        policy: str = "round-robin",
+        seed: Optional[int] = None,
+        hooks: Optional[EvalHooks] = None,
+        max_loop_iterations: int = 1_000_000,
+    ):
+        if policy not in ("round-robin", "priority", "random"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.design = design
+        self.policy = policy
+        self.rng = random.Random(seed)
+        self.hooks = hooks
+        self.evaluator = Evaluator(max_loop_iterations=max_loop_iterations)
+        self.store: Store = design.initial_store()
+        self.rules: List[Rule] = list(design.all_rules())
+        self._rr_index = 0
+        #: Number of rule firings so far.
+        self.firings = 0
+        #: Number of attempted rule executions whose guard failed.
+        self.guard_failures = 0
+        #: Firing count per rule name (useful in tests and examples).
+        self.fire_counts: Dict[str, int] = {r.full_name: 0 for r in self.rules}
+
+    # -- state access --------------------------------------------------------
+
+    def read(self, reg: Register) -> Any:
+        return self.store[reg]
+
+    def write(self, reg: Register, value: Any) -> None:
+        """Directly poke a register (test-bench convenience, not a BCL action)."""
+        self.store[reg] = value
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _candidate_order(self) -> List[Rule]:
+        if self.policy == "priority":
+            return sorted(
+                self.rules, key=lambda r: (-r.urgency, self.rules.index(r))
+            )
+        if self.policy == "random":
+            order = list(self.rules)
+            self.rng.shuffle(order)
+            return order
+        # round-robin: start from the rule after the last one that fired
+        n = len(self.rules)
+        return [self.rules[(self._rr_index + i) % n] for i in range(n)]
+
+    def step(self) -> Optional[RuleOutcome]:
+        """Attempt rules (in policy order) until one fires; commit and return it.
+
+        Returns ``None`` when no rule can fire in the current state (the
+        design is quiescent / deadlocked).
+        """
+        if not self.rules:
+            return None
+        order = self._candidate_order()
+        for rule in order:
+            outcome = try_rule(rule, self.store, self.evaluator, self.hooks)
+            if outcome.fired:
+                commit(self.store, outcome.updates)
+                self.firings += 1
+                self.fire_counts[rule.full_name] += 1
+                self._rr_index = (self.rules.index(rule) + 1) % len(self.rules)
+                return outcome
+            self.guard_failures += 1
+        return None
+
+    def run(self, max_steps: int = 10_000) -> int:
+        """Fire rules until quiescence or ``max_steps`` firings; return the count."""
+        fired = 0
+        for _ in range(max_steps):
+            if self.step() is None:
+                return fired
+            fired += 1
+        return fired
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulator"], bool],
+        max_steps: int = 1_000_000,
+    ) -> int:
+        """Fire rules until ``predicate(self)`` holds.
+
+        Raises :class:`SchedulingError` if the design goes quiescent or the
+        step bound is exhausted before the predicate becomes true.
+        """
+        fired = 0
+        while not predicate(self):
+            if fired >= max_steps:
+                raise SchedulingError(
+                    f"predicate not reached within {max_steps} rule firings"
+                )
+            if self.step() is None:
+                raise SchedulingError(
+                    "design is quiescent but the termination predicate does not hold"
+                )
+            fired += 1
+        return fired

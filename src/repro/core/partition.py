@@ -1,0 +1,181 @@
+"""Partition extraction (Section 4.3, Figure 6).
+
+After type checking and domain inference, the code for a particular domain
+``D`` is obtained by keeping only the rules annotated with ``D``.  Each
+partition is then a complete BCL program of its own that communicates with
+the other partitions exclusively through the synchronizer endpoints that
+landed on the cut.  The compiler's third output -- the interface -- is
+derived from that cut set by :mod:`repro.codegen.interface`.
+
+The partitioner also performs the safety check that makes the whole scheme
+trustworthy: every non-synchronizer state element must be touched only by
+rules of its own domain (otherwise the program needed a synchronizer and the
+domain type check should have failed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.analysis import modules_touched, rule_read_set, rule_write_set
+from repro.core.domains import (
+    Domain,
+    effective_module_domain,
+    infer_design_domains,
+    unresolved_domain_variables,
+)
+from repro.core.errors import PartitionError
+from repro.core.module import Design, Module, Register, Rule
+from repro.core.synchronizers import SyncFifo, cross_domain_synchronizers
+
+
+@dataclass
+class PartitionedProgram:
+    """One domain's slice of the design: its rules, state and synchronizer endpoints."""
+
+    domain: Domain
+    rules: List[Rule] = field(default_factory=list)
+    modules: List[Module] = field(default_factory=list)
+    registers: List[Register] = field(default_factory=list)
+    #: Synchronizers whose *producer* (enq) side lives in this domain.
+    produces_to: List[SyncFifo] = field(default_factory=list)
+    #: Synchronizers whose *consumer* (deq/first) side lives in this domain.
+    consumes_from: List[SyncFifo] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.domain.name
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedProgram({self.domain.name}, rules={len(self.rules)}, "
+            f"registers={len(self.registers)}, "
+            f"out_syncs={len(self.produces_to)}, in_syncs={len(self.consumes_from)})"
+        )
+
+
+@dataclass
+class Partitioning:
+    """The result of partitioning a design: per-domain programs plus the cut."""
+
+    design: Design
+    programs: Dict[Domain, PartitionedProgram]
+    cut: List[SyncFifo]
+
+    def program(self, domain: Domain) -> PartitionedProgram:
+        if domain not in self.programs:
+            raise PartitionError(f"design has no partition for domain {domain.name}")
+        return self.programs[domain]
+
+    @property
+    def domains(self) -> List[Domain]:
+        return sorted(self.programs.keys(), key=lambda d: d.name)
+
+    def summary(self) -> str:
+        """Human-readable description used by examples and EXPERIMENTS.md."""
+        lines = [f"Partitioning of design {self.design.name!r}:"]
+        for domain in self.domains:
+            prog = self.programs[domain]
+            rule_names = ", ".join(r.name for r in prog.rules) or "(none)"
+            lines.append(f"  [{domain.name}] rules: {rule_names}")
+        if self.cut:
+            for sync in self.cut:
+                lines.append(
+                    f"  [cut] {sync.name}: {sync.domain_enq.name} -> {sync.domain_deq.name}"
+                    f" ({sync.ty!r})"
+                )
+        else:
+            lines.append("  [cut] empty (single-domain design)")
+        return "\n".join(lines)
+
+
+def partition_design(design: Design, default_domain: Optional[Domain] = None) -> Partitioning:
+    """Split ``design`` into per-domain programs connected by synchronizers.
+
+    ``default_domain`` is assigned to rules that touch no domain-annotated
+    state (typically pure bookkeeping rules); passing ``None`` makes such
+    rules an error, which is the strict reading of the paper's type system.
+    """
+    unresolved = unresolved_domain_variables(design)
+    if unresolved:
+        raise PartitionError(
+            f"design {design.name} still has unresolved domain variables {unresolved}; "
+            "call substitute_domains()/specialize_synchronizers() first"
+        )
+
+    rule_domains = infer_design_domains(design, default_domain)
+    cut = cross_domain_synchronizers(design)
+    cut_set: Set[Module] = set(cut)
+
+    domains = sorted({d for d in rule_domains.values()}, key=lambda d: d.name)
+    programs: Dict[Domain, PartitionedProgram] = {
+        d: PartitionedProgram(domain=d) for d in domains
+    }
+
+    # Rules.
+    for rule, domain in rule_domains.items():
+        programs[domain].rules.append(rule)
+
+    # State ownership and the safety check.
+    _assign_state(design, programs, cut_set, default_domain)
+
+    # Synchronizer endpoints.
+    for sync in cut:
+        if sync.domain_enq in programs:
+            programs[sync.domain_enq].produces_to.append(sync)
+        if sync.domain_deq in programs:
+            programs[sync.domain_deq].consumes_from.append(sync)
+
+    _check_isolation(rule_domains, cut_set)
+
+    return Partitioning(design=design, programs=programs, cut=cut)
+
+
+def _assign_state(
+    design: Design,
+    programs: Dict[Domain, PartitionedProgram],
+    cut_set: Set[Module],
+    default_domain: Optional[Domain],
+) -> None:
+    """Assign every module (and its registers) to the partition that owns it."""
+    for module in design.all_modules():
+        if module in cut_set:
+            continue  # split between both sides; handled by the interface generator
+        domain = effective_module_domain(module)
+        if domain is None:
+            domain = default_domain
+        if domain is None or domain not in programs:
+            # A module with no rules and no domain (e.g. a structural wrapper)
+            # does not need to be placed unless it owns registers.
+            if module.registers and domain is None:
+                if default_domain is None:
+                    raise PartitionError(
+                        f"module {module.full_name} owns state but has no domain and no "
+                        "default domain was provided"
+                    )
+            if domain is None or domain not in programs:
+                continue
+        prog = programs[domain]
+        prog.modules.append(module)
+        prog.registers.extend(module.registers)
+
+
+def _check_isolation(rule_domains: Dict[Rule, Domain], cut_set: Set[Module]) -> None:
+    """Every non-synchronizer state element is touched by one domain only."""
+    touchers: Dict[Register, Set[Domain]] = {}
+    for rule, domain in rule_domains.items():
+        for reg in rule_read_set(rule) | rule_write_set(rule):
+            if reg.parent in cut_set:
+                continue
+            touchers.setdefault(reg, set()).add(domain)
+    violations = {
+        reg.full_name: sorted(d.name for d in doms)
+        for reg, doms in touchers.items()
+        if len(doms) > 1
+    }
+    if violations:
+        raise PartitionError(
+            "state elements are shared across domains without a synchronizer: "
+            f"{violations}"
+        )

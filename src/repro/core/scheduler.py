@@ -1,0 +1,74 @@
+"""Rule schedulers for the two execution targets.
+
+Hardware and software want opposite schedules from the same rules
+(Section 6.3, "Scheduling"):
+
+* **Hardware** executes, in every clock cycle, a maximal set of *enabled,
+  pairwise non-conflicting* rules -- "passing the data through the
+  algorithm".  :class:`HwSchedule` precomputes the static conflict matrix and
+  greedily selects such a set each cycle.
+* **Software** executes one rule at a time and wants to avoid wasted work
+  (partial execution followed by rollback) and to exploit data locality --
+  "passing the algorithm over the data".  :class:`SwSchedule` orders the
+  rules in dataflow (producer-before-consumer) order and, after a rule
+  fires, prefers its dataflow successors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.core.analysis import ConflictMatrix, dataflow_edges, dataflow_order
+from repro.core.module import Rule
+
+
+class HwSchedule:
+    """Static schedule information for a hardware partition."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules: List[Rule] = sorted(rules, key=lambda r: (-r.urgency,))
+        self.conflict_matrix = ConflictMatrix(self.rules)
+
+    def select(self, enabled: Sequence[Rule]) -> List[Rule]:
+        """Greedy maximal set of non-conflicting rules among ``enabled``.
+
+        Rules are considered in urgency order (then declaration order), which
+        matches the deterministic scheduler the BSV compiler constructs.
+        """
+        chosen: List[Rule] = []
+        enabled_set = set(enabled)
+        for rule in self.rules:
+            if rule in enabled_set and self.conflict_matrix.conflict_free_with(rule, chosen):
+                chosen.append(rule)
+        return chosen
+
+    @property
+    def n_conflicting_pairs(self) -> int:
+        return self.conflict_matrix.n_conflicting_pairs
+
+
+class SwSchedule:
+    """Static schedule information for a software partition."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules: List[Rule] = list(rules)
+        self.order: List[Rule] = dataflow_order(self.rules)
+        edges = dataflow_edges(self.rules)
+        self.successors: Dict[Rule, List[Rule]] = {r: [] for r in self.rules}
+        for a, b in edges:
+            self.successors[a].append(b)
+        for rule in self.successors:
+            self.successors[rule].sort(key=self.order.index)
+
+    def candidates(self, last_fired: Optional[Rule]) -> List[Rule]:
+        """The order in which the software engine should attempt rules next.
+
+        After ``last_fired``, its dataflow successors are tried first (the
+        data they need is hot and their guards are most likely to be true),
+        then the full dataflow order.
+        """
+        if last_fired is None or last_fired not in self.successors:
+            return list(self.order)
+        preferred = self.successors[last_fired]
+        rest = [r for r in self.order if r not in preferred]
+        return preferred + rest

@@ -1,0 +1,123 @@
+"""Synchronizers: the only legal inter-domain communication primitives.
+
+Section 4.2 of the paper: *"To enable inter-domain communication, primitive
+modules called synchronizers, which have methods in more than one domain, are
+provided."*  A :class:`SyncFifo` is a FIFO whose ``enq`` method lives in one
+domain and whose ``first``/``deq`` methods live in another.  Inserting these
+at the desired cut is how the designer specifies a HW/SW partition; the
+compiler (here, :mod:`repro.core.partition`) splits each synchronizer into
+two endpoints connected over the physical channel and generates the
+marshaling/arbitration glue (:mod:`repro.codegen.interface`).
+
+Domain polymorphism (``Sync#(t, a, b)``) is supported by constructing the
+synchronizer with :class:`~repro.core.domains.DomainVar` arguments and later
+instantiating them with :func:`~repro.core.domains.substitute_domains`.  A
+synchronizer whose two domains coincide after substitution is semantically a
+plain FIFO; :func:`specialize_synchronizers` performs that optimisation and
+reports which synchronizers remain on the cut.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.domains import Domain
+from repro.core.module import Design
+from repro.core.primitives import Fifo
+from repro.core.types import BCLType
+
+
+class SyncFifo(Fifo):
+    """A synchronizing FIFO with its producer and consumer sides in distinct domains.
+
+    The native semantics are identical to :class:`~repro.core.primitives.Fifo`
+    (it *is* a latency-insensitive bounded FIFO -- an LIBDN FIFO in the
+    paper's terminology); only the domain annotations on its methods differ,
+    and those annotations are what the partitioner keys on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ty: BCLType,
+        domain_enq: Domain,
+        domain_deq: Domain,
+        depth: int = 2,
+    ):
+        super().__init__(name, ty, depth)
+        self.domain_enq = domain_enq
+        self.domain_deq = domain_deq
+        self._apply_domain_annotations()
+
+    def _apply_domain_annotations(self) -> None:
+        """Stamp the per-method domains (enq side vs. deq side)."""
+        producer_side = {"enq", "notFull"}
+        consumer_side = {"deq", "first", "notEmpty", "count"}
+        for mname, method in self.methods.items():
+            if mname in producer_side:
+                method.domain = self.domain_enq
+            elif mname in consumer_side:
+                method.domain = self.domain_deq
+            else:  # clear: only meaningful within one side; pin to producer
+                method.domain = self.domain_enq
+
+    @property
+    def is_cross_domain(self) -> bool:
+        """True when the two sides are (still) in different concrete domains."""
+        if self.domain_enq.is_variable or self.domain_deq.is_variable:
+            return True
+        return self.domain_enq != self.domain_deq
+
+    def resolve_domains(self, binding: dict) -> None:
+        """Instantiate this synchronizer's own domain variables (polymorphism)."""
+        if self.domain_enq.is_variable and self.domain_enq.name in binding:
+            self.domain_enq = binding[self.domain_enq.name]
+        if self.domain_deq.is_variable and self.domain_deq.name in binding:
+            self.domain_deq = binding[self.domain_deq.name]
+        self._apply_domain_annotations()
+
+    def __repr__(self) -> str:
+        return (
+            f"SyncFifo({self.full_name}, {self.domain_enq.name}->{self.domain_deq.name}, "
+            f"depth={self.depth})"
+        )
+
+
+def make_sync_h_to_s(name: str, ty: BCLType, depth: int = 2) -> SyncFifo:
+    """``mkSyncHtoS``: hardware producer, software consumer."""
+    from repro.core.domains import HW, SW
+
+    return SyncFifo(name, ty, domain_enq=HW, domain_deq=SW, depth=depth)
+
+
+def make_sync_s_to_h(name: str, ty: BCLType, depth: int = 2) -> SyncFifo:
+    """``mkSyncStoH``: software producer, hardware consumer."""
+    from repro.core.domains import HW, SW
+
+    return SyncFifo(name, ty, domain_enq=SW, domain_deq=HW, depth=depth)
+
+
+def all_synchronizers(design: Design) -> List[SyncFifo]:
+    """Every synchronizer instance in the design, in hierarchy order."""
+    return [m for m in design.all_modules() if isinstance(m, SyncFifo)]
+
+
+def cross_domain_synchronizers(design: Design) -> List[SyncFifo]:
+    """The synchronizers that actually sit on a domain boundary (the cut set)."""
+    return [s for s in all_synchronizers(design) if s.is_cross_domain]
+
+
+def specialize_synchronizers(design: Design, binding: Optional[dict] = None) -> List[SyncFifo]:
+    """Instantiate domain variables and return the remaining cross-domain cut.
+
+    This is the compiler optimisation described at the end of Section 4.2: a
+    fully domain-polymorphic design may insert more synchronizers than a
+    specific partition needs; after instantiation, synchronizers whose two
+    sides fall in the same domain carry no synchronization obligation and are
+    treated as lightweight plain FIFOs (their semantics are already those of
+    a FIFO, so nothing else needs rewriting).
+    """
+    binding = binding or {}
+    for sync in all_synchronizers(design):
+        sync.resolve_domains(binding)
+    return cross_domain_synchronizers(design)

@@ -1,0 +1,1 @@
+"""Physical-platform substrate: channels, marshaling and LIBDN flow control."""

@@ -1,0 +1,159 @@
+"""The physical communication channel (shared bus / LocalLink) model.
+
+Section 4.4: the low-level details of bus transactions are abstracted as
+simple get/put interfaces per supported platform, on top of which the
+compiler maps the design's LIBDN FIFOs.  The model here captures the three
+quantities the evaluation's partitioning trade-offs hinge on:
+
+* **latency** -- a fixed one-way delay (the ML507 round trip is ~100 FPGA
+  cycles),
+* **bandwidth** -- a per-word serialisation cost (4 bytes per FPGA cycle
+  gives the 400 MB/s the paper reports), and
+* **per-transfer overhead** -- the cost of initiating a transaction (driver
+  call, descriptor setup, bus arbitration).  Burst/DMA transfers pay it once
+  per message; word-at-a-time transfers pay it for every word, which is why
+  the Communication-Granularity discussion of Section 2.1 matters.
+
+The channel is full duplex (one direction per :class:`ChannelDirection`),
+and each direction is a shared serial resource arbitrated among all virtual
+channels, so concurrent synchronizers queue behind one another exactly as
+they would on a real bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ChannelParams:
+    """Static parameters of a physical channel."""
+
+    #: Width of one channel word in bits.
+    word_bits: int = 32
+    #: Fixed one-way propagation/processing latency, in FPGA cycles.
+    one_way_latency_cycles: int = 50
+    #: Serialisation cost per word, in FPGA cycles (1.0 == 4 bytes/cycle == 400 MB/s).
+    cycles_per_word: float = 1.0
+    #: Cost of initiating one burst transfer (descriptor setup, arbitration).
+    per_message_overhead_cycles: int = 20
+    #: Additional cost per word when bursting is disabled (each word becomes
+    #: its own bus transaction, as in Figure 3's word-at-a-time loop).
+    per_word_overhead_cycles: int = 12
+
+    def occupancy_cycles(self, n_words: int, burst: bool = True) -> float:
+        """How long one message of ``n_words`` occupies the channel direction."""
+        if n_words <= 0:
+            return float(self.per_message_overhead_cycles)
+        serial = n_words * self.cycles_per_word
+        if burst:
+            return self.per_message_overhead_cycles + serial
+        return n_words * (self.per_word_overhead_cycles + self.cycles_per_word)
+
+    def transfer_latency_cycles(self, n_words: int, burst: bool = True) -> float:
+        """End-to-end latency of one message (occupancy plus propagation)."""
+        return self.occupancy_cycles(n_words, burst) + self.one_way_latency_cycles
+
+    @property
+    def round_trip_latency_cycles(self) -> float:
+        """Latency of a minimal request/response pair (the paper's ~100 cycles)."""
+        return 2 * (self.one_way_latency_cycles + self.occupancy_cycles(1, burst=True))
+
+    def bandwidth_bytes_per_fpga_cycle(self) -> float:
+        return (self.word_bits / 8) / self.cycles_per_word
+
+
+@dataclass
+class Message:
+    """One in-flight message on a channel direction."""
+
+    vc_id: int
+    payload: Any
+    n_words: int
+    enqueued_at: float
+    starts_at: float
+    delivered_at: float
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate channel traffic accounting, reported in benchmark output."""
+
+    messages: int = 0
+    words: int = 0
+    busy_cycles: float = 0.0
+    per_vc_messages: dict = field(default_factory=dict)
+
+    def record(self, vc_id: int, n_words: int, occupancy: float) -> None:
+        self.messages += 1
+        self.words += n_words
+        self.busy_cycles += occupancy
+        self.per_vc_messages[vc_id] = self.per_vc_messages.get(vc_id, 0) + 1
+
+
+class ChannelDirection:
+    """One direction of the physical channel: a shared, serialised resource."""
+
+    def __init__(self, params: ChannelParams, name: str, burst: bool = True):
+        self.params = params
+        self.name = name
+        self.burst = burst
+        self.busy_until: float = 0.0
+        self.in_flight: List[Message] = []
+        self.stats = ChannelStats()
+
+    def send(self, vc_id: int, payload: Any, n_words: int, now: float) -> Message:
+        """Enqueue a message at time ``now``; returns the scheduled delivery."""
+        start = max(now, self.busy_until)
+        occupancy = self.params.occupancy_cycles(n_words, self.burst)
+        delivered = start + occupancy + self.params.one_way_latency_cycles
+        self.busy_until = start + occupancy
+        message = Message(vc_id, payload, n_words, now, start, delivered)
+        self.in_flight.append(message)
+        self.stats.record(vc_id, n_words, occupancy)
+        return message
+
+    def deliveries_due(self, now: float) -> List[Message]:
+        """Remove and return every message whose delivery time has arrived."""
+        due = [m for m in self.in_flight if m.delivered_at <= now]
+        if due:
+            self.in_flight = [m for m in self.in_flight if m.delivered_at > now]
+        return sorted(due, key=lambda m: m.delivered_at)
+
+    def next_delivery_time(self) -> Optional[float]:
+        if not self.in_flight:
+            return None
+        return min(m.delivered_at for m in self.in_flight)
+
+    @property
+    def pending(self) -> int:
+        return len(self.in_flight)
+
+
+class DuplexChannel:
+    """A full-duplex channel: one direction per transfer sense (SW→HW, HW→SW)."""
+
+    def __init__(self, params: ChannelParams, burst: bool = True):
+        self.params = params
+        self.to_hw = ChannelDirection(params, "to_hw", burst)
+        self.to_sw = ChannelDirection(params, "to_sw", burst)
+
+    def direction(self, towards_hw: bool) -> ChannelDirection:
+        return self.to_hw if towards_hw else self.to_sw
+
+    def next_delivery_time(self) -> Optional[float]:
+        times = [
+            t
+            for t in (self.to_hw.next_delivery_time(), self.to_sw.next_delivery_time())
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    @property
+    def total_messages(self) -> int:
+        return self.to_hw.stats.messages + self.to_sw.stats.messages
+
+    @property
+    def total_words(self) -> int:
+        return self.to_hw.stats.words + self.to_sw.stats.words

@@ -1,0 +1,113 @@
+"""LIBDN virtual channels: credit-based flow control over the shared channel.
+
+The partitioned program's synchronizers are LIBDN FIFOs (Latency-Insensitive
+Bounded Dataflow Network FIFOs, Section 4.3).  Several of them share one
+physical channel, so the generated infrastructure multiplexes them onto
+*virtual channels* with credit-based flow control: a producer-side endpoint
+may only launch a message when the consumer-side endpoint is known to have
+buffer space, which guarantees that one blocked synchronizer can never cause
+head-of-line blocking for the others and that no new deadlocks are introduced
+(Section 4.4).
+
+The :class:`VirtualChannel` objects here carry the bookkeeping; the actual
+movement of data between partition stores is performed by the co-simulator's
+transport layer (:mod:`repro.sim.cosim`), which consults ``can_send`` before
+launching each transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.synchronizers import SyncFifo
+from repro.core.types import BCLType
+from repro.platform.marshal import message_words
+
+
+@dataclass
+class VirtualChannelStats:
+    """Per-virtual-channel traffic counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    words_sent: int = 0
+    stalled_on_credit: int = 0
+
+
+class VirtualChannel:
+    """Flow-control state for one synchronizer mapped onto the physical channel."""
+
+    def __init__(self, vc_id: int, sync: SyncFifo, word_bits: int = 32):
+        self.vc_id = vc_id
+        self.sync = sync
+        self.word_bits = word_bits
+        #: Credits available == free slots believed to exist at the consumer side.
+        self.credits = sync.depth
+        #: Messages launched but not yet delivered (consume a credit each).
+        self.in_flight = 0
+        self.stats = VirtualChannelStats()
+
+    @property
+    def element_type(self) -> BCLType:
+        return self.sync.ty
+
+    @property
+    def words_per_element(self) -> int:
+        """Channel words per transferred element, including the message header."""
+        return message_words(self.sync.ty, self.word_bits)
+
+    def can_send(self) -> bool:
+        """Whether launching one more element would respect the consumer's buffering."""
+        return self.credits > 0
+
+    def note_credit_stall(self) -> None:
+        self.stats.stalled_on_credit += 1
+
+    def on_send(self) -> None:
+        if self.credits <= 0:
+            raise RuntimeError(
+                f"virtual channel {self.vc_id} ({self.sync.name}) sent without credit"
+            )
+        self.credits -= 1
+        self.in_flight += 1
+        self.stats.messages_sent += 1
+        self.stats.words_sent += self.words_per_element
+
+    def on_deliver(self) -> None:
+        self.in_flight -= 1
+        self.stats.messages_delivered += 1
+
+    def on_credit_return(self, count: int = 1) -> None:
+        """The consumer dequeued ``count`` elements; its buffer space is free again."""
+        self.credits = min(self.sync.depth, self.credits + count)
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualChannel(vc={self.vc_id}, sync={self.sync.name}, "
+            f"credits={self.credits}, in_flight={self.in_flight})"
+        )
+
+
+class VirtualChannelTable:
+    """Assignment of virtual-channel ids to the synchronizers of a partitioned design."""
+
+    def __init__(self, syncs: List[SyncFifo], word_bits: int = 32):
+        self.channels: Dict[SyncFifo, VirtualChannel] = {}
+        for vc_id, sync in enumerate(syncs):
+            self.channels[sync] = VirtualChannel(vc_id, sync, word_bits)
+
+    def channel_for(self, sync: SyncFifo) -> VirtualChannel:
+        return self.channels[sync]
+
+    def by_id(self, vc_id: int) -> VirtualChannel:
+        for vc in self.channels.values():
+            if vc.vc_id == vc_id:
+                return vc
+        raise KeyError(f"no virtual channel with id {vc_id}")
+
+    def __iter__(self):
+        return iter(self.channels.values())
+
+    def __len__(self) -> int:
+        return len(self.channels)

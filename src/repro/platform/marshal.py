@@ -1,0 +1,91 @@
+"""Marshaling and demarshaling of typed values into channel words.
+
+Section 4.4: the design specifies atomic transfers at (say) audio-frame
+granularity, but the physical substrate moves fixed-width words, so the
+compiler generates marshaling/demarshaling code on both sides of every
+synchronizer.  Because both sides use the same canonical bit-level packing
+(:mod:`repro.core.types`), the data-format mismatch problem of Section 2.3
+cannot arise.
+
+A marshaled message is a list of unsigned integers: one header word carrying
+the virtual-channel id and the payload length, followed by the payload words
+(least significant word first).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.types import BCLType, words_for
+
+#: Number of header bits reserved for the virtual-channel id.
+VC_ID_BITS = 8
+#: Number of header bits reserved for the payload word count.
+LENGTH_BITS = 16
+
+
+def marshal_value(ty: BCLType, value: Any, word_bits: int = 32) -> List[int]:
+    """Pack one typed value into a list of ``word_bits``-wide payload words."""
+    bits = ty.pack(value)
+    n_words = words_for(ty, word_bits)
+    mask = (1 << word_bits) - 1
+    return [(bits >> (i * word_bits)) & mask for i in range(n_words)]
+
+
+def demarshal_value(ty: BCLType, words: Sequence[int], word_bits: int = 32) -> Any:
+    """Reassemble a typed value from its payload words."""
+    expected = words_for(ty, word_bits)
+    if len(words) != expected:
+        raise SimulationError(
+            f"demarshal: expected {expected} words for {ty!r}, got {len(words)}"
+        )
+    bits = 0
+    for i, word in enumerate(words):
+        if word < 0 or word >= (1 << word_bits):
+            raise SimulationError(f"demarshal: word {i} out of range for {word_bits}-bit channel")
+        bits |= word << (i * word_bits)
+    return ty.unpack(bits)
+
+
+def frame_message(vc_id: int, payload: Sequence[int], word_bits: int = 32) -> List[int]:
+    """Prepend the header word (vc id + length) to a marshaled payload."""
+    if not 0 <= vc_id < (1 << VC_ID_BITS):
+        raise SimulationError(f"virtual channel id {vc_id} does not fit in {VC_ID_BITS} bits")
+    if len(payload) >= (1 << LENGTH_BITS):
+        raise SimulationError(f"payload of {len(payload)} words does not fit in the length field")
+    if VC_ID_BITS + LENGTH_BITS > word_bits:
+        raise SimulationError("header does not fit in one channel word")
+    header = (vc_id << LENGTH_BITS) | len(payload)
+    return [header] + list(payload)
+
+
+def unframe_message(words: Sequence[int], word_bits: int = 32) -> Tuple[int, List[int]]:
+    """Split a framed message back into ``(vc_id, payload_words)``."""
+    if not words:
+        raise SimulationError("cannot unframe an empty message")
+    header = words[0]
+    length = header & ((1 << LENGTH_BITS) - 1)
+    vc_id = (header >> LENGTH_BITS) & ((1 << VC_ID_BITS) - 1)
+    payload = list(words[1:])
+    if len(payload) != length:
+        raise SimulationError(
+            f"unframe: header declares {length} payload words but {len(payload)} were received"
+        )
+    return vc_id, payload
+
+
+def marshal_message(vc_id: int, ty: BCLType, value: Any, word_bits: int = 32) -> List[int]:
+    """Marshal a typed value and frame it for the given virtual channel."""
+    return frame_message(vc_id, marshal_value(ty, value, word_bits), word_bits)
+
+
+def demarshal_message(ty: BCLType, words: Sequence[int], word_bits: int = 32) -> Tuple[int, Any]:
+    """Unframe and decode a message; returns ``(vc_id, value)``."""
+    vc_id, payload = unframe_message(words, word_bits)
+    return vc_id, demarshal_value(ty, payload, word_bits)
+
+
+def message_words(ty: BCLType, word_bits: int = 32) -> int:
+    """Total channel words for one value of ``ty`` including the header word."""
+    return 1 + words_for(ty, word_bits)

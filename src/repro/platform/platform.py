@@ -1,0 +1,91 @@
+"""Platform descriptions (the experimental setup of Figure 11).
+
+A :class:`Platform` bundles everything the co-simulator needs to turn a
+partitioned design into FPGA-cycle execution times:
+
+* the processor and FPGA clock frequencies (the paper clocks the PPC440 at
+  400 MHz and the FPGA fabric at 100 MHz, a 4:1 ratio),
+* the physical channel parameters (the LocalLink/HDMA path achieves a
+  round-trip latency of roughly 100 FPGA cycles and streams up to
+  400 MB/s), and
+* the software cost parameters used by the transactional runtime model.
+
+Two factories are provided: :func:`Platform.ml507` reproduces the embedded
+configuration used for all numbers in Section 7, and :func:`Platform.pcie`
+models the desktop PCI-Express configuration the paper mentions but does not
+use for its reported results (higher bandwidth, higher latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.platform.channel import ChannelParams
+from repro.sim.costmodel import SwCostParams
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A HW/SW execution platform for the co-simulator."""
+
+    name: str
+    cpu_clock_hz: float
+    fpga_clock_hz: float
+    channel: ChannelParams
+    sw_costs: SwCostParams = field(default_factory=SwCostParams)
+
+    @property
+    def cpu_cycles_per_fpga_cycle(self) -> float:
+        """How many CPU cycles elapse per FPGA cycle (4.0 on the ML507)."""
+        return self.cpu_clock_hz / self.fpga_clock_hz
+
+    def cpu_to_fpga_cycles(self, cpu_cycles: float) -> float:
+        """Convert a CPU-cycle cost into FPGA cycles (the paper's reporting unit)."""
+        return cpu_cycles / self.cpu_cycles_per_fpga_cycle
+
+    # -- factories -----------------------------------------------------------
+
+    @classmethod
+    def ml507(cls) -> "Platform":
+        """The Xilinx ML507 embedded configuration (PPC440 + XC5VFX70).
+
+        400 MHz processor, 100 MHz fabric, LocalLink with embedded HDMA
+        engines: ~100 FPGA cycles round trip and up to 400 MB/s of streaming
+        bandwidth (4 bytes per FPGA cycle).
+        """
+        return cls(
+            name="ml507",
+            cpu_clock_hz=400e6,
+            fpga_clock_hz=100e6,
+            channel=ChannelParams(
+                word_bits=32,
+                one_way_latency_cycles=50,
+                cycles_per_word=1.0,
+                per_message_overhead_cycles=20,
+                per_word_overhead_cycles=12,
+            ),
+        )
+
+    @classmethod
+    def pcie(cls) -> "Platform":
+        """The desktop PCI-Express configuration (higher bandwidth, higher latency)."""
+        return cls(
+            name="pcie",
+            cpu_clock_hz=2400e6,
+            fpga_clock_hz=100e6,
+            channel=ChannelParams(
+                word_bits=32,
+                one_way_latency_cycles=200,
+                cycles_per_word=0.5,
+                per_message_overhead_cycles=80,
+                per_word_overhead_cycles=40,
+            ),
+        )
+
+    def with_channel(self, **overrides) -> "Platform":
+        """A copy of this platform with some channel parameters replaced."""
+        return replace(self, channel=replace(self.channel, **overrides))
+
+    def with_sw_costs(self, **overrides) -> "Platform":
+        """A copy of this platform with some software cost parameters replaced."""
+        return replace(self, sw_costs=replace(self.sw_costs, **overrides))

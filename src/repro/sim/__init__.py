@@ -1,0 +1,1 @@
+"""Execution engines: hardware cycle simulation, software cost model, co-simulation."""

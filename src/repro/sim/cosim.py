@@ -1,0 +1,298 @@
+"""Co-simulation of a partitioned design over a physical channel.
+
+This is the executable counterpart of the full compiler flow in Figure 6:
+the design is split by domain, the software partition runs on the
+cost-modelled sequential engine (:class:`~repro.sim.swsim.SwEngine`), the
+hardware partition runs on the cycle-level engine
+(:class:`~repro.sim.hwsim.HwEngine`), and every cross-domain synchronizer is
+mapped onto a virtual channel of the duplex physical channel with
+credit-based flow control and marshaling-derived transfer sizes.
+
+Time is measured in FPGA cycles.  The main loop advances one cycle at a time
+while anything is happening and skips directly to the next scheduled event
+(a channel delivery, the end of a software rule, a multi-cycle hardware
+kernel completing) whenever the system is otherwise idle, so designs that
+spend most of their time waiting on the bus (e.g. the ray tracer's partition
+B) simulate in time proportional to their event count, not their cycle
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.domains import HW, SW, Domain
+from repro.core.errors import SimulationError
+from repro.core.module import Design, Register
+from repro.core.optimize import OptimizationConfig
+from repro.core.partition import Partitioning, partition_design
+from repro.core.primitives import Fifo
+from repro.core.semantics import Store
+from repro.core.synchronizers import SyncFifo
+from repro.platform.channel import DuplexChannel
+from repro.platform.libdn import VirtualChannelTable
+from repro.platform.platform import Platform
+from repro.sim.hwsim import HwEngine
+from repro.sim.swsim import SwEngine
+
+
+@dataclass
+class CosimResult:
+    """Outcome of one co-simulation run (all times in FPGA cycles)."""
+
+    design_name: str
+    fpga_cycles: float
+    completed: bool
+    sw_busy_fpga_cycles: float
+    sw_cpu_cycles: float
+    sw_cpu_cycles_wasted: float
+    sw_cpu_cycles_driver: float
+    sw_firings: int
+    sw_guard_failures: int
+    hw_firings: int
+    hw_active_cycles: int
+    channel_messages: int
+    channel_words: int
+    channel_busy_cycles: float
+    fire_counts: Dict[str, int] = field(default_factory=dict)
+    vc_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.completed else "INCOMPLETE"
+        return (
+            f"CosimResult({self.design_name}: {self.fpga_cycles:.0f} FPGA cycles [{status}], "
+            f"sw_busy={self.sw_busy_fpga_cycles:.0f}, hw_active={self.hw_active_cycles}, "
+            f"channel_msgs={self.channel_messages})"
+        )
+
+
+class Cosimulator:
+    """Builds and runs the HW/SW co-simulation of one partitioned design."""
+
+    def __init__(
+        self,
+        design: Design,
+        platform: Optional[Platform] = None,
+        config: Optional[OptimizationConfig] = None,
+        hw_domain: Domain = HW,
+        sw_domain: Domain = SW,
+        default_domain: Optional[Domain] = None,
+        burst: bool = True,
+        max_loop_iterations: int = 1_000_000,
+    ):
+        self.design = design
+        self.platform = platform or Platform.ml507()
+        self.config = config or OptimizationConfig.all()
+        self.hw_domain = hw_domain
+        self.sw_domain = sw_domain
+        self.burst = burst
+
+        self.partitioning: Partitioning = partition_design(
+            design, default_domain if default_domain is not None else sw_domain
+        )
+
+        hw_rules = (
+            self.partitioning.programs[hw_domain].rules
+            if hw_domain in self.partitioning.programs
+            else []
+        )
+        sw_rules = (
+            self.partitioning.programs[sw_domain].rules
+            if sw_domain in self.partitioning.programs
+            else []
+        )
+
+        self.store_hw: Store = design.initial_store()
+        self.store_sw: Store = design.initial_store()
+        self.hw = HwEngine(hw_rules, self.store_hw)
+        self.sw = SwEngine(
+            sw_rules,
+            self.store_sw,
+            self.platform,
+            self.config,
+            design.all_registers(),
+            max_loop_iterations=max_loop_iterations,
+        )
+
+        self.channel = DuplexChannel(self.platform.channel, burst=burst)
+        self.vcs = VirtualChannelTable(
+            self.partitioning.cut, word_bits=self.platform.channel.word_bits
+        )
+        self.now: float = 0.0
+
+    # -- store access helpers ----------------------------------------------------
+
+    def _engine_for(self, domain: Domain) -> Tuple[Any, Store]:
+        if domain == self.hw_domain:
+            return self.hw, self.store_hw
+        return self.sw, self.store_sw
+
+    def read_sw(self, reg: Register) -> Any:
+        """Read a register as seen by the software partition."""
+        return self.store_sw[reg]
+
+    def read_hw(self, reg: Register) -> Any:
+        """Read a register as seen by the hardware partition."""
+        return self.store_hw[reg]
+
+    def read(self, reg: Register) -> Any:
+        """Read a register from whichever partition owns it."""
+        owner_domain = _owning_domain(reg, self.hw_domain, self.sw_domain)
+        if owner_domain == self.hw_domain:
+            return self.store_hw[reg]
+        return self.store_sw[reg]
+
+    def fifo_contents(self, fifo: Fifo) -> Tuple[Any, ...]:
+        """Contents of a FIFO in the partition that owns it."""
+        return tuple(self.read(fifo.data))
+
+    # -- transport ----------------------------------------------------------------
+
+    def _pump_transport(self, now: float) -> bool:
+        """Launch transfers from producer-side endpoints whenever credits allow."""
+        progress = False
+        for sync in self.partitioning.cut:
+            vc = self.vcs.channel_for(sync)
+            producer_engine, producer_store = self._engine_for(sync.domain_enq)
+            _, consumer_store = self._engine_for(sync.domain_deq)
+            towards_hw = sync.domain_deq == self.hw_domain
+            direction = self.channel.direction(towards_hw)
+
+            if sync.data in producer_engine.locked_registers():
+                # An in-flight rule will commit a deferred update to this
+                # endpoint; draining it now would be clobbered by that commit.
+                continue
+            while producer_store[sync.data]:
+                consumer_occupancy = len(consumer_store[sync.data])
+                if consumer_occupancy + vc.in_flight >= sync.depth:
+                    vc.note_credit_stall()
+                    break
+                vc.credits = sync.depth - consumer_occupancy - vc.in_flight
+                item = producer_store[sync.data][0]
+                producer_store[sync.data] = tuple(producer_store[sync.data][1:])
+                direction.send(vc.vc_id, item, vc.words_per_element, now)
+                vc.on_send()
+                if producer_engine is self.sw:
+                    # The processor spends time marshaling and driving the DMA.
+                    self.sw.charge_driver(vc.words_per_element, now)
+                progress = True
+        return progress
+
+    def _deliver_due(self, now: float) -> bool:
+        progress = False
+        for towards_hw in (True, False):
+            direction = self.channel.direction(towards_hw)
+            target = self.hw if towards_hw else self.sw
+            for message in direction.deliveries_due(now):
+                vc = self.vcs.by_id(message.vc_id)
+                target.deliver(vc.sync.data, message.payload, now)
+                vc.on_deliver()
+                if target is self.sw:
+                    # Demarshaling / copy out of the DMA buffer costs CPU time.
+                    self.sw.charge_driver(vc.words_per_element, now)
+                progress = True
+        return progress
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(
+        self,
+        done: Callable[["Cosimulator"], bool],
+        max_cycles: float = 100_000_000.0,
+        max_iterations: int = 5_000_000,
+    ) -> CosimResult:
+        """Run until ``done(self)`` or until no further progress is possible."""
+        completed = False
+        iterations = 0
+        while self.now <= max_cycles and iterations < max_iterations:
+            iterations += 1
+            if done(self):
+                completed = True
+                break
+
+            progress = False
+            progress |= self._deliver_due(self.now)
+            progress |= self.hw.step_cycle(self.now)
+            progress |= self.sw.step(self.now)
+            progress |= self._pump_transport(self.now)
+
+            if progress:
+                self.now += 1.0
+                continue
+
+            next_times = [
+                t
+                for t in (
+                    self.channel.next_delivery_time(),
+                    self.hw.next_completion_time(),
+                    self.sw.next_event_time(self.now),
+                )
+                if t is not None
+            ]
+            if not next_times:
+                # Quiescent: either finished (checked at loop top) or deadlocked.
+                completed = done(self)
+                break
+            self.now = max(self.now + 1.0, min(next_times))
+        else:
+            raise SimulationError(
+                f"co-simulation of {self.design.name} exceeded its cycle/iteration budget "
+                f"(now={self.now}, iterations={iterations})"
+            )
+
+        if not completed:
+            completed = done(self)
+        return self._result(completed)
+
+    # -- result assembly ---------------------------------------------------------------
+
+    def _result(self, completed: bool) -> CosimResult:
+        fire_counts: Dict[str, int] = {}
+        fire_counts.update(self.hw.fire_counts)
+        fire_counts.update(self.sw.fire_counts)
+        vc_stats = {
+            vc.sync.name: {
+                "messages": vc.stats.messages_sent,
+                "words": vc.stats.words_sent,
+                "credit_stalls": vc.stats.stalled_on_credit,
+            }
+            for vc in self.vcs
+        }
+        return CosimResult(
+            design_name=self.design.name,
+            fpga_cycles=self.now,
+            completed=completed,
+            sw_busy_fpga_cycles=self.sw.busy_fpga_cycles,
+            sw_cpu_cycles=self.sw.cpu_cycles_total,
+            sw_cpu_cycles_wasted=self.sw.cpu_cycles_wasted,
+            sw_cpu_cycles_driver=self.sw.cpu_cycles_driver,
+            sw_firings=self.sw.total_firings,
+            sw_guard_failures=self.sw.guard_failures,
+            hw_firings=self.hw.total_firings,
+            hw_active_cycles=self.hw.cycles_active,
+            channel_messages=self.channel.total_messages,
+            channel_words=self.channel.total_words,
+            channel_busy_cycles=self.channel.to_hw.stats.busy_cycles
+            + self.channel.to_sw.stats.busy_cycles,
+            fire_counts=fire_counts,
+            vc_stats=vc_stats,
+        )
+
+
+def _owning_domain(reg: Register, hw_domain: Domain, sw_domain: Domain) -> Domain:
+    """Which partition's store holds the authoritative value of ``reg``.
+
+    For synchronizer endpoints the consumer side is authoritative for reads
+    performed by tests (its contents are what the consumer still has to
+    process); for ordinary registers the owning module's domain decides.
+    """
+    from repro.core.domains import effective_module_domain
+
+    owner = reg.parent
+    if isinstance(owner, SyncFifo):
+        return owner.domain_deq if not owner.domain_deq.is_variable else sw_domain
+    domain = effective_module_domain(owner)
+    if domain == hw_domain:
+        return hw_domain
+    return sw_domain

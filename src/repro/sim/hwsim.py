@@ -1,0 +1,167 @@
+"""Cycle-level simulator for a hardware partition.
+
+The hardware implementation of a rule-based design executes, in every clock
+cycle, a maximal set of enabled rules that the static conflict analysis has
+shown to be safely concurrent (Section 6.1).  The engine here does exactly
+that: per cycle it evaluates the guards of the schedulable rules, selects a
+conflict-free subset with :class:`~repro.core.scheduler.HwSchedule`, and
+commits their updates in a sequential order consistent with one-rule-at-a-time
+semantics.  Rules whose bodies contain multi-cycle kernels (e.g. a pipelined
+radix stage or a BVH intersection test) occupy their state for the kernel
+latency before committing, which models a per-rule FSM.
+
+The engine is driven by the co-simulator one clock edge at a time and reports
+whether it made progress, so the co-simulator can skip over idle stretches
+(e.g. while the hardware waits ~100 cycles for a bus response) without
+simulating every empty cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.analysis import rule_write_set
+from repro.core.module import Register, Rule
+from repro.core.scheduler import HwSchedule
+from repro.core.semantics import Evaluator, Store, commit, try_rule
+from repro.sim.costmodel import HwLatencyAccumulator
+
+
+class HwEngine:
+    """Executes the rules of one hardware partition, cycle by cycle."""
+
+    def __init__(self, rules: List[Rule], store: Store, name: str = "HW"):
+        self.name = name
+        self.rules = list(rules)
+        self.store = store
+        self.schedule = HwSchedule(self.rules)
+        self.evaluator = Evaluator()
+        #: rule -> (finish_time, deferred updates) for in-flight multi-cycle rules.
+        self.busy: Dict[Rule, Tuple[float, Dict[Register, Any]]] = {}
+        #: deliveries queued because their target register was locked by a busy rule.
+        self._pending_deliveries: List[Tuple[Register, Any]] = []
+        self._write_sets: Dict[Rule, Set[Register]] = {
+            rule: rule_write_set(rule) for rule in self.rules
+        }
+        # Statistics
+        self.fire_counts: Dict[str, int] = {r.full_name: 0 for r in self.rules}
+        self.cycles_active = 0
+        self.total_firings = 0
+        self.last_cycle_stepped: Optional[float] = None
+
+    # -- channel-facing API ---------------------------------------------------
+
+    def locked_registers(self) -> Set[Register]:
+        """Registers owned by in-flight multi-cycle rules (their deferred updates).
+
+        The co-simulator's transport layer must not mutate these concurrently,
+        otherwise the deferred commit would clobber the transport's change.
+        """
+        locked: Set[Register] = set()
+        for rule in self.busy:
+            locked |= self._write_sets[rule]
+        return locked
+
+    # Backwards-compatible private alias used internally.
+    _locked_registers = locked_registers
+
+    def deliver(self, reg: Register, item: Any, now: float) -> None:
+        """Append an arriving element to an endpoint FIFO register.
+
+        If the register is currently locked by an in-flight multi-cycle rule
+        the delivery is parked and applied as soon as the rule commits, so no
+        update is ever lost.
+        """
+        if reg in self._locked_registers():
+            self._pending_deliveries.append((reg, item))
+        else:
+            self.store[reg] = tuple(self.store[reg]) + (item,)
+
+    def _flush_pending_deliveries(self) -> None:
+        if not self._pending_deliveries:
+            return
+        locked = self._locked_registers()
+        still_pending: List[Tuple[Register, Any]] = []
+        for reg, item in self._pending_deliveries:
+            if reg in locked:
+                still_pending.append((reg, item))
+            else:
+                self.store[reg] = tuple(self.store[reg]) + (item,)
+        self._pending_deliveries = still_pending
+
+    # -- execution -------------------------------------------------------------
+
+    def next_completion_time(self) -> Optional[float]:
+        if not self.busy:
+            return None
+        return min(finish for finish, _ in self.busy.values())
+
+    def step_cycle(self, now: float) -> bool:
+        """Simulate one clock edge at time ``now``.  Returns True on progress."""
+        if not self.rules:
+            return False
+        if self.last_cycle_stepped == now:
+            return False
+        self.last_cycle_stepped = now
+
+        progress = False
+
+        # 1. Complete multi-cycle rules whose latency has elapsed.
+        finished = [rule for rule, (finish, _) in self.busy.items() if finish <= now]
+        for rule in finished:
+            _, updates = self.busy.pop(rule)
+            commit(self.store, updates)
+            progress = True
+        if finished:
+            self._flush_pending_deliveries()
+
+        # 2. Determine which rules may attempt to fire this cycle.
+        locked = self._locked_registers()
+        candidates = [
+            rule
+            for rule in self.rules
+            if rule not in self.busy and not (self._write_sets[rule] & locked)
+        ]
+        if not candidates:
+            if progress:
+                self.cycles_active += 1
+            return progress
+
+        enabled: List[Rule] = []
+        for rule in candidates:
+            outcome = try_rule(rule, self.store, self.evaluator)
+            if outcome.fired:
+                enabled.append(rule)
+
+        chosen = self.schedule.select(enabled)
+
+        # 3. Execute the chosen set sequentially (consistent with the
+        #    one-rule-at-a-time semantics the concurrent schedule must respect).
+        #    A rule whose updates are deferred (multi-cycle kernel) locks its
+        #    write set for the rest of the cycle as well, so no other rule in
+        #    the same cycle can produce an immediate update that the deferred
+        #    commit would later clobber.
+        cycle_locked: Set[Register] = set(locked)
+        for rule in chosen:
+            if self._write_sets[rule] & cycle_locked:
+                continue
+            latency_hooks = HwLatencyAccumulator()
+            outcome = try_rule(rule, self.store, self.evaluator, latency_hooks)
+            if not outcome.fired:
+                # An earlier rule in the same cycle changed the state under it.
+                continue
+            self.fire_counts[rule.full_name] += 1
+            self.total_firings += 1
+            progress = True
+            if latency_hooks.latency <= 1:
+                commit(self.store, outcome.updates)
+            else:
+                self.busy[rule] = (now + latency_hooks.latency, outcome.updates)
+                cycle_locked |= self._write_sets[rule]
+
+        if progress:
+            self.cycles_active += 1
+        return progress
+
+    def is_idle(self) -> bool:
+        return not self.busy and not self._pending_deliveries

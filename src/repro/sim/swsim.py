@@ -1,0 +1,212 @@
+"""Execution engine for a software partition.
+
+Models the single-threaded C++ implementation the BCL compiler generates
+(Sections 6.2 and 6.3): a scheduler repeatedly picks a rule, evaluates it
+against the (possibly shadowed) program state, and either commits or rolls
+back.  The engine executes the *compiled* form of each rule
+(:class:`~repro.core.optimize.CompiledRule`), so every optimisation switch --
+guard lifting, method inlining / try-catch avoidance, sequentialisation,
+partial shadowing -- changes both what is executed and what it costs, which
+is how the ablation benchmarks observe their effect.
+
+Costs are accumulated in CPU cycles by :class:`~repro.sim.costmodel.SwCostAccumulator`
+and converted to FPGA cycles (the paper's reporting unit) by the platform's
+clock ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import GuardFail
+from repro.core.module import Register, Rule
+from repro.core.optimize import CompiledRule, OptimizationConfig, compile_rule
+from repro.core.scheduler import SwSchedule
+from repro.core.semantics import Evaluator, Store, commit
+from repro.platform.platform import Platform
+from repro.sim.costmodel import SwCostAccumulator
+
+
+class SwEngine:
+    """Executes the rules of one software partition under the cost model."""
+
+    def __init__(
+        self,
+        rules: List[Rule],
+        store: Store,
+        platform: Platform,
+        config: OptimizationConfig = OptimizationConfig.all(),
+        all_registers: Optional[List[Register]] = None,
+        name: str = "SW",
+        max_loop_iterations: int = 1_000_000,
+    ):
+        self.name = name
+        self.rules = list(rules)
+        self.store = store
+        self.platform = platform
+        self.config = config
+        self.schedule = SwSchedule(self.rules)
+        self.evaluator = Evaluator(max_loop_iterations=max_loop_iterations)
+        self.compiled: Dict[Rule, CompiledRule] = {
+            rule: compile_rule(rule, config, all_registers) for rule in self.rules
+        }
+        self.busy_until: float = 0.0
+        self._pending_updates: Optional[Dict[Register, Any]] = None
+        self._pending_deliveries: List[Tuple[Register, Any]] = []
+        self._last_fired: Optional[Rule] = None
+        # Statistics (CPU cycles unless noted otherwise).
+        self.fire_counts: Dict[str, int] = {r.full_name: 0 for r in self.rules}
+        self.total_firings = 0
+        self.cpu_cycles_useful = 0.0
+        self.cpu_cycles_wasted = 0.0
+        self.cpu_cycles_driver = 0.0
+        self.guard_failures = 0
+        self.busy_fpga_cycles = 0.0
+
+    # -- channel-facing API ----------------------------------------------------
+
+    def deliver(self, reg: Register, item: Any, now: float) -> None:
+        """Deliver an arriving element to an endpoint FIFO register.
+
+        Deliveries land between rule executions (the driver runs when the
+        runtime is at a transaction boundary), so while a rule is in flight
+        they are parked.
+        """
+        if self.is_busy(now) or self._pending_updates is not None:
+            self._pending_deliveries.append((reg, item))
+        else:
+            self.store[reg] = tuple(self.store[reg]) + (item,)
+
+    def _flush_pending_deliveries(self) -> None:
+        for reg, item in self._pending_deliveries:
+            self.store[reg] = tuple(self.store[reg]) + (item,)
+        self._pending_deliveries = []
+
+    def locked_registers(self) -> set:
+        """Registers whose value is pending an uncommitted in-flight rule.
+
+        The transport layer must not mutate these until the rule commits,
+        otherwise its deferred updates would overwrite the transport's change.
+        """
+        if self._pending_updates is None:
+            return set()
+        return set(self._pending_updates.keys())
+
+    def charge_driver(self, n_words: int, now: float) -> None:
+        """Charge the processor for marshaling/driving one channel message.
+
+        Unlike the hardware side (where marshaling is dedicated logic), every
+        message that the software partition sends or receives costs CPU time:
+        the driver call, DMA descriptor handling and the per-word copy into or
+        out of the transfer buffer.  This cost is what makes fine-grained
+        offload unprofitable in the paper's partitions A and C.
+        """
+        params = self.platform.sw_costs
+        cpu = params.driver_per_message + params.driver_per_word * n_words
+        self.cpu_cycles_driver += cpu
+        duration = self.platform.cpu_to_fpga_cycles(cpu)
+        self.busy_until = max(self.busy_until, now) + duration
+        self.busy_fpga_cycles += duration
+
+    # -- execution ---------------------------------------------------------------
+
+    def is_busy(self, now: float) -> bool:
+        return now < self.busy_until
+
+    def next_event_time(self, now: float) -> Optional[float]:
+        if self.is_busy(now) or self._pending_updates is not None:
+            return self.busy_until
+        return None
+
+    def step(self, now: float) -> bool:
+        """Advance the software engine at time ``now``.  Returns True on progress."""
+        if not self.rules:
+            return False
+        if self.is_busy(now):
+            return False
+
+        progress = False
+        if self._pending_updates is not None:
+            commit(self.store, self._pending_updates)
+            self._pending_updates = None
+            self._flush_pending_deliveries()
+            progress = True
+
+        self._flush_pending_deliveries()
+
+        wasted_this_scan = 0.0
+        for rule in self.schedule.candidates(self._last_fired):
+            cpu_cost, fired, updates = self._attempt(rule)
+            if fired:
+                total_cpu = cpu_cost + wasted_this_scan
+                self.cpu_cycles_useful += cpu_cost
+                self.cpu_cycles_wasted += wasted_this_scan
+                duration = self.platform.cpu_to_fpga_cycles(total_cpu)
+                self.busy_until = now + duration
+                self.busy_fpga_cycles += duration
+                self._pending_updates = updates
+                self._last_fired = rule
+                self.fire_counts[rule.full_name] += 1
+                self.total_firings += 1
+                return True
+            # Failed attempt: its cost is wasted work, charged to whatever
+            # fires next in this scan (the scheduler really does spend it).
+            wasted_this_scan += cpu_cost
+            self.guard_failures += 1
+        # Nothing can fire: the partition is blocked waiting for input.  The
+        # scan cost is not charged to simulated time (the runtime blocks on
+        # the channel driver rather than spinning at full speed).
+        return progress
+
+    # -- single rule attempt -------------------------------------------------------
+
+    def _attempt(self, rule: Rule) -> Tuple[float, bool, Dict[Register, Any]]:
+        """Attempt one rule; returns ``(cpu_cost, fired, updates)``."""
+        params = self.platform.sw_costs
+        cr = self.compiled[rule]
+        acc = SwCostAccumulator(params)
+        cost = float(params.rule_attempt_overhead)
+
+        def read(reg: Register) -> Any:
+            return self.store[reg]
+
+        # 1. Top-level (lifted) guard check.
+        try:
+            guard_ok = bool(self.evaluator.eval_expr(cr.guard, {}, read, acc))
+        except GuardFail:
+            guard_ok = False
+        cost += acc.cpu_cycles
+        if not guard_ok:
+            return cost, False, {}
+
+        # 2. Transactional setup for bodies that may still fail.
+        body_acc = SwCostAccumulator(params)
+        setup = 0.0
+        if cr.can_fail:
+            if self.config.inline_methods:
+                setup += params.branch_guard_handling
+            else:
+                setup += params.try_catch_setup
+            setup += len(cr.shadow_registers) * params.shadow_per_register
+        cost += setup
+
+        # 3. Execute the residual body.
+        try:
+            updates = self.evaluator.exec_action(cr.body, {}, read, body_acc)
+        except GuardFail:
+            cost += body_acc.cpu_cycles
+            cost += params.rollback_base
+            cost += len(cr.shadow_registers) * params.rollback_per_register
+            return cost, False, {}
+        cost += body_acc.cpu_cycles
+
+        # 4. Commit.
+        if cr.can_fail:
+            cost += len(updates) * params.commit_per_register
+        return cost, True, updates
+
+    # -- derived metrics -----------------------------------------------------------
+
+    @property
+    def cpu_cycles_total(self) -> float:
+        return self.cpu_cycles_useful + self.cpu_cycles_wasted + self.cpu_cycles_driver

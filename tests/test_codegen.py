@@ -1,0 +1,158 @@
+"""Tests for the three compiler outputs: C++ (SW), BSV/Verilog (HW), interface glue."""
+
+import pytest
+
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.partitions import build_partition
+from repro.codegen.bsv import generate_hw_partition, generate_rule as generate_bsv_rule
+from repro.codegen.cxx import generate_rule as generate_cxx_rule, generate_sw_partition
+from repro.codegen.interface import build_interface_spec, generate_hw_arbiter, generate_sw_header
+from repro.codegen.verilog import generate_verilog
+from repro.core.action import Loop, Seq, par
+from repro.core.domains import HW, SW
+from repro.core.errors import ElaborationError
+from repro.core.expr import BinOp, Const, RegRead
+from repro.core.module import Design, Module
+from repro.core.optimize import OptimizationConfig, compile_rule
+from repro.core.partition import partition_design
+from repro.core.primitives import Fifo
+from repro.core.types import UIntT
+
+PARAMS = VorbisParams(n_frames=2)
+
+
+@pytest.fixture
+def simple_design():
+    top = Module("top")
+    fifo = top.add_submodule(Fifo("q", UIntT(32), depth=2))
+    cnt = top.add_register("cnt", UIntT(32), 0)
+    out = top.add_register("out", UIntT(32), 0)
+    produce = top.add_rule(
+        "produce",
+        par(fifo.call("enq", RegRead(cnt)), cnt.write(BinOp("+", RegRead(cnt), Const(1))))
+        .when(BinOp("<", RegRead(cnt), Const(8))),
+    )
+    consume = top.add_rule("consume", par(out.write(fifo.value("first")), fifo.call("deq")))
+    return Design(top, "simple"), produce, consume
+
+
+class TestCxxGeneration:
+    def test_figure9_naive_rule_uses_try_catch_and_shadows(self, simple_design):
+        design, produce, consume = simple_design
+        compiled = compile_rule(produce, OptimizationConfig.none(), design.all_registers())
+        code = generate_cxx_rule(compiled)
+        assert "try {" in code
+        assert "catch (GuardFailure&)" in code
+        assert ".shadow()" in code
+        assert "rollback" in code
+
+    def test_figure10_optimised_rule_has_no_try_catch(self, simple_design):
+        design, produce, consume = simple_design
+        compiled = compile_rule(produce, OptimizationConfig.all(), design.all_registers())
+        code = generate_cxx_rule(compiled)
+        assert "try {" not in code
+        assert "lifted guard" in code
+        assert ".shadow()" not in code
+
+    def test_guard_lifting_without_inlining_keeps_try_catch(self, simple_design):
+        design, produce, consume = simple_design
+        config = OptimizationConfig(lift_guards=True, inline_methods=False)
+        compiled = compile_rule(produce, config, design.all_registers())
+        code = generate_cxx_rule(compiled)
+        assert "lifted guard" in code
+
+    def test_whole_partition_translation_unit(self, simple_design):
+        design, *_ = simple_design
+        code = generate_sw_partition(design)
+        assert "run_scheduler" in code
+        assert "bool produce()" in code
+        assert "bool consume()" in code
+        assert "class top" in code
+
+    def test_sw_partition_of_partitioned_design(self):
+        backend = build_partition("B", PARAMS)
+        partitioning = partition_design(backend.design, SW)
+        code = generate_sw_partition(backend.design, partitioning.program(SW))
+        assert "window_overlap" in code
+        assert "ifft_stage0" not in code  # the IFFT rules are in the HW partition
+
+
+class TestBsvGeneration:
+    def test_rule_has_lifted_guard_condition(self, simple_design):
+        design, produce, consume = simple_design
+        code = generate_bsv_rule(produce)
+        assert code.startswith("rule produce (")
+        assert "endrule" in code
+        assert "notFull" in code  # hoisted FIFO readiness
+
+    def test_loops_rejected(self):
+        top = Module("top")
+        a = top.add_register("a", UIntT(32), 0)
+        rule = top.add_rule("looping", Loop(Const(True), a.write(Const(1))))
+        with pytest.raises(ElaborationError):
+            generate_bsv_rule(rule)
+
+    def test_sequential_composition_rejected(self):
+        top = Module("top")
+        a = top.add_register("a", UIntT(32), 0)
+        rule = top.add_rule("seqrule", Seq([a.write(Const(1)), a.write(Const(2))]))
+        with pytest.raises(ElaborationError):
+            generate_bsv_rule(rule)
+
+    def test_hw_partition_module(self):
+        backend = build_partition("A", PARAMS)
+        partitioning = partition_design(backend.design, SW)
+        code = generate_hw_partition(backend.design, partitioning.program(HW))
+        assert "ifft_stage0" in code and "ifft_stage2" in code
+        assert "endmodule" in code
+        assert "window_overlap" not in code
+
+    def test_verilog_skeleton(self, simple_design):
+        design, *_ = simple_design
+        code = generate_verilog(design)
+        assert "module simple_hw" in code
+        assert "will_fire_produce" in code
+        assert "always @(posedge clk)" in code
+
+
+class TestInterfaceGeneration:
+    @pytest.fixture
+    def spec(self):
+        backend = build_partition("A", PARAMS)
+        partitioning = partition_design(backend.design, SW)
+        return build_interface_spec(partitioning)
+
+    def test_channels_cover_the_cut(self, spec):
+        assert spec.n_channels == 2
+        assert {ch.name for ch in spec.channels} == {"q_pre", "q_ifft"}
+
+    def test_vc_ids_unique(self, spec):
+        ids = [ch.vc_id for ch in spec.channels]
+        assert len(set(ids)) == len(ids)
+
+    def test_payload_sizes_from_types(self, spec):
+        by_name = {ch.name: ch for ch in spec.channels}
+        assert by_name["q_pre"].payload_words == 128
+        assert by_name["q_pre"].message_words == 129
+
+    def test_sw_header_contents(self, spec):
+        header = generate_sw_header(spec)
+        assert "#define BCL_NUM_VIRTUAL_CHANNELS 2" in header
+        assert "BCL_VC_Q_PRE" in header
+        assert "bcl_send_q_pre" in header  # SW -> HW direction
+        assert "bcl_recv_q_ifft" in header  # HW -> SW direction
+
+    def test_hw_arbiter_contents(self, spec):
+        arbiter = generate_hw_arbiter(spec)
+        assert "mkHwSwInterface" in arbiter
+        assert "arbitrate_q_ifft" in arbiter
+
+    def test_report_mentions_direction(self, spec):
+        report = spec.report()
+        assert "SW->HW" in report and "HW->SW" in report
+
+    def test_empty_cut_for_full_sw(self):
+        backend = build_partition("F", PARAMS)
+        partitioning = partition_design(backend.design, SW)
+        spec = build_interface_spec(partitioning)
+        assert spec.n_channels == 0

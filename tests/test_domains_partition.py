@@ -1,0 +1,188 @@
+"""Tests for computational domains, synchronizers and the partitioner (Sections 4.2/4.3)."""
+
+import pytest
+
+from repro.core.action import par
+from repro.core.domains import (
+    HW,
+    SW,
+    Domain,
+    DomainError,
+    DomainVar,
+    design_domains,
+    infer_design_domains,
+    infer_rule_domain,
+    substitute_domains,
+    unresolved_domain_variables,
+)
+from repro.core.errors import PartitionError
+from repro.core.expr import BinOp, Const, RegRead
+from repro.core.module import Design, Module
+from repro.core.partition import partition_design
+from repro.core.synchronizers import (
+    SyncFifo,
+    all_synchronizers,
+    cross_domain_synchronizers,
+    make_sync_h_to_s,
+    make_sync_s_to_h,
+    specialize_synchronizers,
+)
+from repro.core.types import UIntT
+
+
+def build_two_domain_design(consumer_domain=HW):
+    top = Module("top")
+    producer = top.add_submodule(Module("producer", domain=SW))
+    consumer = top.add_submodule(Module("consumer", domain=consumer_domain))
+    sync = top.add_submodule(SyncFifo("x_q", UIntT(32), SW, consumer_domain, depth=2))
+    cnt = producer.add_register("cnt", UIntT(32), 0)
+    acc = consumer.add_register("acc", UIntT(32), 0)
+    producer.add_rule(
+        "produce",
+        par(sync.call("enq", RegRead(cnt)), cnt.write(BinOp("+", RegRead(cnt), Const(1))))
+        .when(BinOp("<", RegRead(cnt), Const(4))),
+    )
+    consumer.add_rule(
+        "consume",
+        par(acc.write(BinOp("+", RegRead(acc), sync.value("first"))), sync.call("deq")),
+    )
+    return Design(top), producer, consumer, sync
+
+
+class TestDomains:
+    def test_domain_equality(self):
+        assert Domain("HW") == HW
+        assert Domain("HW") != SW
+        assert hash(Domain("SW")) == hash(SW)
+
+    def test_domain_var_is_distinct(self):
+        assert DomainVar("a") != Domain("a")
+        assert DomainVar("a").is_variable
+
+    def test_rule_domain_inference(self):
+        design, producer, consumer, sync = build_two_domain_design()
+        domains = infer_design_domains(design)
+        by_name = {rule.name: dom for rule, dom in domains.items()}
+        assert by_name["produce"] == SW
+        assert by_name["consume"] == HW
+
+    def test_cross_domain_rule_rejected(self):
+        """A rule that touches state of two domains violates the type system."""
+        top = Module("top")
+        hw_mod = top.add_submodule(Module("hw", domain=HW))
+        sw_mod = top.add_submodule(Module("sw", domain=SW))
+        a = hw_mod.add_register("a", UIntT(32), 0)
+        b = sw_mod.add_register("b", UIntT(32), 0)
+        rule = top.add_rule("bad", par(a.write(Const(1)), b.write(Const(2))))
+        with pytest.raises(DomainError):
+            infer_rule_domain(rule)
+
+    def test_rule_without_domain_uses_default(self):
+        top = Module("top")
+        a = top.add_register("a", UIntT(32), 0)
+        rule = top.add_rule("r", a.write(Const(1)))
+        assert infer_rule_domain(rule, default=SW) == SW
+        with pytest.raises(DomainError):
+            infer_rule_domain(rule, default=None)
+
+    def test_design_domains_listing(self):
+        design, *_ = build_two_domain_design()
+        assert design_domains(design) == [HW, SW]
+
+    def test_domain_polymorphism_substitution(self):
+        """The paper's Sync#(t, a, HW) pattern: instantiate `a` later."""
+        var = DomainVar("a")
+        design, producer, consumer, sync = build_two_domain_design()
+        poly = SyncFifo("poly_q", UIntT(32), var, HW)
+        design.root.add_submodule(poly)
+        assert unresolved_domain_variables(design) == ["a"]
+        specialize_synchronizers(design, {"a": HW})
+        substitute_domains(design, {"a": HW})
+        assert unresolved_domain_variables(design) == []
+        assert not poly.is_cross_domain  # same-domain sync becomes a plain FIFO
+
+    def test_unresolved_variable_blocks_partitioning(self):
+        design, *_ = build_two_domain_design()
+        design.root.add_submodule(SyncFifo("poly_q", UIntT(32), DomainVar("a"), HW))
+        with pytest.raises(PartitionError):
+            partition_design(design, SW)
+
+
+class TestSynchronizers:
+    def test_sync_method_domains(self):
+        sync = make_sync_s_to_h("s2h", UIntT(32))
+        assert sync.get_method("enq").domain == SW
+        assert sync.get_method("first").domain == HW
+        assert sync.get_method("deq").domain == HW
+
+    def test_sync_h_to_s(self):
+        sync = make_sync_h_to_s("h2s", UIntT(32))
+        assert sync.get_method("enq").domain == HW
+        assert sync.get_method("deq").domain == SW
+
+    def test_cross_domain_detection(self):
+        design, producer, consumer, sync = build_two_domain_design()
+        assert all_synchronizers(design) == [sync]
+        assert cross_domain_synchronizers(design) == [sync]
+
+    def test_same_domain_sync_not_on_cut(self):
+        design, producer, consumer, sync = build_two_domain_design(consumer_domain=SW)
+        assert cross_domain_synchronizers(design) == []
+
+    def test_sync_behaves_as_fifo(self):
+        """Semantically a synchronizer is just a latency-insensitive FIFO."""
+        from repro.core.interpreter import Simulator
+
+        design, producer, consumer, sync = build_two_domain_design()
+        sim = Simulator(design)
+        sim.run(1000)
+        acc = design.find_module("consumer").registers[0]
+        assert sim.read(acc) == sum(range(4))
+
+
+class TestPartitioner:
+    def test_partition_programs_and_cut(self):
+        design, producer, consumer, sync = build_two_domain_design()
+        partitioning = partition_design(design, SW)
+        assert set(partitioning.programs) == {HW, SW}
+        assert partitioning.cut == [sync]
+        sw_rules = {r.name for r in partitioning.program(SW).rules}
+        hw_rules = {r.name for r in partitioning.program(HW).rules}
+        assert sw_rules == {"produce"}
+        assert hw_rules == {"consume"}
+
+    def test_partition_state_ownership(self):
+        design, producer, consumer, sync = build_two_domain_design()
+        partitioning = partition_design(design, SW)
+        sw_regs = {r.name for r in partitioning.program(SW).registers}
+        hw_regs = {r.name for r in partitioning.program(HW).registers}
+        assert "cnt" in sw_regs
+        assert "acc" in hw_regs
+
+    def test_partition_endpoint_classification(self):
+        design, producer, consumer, sync = build_two_domain_design()
+        partitioning = partition_design(design, SW)
+        assert partitioning.program(SW).produces_to == [sync]
+        assert partitioning.program(HW).consumes_from == [sync]
+
+    def test_single_domain_design_has_empty_cut(self):
+        design, *_ = build_two_domain_design(consumer_domain=SW)
+        partitioning = partition_design(design, SW)
+        assert partitioning.cut == []
+        assert list(partitioning.programs) == [SW]
+
+    def test_shared_state_without_synchronizer_rejected(self):
+        """Two domains touching the same register is the codesign pitfall the type system prevents."""
+        top = Module("top")
+        shared = top.add_register("shared", UIntT(32), 0)
+        hw_mod = top.add_submodule(Module("hw", domain=HW))
+        sw_mod = top.add_submodule(Module("sw", domain=SW))
+        hw_mod.add_rule("hw_touch", shared.write(Const(1)), domain=HW)
+        sw_mod.add_rule("sw_touch", shared.write(Const(2)), domain=SW)
+        with pytest.raises(PartitionError):
+            partition_design(Design(top), SW)
+
+    def test_summary_is_readable(self):
+        design, *_ = build_two_domain_design()
+        text = partition_design(design, SW).summary()
+        assert "produce" in text and "consume" in text and "x_q" in text

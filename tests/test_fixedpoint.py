@@ -1,0 +1,185 @@
+"""Unit and property tests for fixed-point and complex fixed-point arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixedpoint import FixComplex, FixedPoint, fix_complex_vector, fix_vector
+
+floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+class TestFixedPointBasics:
+    def test_from_float_roundtrip(self):
+        x = FixedPoint.from_float(1.5)
+        assert x.to_float() == pytest.approx(1.5)
+
+    def test_zero(self):
+        assert FixedPoint.zero().to_float() == 0.0
+        assert FixedPoint.zero().raw == 0
+
+    def test_quantisation_error_bounded(self):
+        value = 0.123456789
+        x = FixedPoint.from_float(value)
+        assert abs(x.to_float() - value) <= 1.0 / (1 << 24)
+
+    def test_negative_values(self):
+        x = FixedPoint.from_float(-2.25)
+        assert x.to_float() == pytest.approx(-2.25)
+        assert x.raw < 0
+
+    def test_addition(self):
+        a, b = FixedPoint.from_float(1.25), FixedPoint.from_float(2.5)
+        assert (a + b).to_float() == pytest.approx(3.75)
+
+    def test_subtraction(self):
+        a, b = FixedPoint.from_float(1.25), FixedPoint.from_float(2.5)
+        assert (a - b).to_float() == pytest.approx(-1.25)
+
+    def test_multiplication(self):
+        a, b = FixedPoint.from_float(1.5), FixedPoint.from_float(-2.0)
+        assert (a * b).to_float() == pytest.approx(-3.0)
+
+    def test_division(self):
+        a, b = FixedPoint.from_float(3.0), FixedPoint.from_float(2.0)
+        assert (a / b).to_float() == pytest.approx(1.5)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FixedPoint.from_float(1.0) / FixedPoint.zero()
+
+    def test_mixed_scalar_arithmetic(self):
+        a = FixedPoint.from_float(1.0)
+        assert (a + 1).to_float() == pytest.approx(2.0)
+        assert (2 * a).to_float() == pytest.approx(2.0)
+        assert (1 - a).to_float() == pytest.approx(0.0)
+
+    def test_negation_and_abs(self):
+        a = FixedPoint.from_float(-1.5)
+        assert (-a).to_float() == pytest.approx(1.5)
+        assert abs(a).to_float() == pytest.approx(1.5)
+
+    def test_shifts(self):
+        a = FixedPoint.from_float(1.0)
+        assert (a >> 1).to_float() == pytest.approx(0.5)
+        assert (a << 1).to_float() == pytest.approx(2.0)
+
+    def test_comparisons(self):
+        a, b = FixedPoint.from_float(1.0), FixedPoint.from_float(2.0)
+        assert a < b and a <= b and b > a and b >= a
+        assert not (a > b)
+
+    def test_format_mismatch_rejected(self):
+        a = FixedPoint.from_float(1.0, 8, 24)
+        b = FixedPoint.from_float(1.0, 16, 16)
+        with pytest.raises(TypeError):
+            _ = a + b
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            _ = FixedPoint.from_float(1.0) + True
+
+    def test_wrapping_is_twos_complement(self):
+        big = FixedPoint.from_float(127.9)
+        wrapped = big + big
+        assert wrapped.to_float() < 0  # overflow wraps around
+
+    def test_bits_roundtrip(self):
+        x = FixedPoint.from_float(-3.75)
+        assert FixedPoint.from_bits(x.to_bits()) == x
+
+    def test_repr_contains_value(self):
+        assert "1.5" in repr(FixedPoint.from_float(1.5))
+
+
+class TestFixedPointProperties:
+    @given(small_floats, small_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_matches_floats(self, a, b):
+        fa, fb = FixedPoint.from_float(a), FixedPoint.from_float(b)
+        assert (fa + fb).to_float() == pytest.approx(a + b, abs=1e-6)
+
+    @given(small_floats, small_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_close_to_floats(self, a, b):
+        fa, fb = FixedPoint.from_float(a), FixedPoint.from_float(b)
+        assert (fa * fb).to_float() == pytest.approx(a * b, abs=1e-4)
+
+    @given(small_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_bits_roundtrip_property(self, a):
+        x = FixedPoint.from_float(a)
+        assert FixedPoint.from_bits(x.to_bits(), x.int_bits, x.frac_bits) == x
+
+    @given(small_floats, small_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, b):
+        fa, fb = FixedPoint.from_float(a), FixedPoint.from_float(b)
+        assert fa + fb == fb + fa
+
+    @given(small_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_negation_is_involution(self, a):
+        x = FixedPoint.from_float(a)
+        assert -(-x) == x
+
+
+class TestFixComplex:
+    def test_construction(self):
+        c = FixComplex.from_floats(1.0, -2.0)
+        assert c.real.to_float() == pytest.approx(1.0)
+        assert c.imag.to_float() == pytest.approx(-2.0)
+
+    def test_addition(self):
+        a = FixComplex.from_floats(1.0, 2.0)
+        b = FixComplex.from_floats(0.5, -1.0)
+        c = a + b
+        assert c.to_complex() == pytest.approx(complex(1.5, 1.0))
+
+    def test_complex_multiplication(self):
+        a = FixComplex.from_floats(1.0, 2.0)
+        b = FixComplex.from_floats(3.0, -1.0)
+        assert (a * b).to_complex() == pytest.approx(complex(1, 2) * complex(3, -1), abs=1e-5)
+
+    def test_scalar_multiplication(self):
+        a = FixComplex.from_floats(1.0, 2.0)
+        assert (a * FixedPoint.from_float(2.0)).to_complex() == pytest.approx(complex(2, 4))
+
+    def test_conjugate(self):
+        a = FixComplex.from_floats(1.0, 2.0)
+        assert a.conj().to_complex() == pytest.approx(complex(1, -2))
+
+    def test_negation_and_subtraction(self):
+        a = FixComplex.from_floats(1.0, 2.0)
+        assert (-a).to_complex() == pytest.approx(complex(-1, -2))
+        assert (a - a).to_complex() == pytest.approx(0j)
+
+    def test_zero(self):
+        assert FixComplex.zero().to_complex() == 0j
+
+    tiny = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+    @given(tiny, tiny, tiny, tiny)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_matches_python_complex(self, ar, ai, br, bi):
+        # Operands are kept small enough that products stay inside the 8.24
+        # format's +/-128 range (larger products wrap, by design).
+        a = FixComplex.from_floats(ar, ai)
+        b = FixComplex.from_floats(br, bi)
+        assert (a * b).to_complex() == pytest.approx(complex(ar, ai) * complex(br, bi), abs=1e-2)
+
+
+class TestVectorHelpers:
+    def test_fix_vector(self):
+        vec = fix_vector([0.0, 0.5, -0.5])
+        assert len(vec) == 3
+        assert vec[1].to_float() == pytest.approx(0.5)
+
+    def test_fix_complex_vector(self):
+        vec = fix_complex_vector([1 + 1j, -2j])
+        assert len(vec) == 2
+        assert vec[0].to_complex() == pytest.approx(1 + 1j)
+        assert vec[1].to_complex() == pytest.approx(-2j)

@@ -1,0 +1,256 @@
+"""Tests for the when-axioms, guard lifting and the Section 6.3 optimisations.
+
+The central property: every transformation preserves the one-rule-at-a-time
+semantics -- for any state, the transformed rule fires exactly when the
+original fires and produces the same updates.  Hypothesis generates random
+register states to check this.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.action import IfA, LetA, Par, Seq, WhenA, par
+from repro.core.errors import GuardFail
+from repro.core.expr import BinOp, Const, KernelCall, Mux, RegRead, Var, WhenE
+from repro.core.guards import conj, is_true_const, lift_action, lift_expr, may_fail
+from repro.core.module import Design, Module
+from repro.core.optimize import (
+    OptimizationConfig,
+    compile_rule,
+    inline_methods_action,
+    sequentialize_action,
+)
+from repro.core.primitives import Fifo
+from repro.core.semantics import Evaluator
+from repro.core.types import BoolT, UIntT
+
+
+def build_test_module():
+    top = Module("top")
+    a = top.add_register("a", UIntT(32), 0)
+    b = top.add_register("b", UIntT(32), 0)
+    flag1 = top.add_register("flag1", BoolT(), False)
+    flag2 = top.add_register("flag2", BoolT(), False)
+    fifo = top.add_submodule(Fifo("q", UIntT(32), depth=2))
+    return top, a, b, flag1, flag2, fifo
+
+
+def equivalent(action, store):
+    """Execute the original and its lifted form; both must agree."""
+    evaluator = Evaluator()
+    read = lambda reg: store[reg]  # noqa: E731
+
+    def run(act):
+        try:
+            return True, evaluator.exec_action(act, {}, read, None)
+        except GuardFail:
+            return False, {}
+
+    fired_orig, updates_orig = run(action)
+    body, guard = lift_action(action)
+    try:
+        guard_ok = bool(evaluator.eval_expr(guard, {}, read, None))
+    except GuardFail:
+        guard_ok = False
+    fired_lifted, updates_lifted = (False, {})
+    if guard_ok:
+        fired_lifted, updates_lifted = run(body)
+    return (fired_orig, updates_orig), (fired_lifted, updates_lifted)
+
+
+class TestWhenAxioms:
+    def test_conj_drops_true(self):
+        assert is_true_const(conj(Const(True), Const(True)))
+
+    def test_lift_reg_write_guard(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = a.write(WhenE(Const(5), RegRead(flag1)))  # A.7
+        body, guard = lift_action(action)
+        assert not is_true_const(guard)
+        assert not may_fail(body, primitive_guards_hoisted=True)
+
+    def test_lift_parallel_conjunction(self):
+        """A.1/A.2: a guard on one branch guards the whole parallel composition."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Par([WhenA(a.write(Const(1)), RegRead(flag1)), b.write(Const(2))])
+        store = {a: 0, b: 0, flag1: False, flag2: False, fifo.data: ()}
+        orig, lifted = equivalent(action, store)
+        assert orig == lifted == (False, {})
+
+    def test_lift_if_condition_guard_always_evaluated(self):
+        """A.4: guards in the predicate of a condition are always evaluated."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = IfA(WhenE(RegRead(flag1), RegRead(flag2)), a.write(Const(1)))
+        store = {a: 0, b: 0, flag1: True, flag2: False, fifo.data: ()}
+        orig, lifted = equivalent(action, store)
+        assert orig == lifted
+
+    def test_lift_if_branch_guard_conditional(self):
+        """A.5: a branch guard only matters when the branch is selected."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = IfA(RegRead(flag1), WhenA(a.write(Const(1)), RegRead(flag2)))
+        # flag1 false: the branch guard must not matter.
+        store = {a: 0, b: 0, flag1: False, flag2: False, fifo.data: ()}
+        orig, lifted = equivalent(action, store)
+        assert orig == lifted
+        assert orig == (True, {})
+
+    def test_lift_when_merging(self):
+        """A.6: nested whens conjoin."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = WhenA(WhenA(a.write(Const(1)), RegRead(flag1)), RegRead(flag2))
+        body, guard = lift_action(action)
+        assert not may_fail(body, primitive_guards_hoisted=True)
+
+    def test_sequential_guard_lifts_first_only(self):
+        """A.3: only the first action's guard crosses a sequential composition."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Seq([WhenA(a.write(Const(1)), RegRead(flag1)), WhenA(b.write(Const(2)), RegRead(flag2))])
+        body, guard = lift_action(action)
+        assert isinstance(body, Seq)
+        assert may_fail(body, primitive_guards_hoisted=True)  # second when is residual
+
+    def test_fifo_readiness_hoisted(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = par(fifo.call("enq", Const(1)), a.write(fifo.value("first")))
+        body, guard = lift_action(action)
+        assert not is_true_const(guard)
+        assert not may_fail(body, primitive_guards_hoisted=True)
+
+    @given(st.booleans(), st.booleans(), st.integers(0, 3), st.integers(0, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_lifting_preserves_semantics_property(self, f1, f2, occupancy, value):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Par(
+            [
+                IfA(RegRead(flag1), WhenA(a.write(Const(value)), RegRead(flag2))),
+                fifo.call("enq", BinOp("+", RegRead(a), Const(1))),
+                b.write(Mux(RegRead(flag2), Const(1), Const(2))),
+            ]
+        )
+        store = {
+            a: value,
+            b: 0,
+            flag1: f1,
+            flag2: f2,
+            fifo.data: tuple(range(occupancy)),
+        }
+        orig, lifted = equivalent(action, store)
+        assert orig == lifted
+
+
+class TestInlining:
+    def test_inline_user_method(self):
+        top = Module("top")
+        a = top.add_register("a", UIntT(32), 0)
+        sub = top.add_submodule(Module("sub"))
+        s_reg = sub.add_register("s", UIntT(32), 0)
+        sub.add_method(
+            "bump", "action", params=["x"], body=s_reg.write(BinOp("+", RegRead(s_reg), Var("x"))),
+            guard=BinOp("<", RegRead(s_reg), Const(10)),
+        )
+        action = sub.call("bump", Const(3))
+        inlined = inline_methods_action(action)
+        # After inlining there is no MethodCallA on the user module left.
+        from repro.core.action import MethodCallA
+
+        assert not any(
+            isinstance(node, MethodCallA) and not node.instance.is_primitive()
+            for node in inlined.walk()
+        )
+        # Semantics preserved.
+        evaluator = Evaluator()
+        store = {a: 0, s_reg: 4}
+        updates = evaluator.exec_action(inlined, {}, lambda r: store[r], None)
+        assert updates == {s_reg: 7}
+
+    def test_inline_respects_method_guard(self):
+        top = Module("top")
+        sub = top.add_submodule(Module("sub"))
+        s_reg = sub.add_register("s", UIntT(32), 20)
+        sub.add_method(
+            "bump", "action", params=["x"], body=s_reg.write(Var("x")),
+            guard=BinOp("<", RegRead(s_reg), Const(10)),
+        )
+        inlined = inline_methods_action(sub.call("bump", Const(3)))
+        evaluator = Evaluator()
+        with pytest.raises(GuardFail):
+            evaluator.exec_action(inlined, {}, lambda r: {s_reg: 20}[r], None)
+
+    def test_primitive_calls_not_inlined(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = fifo.call("enq", Const(1))
+        assert isinstance(inline_methods_action(action), type(action))
+
+
+class TestSequentialization:
+    def test_independent_parallel_becomes_sequential(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Par([a.write(Const(1)), b.write(Const(2))])
+        result = sequentialize_action(action)
+        assert isinstance(result, Seq)
+
+    def test_swap_stays_parallel(self):
+        """The register swap cannot be sequentialised without shadow state."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Par([a.write(RegRead(b)), b.write(RegRead(a))])
+        result = sequentialize_action(action)
+        assert isinstance(result, Par)
+
+    def test_reordering_found_when_needed(self):
+        """(reader | writer) is sequentialisable as (reader ; writer)."""
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Par([a.write(Const(5)), b.write(RegRead(a))])
+        result = sequentialize_action(action)
+        assert isinstance(result, Seq)
+        # The reader of `a` must run before the writer of `a`.
+        first = result.actions[0]
+        assert first.reg is b
+
+    @given(st.integers(0, 50), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_sequentialization_preserves_semantics(self, av, bv):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        action = Par([a.write(BinOp("+", RegRead(b), Const(1))), b.write(Const(7)), fifo.call("enq", RegRead(a))])
+        store = {a: av, b: bv, flag1: False, flag2: False, fifo.data: ()}
+        evaluator = Evaluator()
+        original = evaluator.exec_action(action, {}, lambda r: store[r], None)
+        transformed = evaluator.exec_action(
+            sequentialize_action(action), {}, lambda r: store[r], None
+        )
+        assert original == transformed
+
+
+class TestCompileRule:
+    def test_optimized_rule_needs_no_shadow(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        rule = top.add_rule("r", par(fifo.call("enq", RegRead(a)), a.write(Const(1))))
+        compiled = compile_rule(rule, OptimizationConfig.all())
+        assert not compiled.can_fail
+        assert compiled.shadow_registers == set()
+
+    def test_naive_rule_shadows_everything_it_writes(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        design = Design(top)
+        rule = top.add_rule("r", par(fifo.call("enq", RegRead(a)), a.write(Const(1))))
+        compiled = compile_rule(rule, OptimizationConfig.none(), design.all_registers())
+        assert compiled.can_fail
+        assert len(compiled.shadow_registers) == len(design.all_registers())
+
+    def test_partial_shadowing_limits_to_write_set(self):
+        top, a, b, flag1, flag2, fifo = build_test_module()
+        design = Design(top)
+        rule = top.add_rule(
+            "r", Seq([a.write(Const(1)), WhenA(b.write(Const(2)), RegRead(flag1))])
+        )
+        compiled = compile_rule(
+            rule, OptimizationConfig(lift_guards=True, inline_methods=True, sequentialize=True, partial_shadowing=True),
+            design.all_registers(),
+        )
+        assert compiled.can_fail  # residual guard inside the Seq tail
+        assert compiled.shadow_registers == {a, b}
+
+    def test_config_describe(self):
+        text = OptimizationConfig.none().describe()
+        assert "lift_guards=off" in text

@@ -1,0 +1,201 @@
+"""Tests for the ray tracer: geometry kernels, BVH properties, partition equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.raytracer import geometry
+from repro.apps.raytracer.bvh import brute_force, build_bvh, traverse
+from repro.apps.raytracer.params import RayTracerParams
+from repro.apps.raytracer.partitions import PARTITION_ORDER, PARTITIONS, build_partition
+from repro.apps.raytracer.reference import expected_checksum, render
+from repro.core.domains import HW, SW
+from repro.core.fixedpoint import FixedPoint
+from repro.sim.cosim import Cosimulator
+
+SMALL = RayTracerParams(n_triangles=24, image_width=4, image_height=4)
+
+coords = st.floats(min_value=0.2, max_value=4.5, allow_nan=False, allow_infinity=False)
+
+
+class TestGeometry:
+    def test_vector_ops(self):
+        a, b = geometry.vec(1, 2, 3), geometry.vec(4, 5, 6)
+        assert geometry.v_dot(a, b).to_float() == pytest.approx(32.0, abs=1e-3)
+        cross = geometry.v_cross(a, b)
+        assert cross["x"].to_float() == pytest.approx(-3.0, abs=1e-3)
+        assert geometry.v_add(a, b)["z"].to_float() == pytest.approx(9.0)
+        assert geometry.v_sub(b, a)["y"].to_float() == pytest.approx(3.0)
+
+    def test_cross_product_orthogonality(self):
+        a, b = geometry.vec(1, 0.5, 2), geometry.vec(-1, 2, 0.25)
+        cross = geometry.v_cross(a, b)
+        assert abs(geometry.v_dot(cross, a).to_float()) < 1e-2
+        assert abs(geometry.v_dot(cross, b).to_float()) < 1e-2
+
+    def test_ray_hits_triangle_in_front(self):
+        triangle = {
+            "v0": geometry.vec(0, 0, 5),
+            "v1": geometry.vec(4, 0, 5),
+            "v2": geometry.vec(0, 4, 5),
+        }
+        ray = {"origin": geometry.vec(1, 1, 0), "dir": geometry.vec(0, 0, 1), "pixel": 0}
+        t = geometry.intersect_triangle(ray, triangle)
+        assert t is not None
+        assert t.to_float() == pytest.approx(5.0, abs=0.01)
+
+    def test_ray_misses_triangle_behind(self):
+        triangle = {
+            "v0": geometry.vec(0, 0, -5),
+            "v1": geometry.vec(4, 0, -5),
+            "v2": geometry.vec(0, 4, -5),
+        }
+        ray = {"origin": geometry.vec(1, 1, 0), "dir": geometry.vec(0, 0, 1), "pixel": 0}
+        assert geometry.intersect_triangle(ray, triangle) is None
+
+    def test_ray_misses_triangle_to_the_side(self):
+        triangle = {
+            "v0": geometry.vec(10, 10, 5),
+            "v1": geometry.vec(11, 10, 5),
+            "v2": geometry.vec(10, 11, 5),
+        }
+        ray = {"origin": geometry.vec(1, 1, 0), "dir": geometry.vec(0, 0, 1), "pixel": 0}
+        assert geometry.intersect_triangle(ray, triangle) is None
+
+    def test_box_contains_hit(self):
+        ray = {"origin": geometry.vec(1, 1, 0), "dir": geometry.vec(0, 0, 1), "pixel": 0}
+        assert geometry.intersect_box(ray, geometry.vec(0, 0, 2), geometry.vec(2, 2, 4))
+        assert not geometry.intersect_box(ray, geometry.vec(5, 5, 2), geometry.vec(6, 6, 4))
+
+    def test_box_behind_ray_misses(self):
+        ray = {"origin": geometry.vec(1, 1, 10), "dir": geometry.vec(0, 0, 1), "pixel": 0}
+        assert not geometry.intersect_box(ray, geometry.vec(0, 0, 2), geometry.vec(2, 2, 4))
+
+    def test_degenerate_triangle_never_hit(self):
+        tri = geometry.degenerate_triangle()
+        ray = {"origin": geometry.vec(1, 1, 0), "dir": geometry.vec(0, 0, 1), "pixel": 0}
+        assert geometry.intersect_triangle(ray, tri) is None
+
+    def test_lambert_shade_in_unit_range(self):
+        triangle = {
+            "v0": geometry.vec(0, 0, 5),
+            "v1": geometry.vec(4, 0, 5),
+            "v2": geometry.vec(0, 4, 5),
+        }
+        shade = geometry.lambert_shade(triangle, geometry.light_direction())
+        assert 0.0 <= shade.to_float() <= 1.0
+
+    def test_scene_generation_deterministic(self):
+        assert geometry.generate_scene(8, seed=3) == geometry.generate_scene(8, seed=3)
+        assert geometry.generate_scene(8, seed=3) != geometry.generate_scene(8, seed=4)
+
+    def test_camera_rays_distinct_per_pixel(self):
+        r0 = geometry.camera_ray(0, 4, 4)
+        r5 = geometry.camera_ray(5, 4, 4)
+        assert r0["dir"] != r5["dir"]
+        assert r0["pixel"] == 0 and r5["pixel"] == 5
+
+    def test_struct_types_pack_a_ray(self):
+        types = geometry.struct_types()
+        ray = geometry.camera_ray(3, 4, 4)
+        assert types["ray"].unpack(types["ray"].pack(ray)) == ray
+
+
+class TestBvh:
+    def test_build_covers_all_triangles(self):
+        triangles = geometry.generate_scene(40)
+        bvh = build_bvh(triangles, leaf_size=4)
+        assert len(bvh.triangles) == 40
+        leaf_total = sum(n["tri_count"] for n in bvh.nodes if n["is_leaf"])
+        assert leaf_total == 40
+
+    def test_leaf_size_respected(self):
+        bvh = build_bvh(geometry.generate_scene(50), leaf_size=4)
+        assert all(n["tri_count"] <= 4 for n in bvh.nodes if n["is_leaf"])
+
+    def test_child_boxes_inside_parent(self):
+        bvh = build_bvh(geometry.generate_scene(30), leaf_size=2)
+        for node in bvh.nodes:
+            if node["is_leaf"]:
+                continue
+            for child_index in (node["left"], node["right"]):
+                child = bvh.nodes[child_index]
+                for axis in ("x", "y", "z"):
+                    assert child["bbox_min"][axis] >= node["bbox_min"][axis]
+                    assert child["bbox_max"][axis] <= node["bbox_max"][axis]
+
+    def test_empty_scene_rejected(self):
+        with pytest.raises(ValueError):
+            build_bvh([], leaf_size=4)
+
+    def test_traversal_matches_brute_force_on_camera_rays(self):
+        triangles = geometry.generate_scene(60, seed=11)
+        bvh = build_bvh(triangles, leaf_size=4)
+        for pixel in range(16):
+            ray = geometry.camera_ray(pixel, 4, 4)
+            bvh_hit, bvh_t, _ = traverse(bvh, ray)
+            brute_hit, brute_t, _ = brute_force(triangles, ray)
+            assert bvh_hit == brute_hit
+            if bvh_hit:
+                assert bvh_t == brute_t
+
+    @given(coords, coords, st.integers(min_value=4, max_value=40), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_traversal_matches_brute_force_property(self, x, y, n_triangles, seed):
+        triangles = geometry.generate_scene(n_triangles, seed=seed)
+        bvh = build_bvh(triangles, leaf_size=3)
+        ray = {
+            "origin": geometry.vec(x, y, -1.0),
+            "dir": geometry.vec(0.05, -0.03, 1.0),
+            "pixel": 0,
+        }
+        bvh_hit, bvh_t, _ = traverse(bvh, ray)
+        brute_hit, brute_t, _ = brute_force(bvh.triangles, ray)
+        assert bvh_hit == brute_hit
+        if bvh_hit:
+            assert bvh_t == brute_t
+
+    def test_max_depth_logarithmic(self):
+        bvh = build_bvh(geometry.generate_scene(128), leaf_size=4)
+        assert bvh.max_depth() <= 10
+
+
+class TestRayTracerDesign:
+    def test_partition_placements(self):
+        assert all(dom == SW for dom in PARTITIONS["A"].values())
+        assert all(dom == HW for dom in PARTITIONS["C"].values())
+        assert PARTITIONS["B"]["bvh_mem"] == SW and PARTITIONS["B"]["trav"] == HW
+        assert PARTITIONS["D"]["geom"] == HW and PARTITIONS["D"]["trav"] == SW
+
+    def test_reference_render_is_deterministic(self):
+        assert render(SMALL).checksum == render(SMALL).checksum
+
+    def test_reference_render_hits_something(self):
+        result = render(RayTracerParams(n_triangles=128, image_width=6, image_height=6))
+        assert result.hits > 0
+
+    @pytest.mark.parametrize("letter", PARTITION_ORDER)
+    def test_every_partition_is_bit_exact(self, letter):
+        tracer = build_partition(letter, SMALL)
+        cosim = Cosimulator(tracer.design)
+        result = cosim.run(tracer.cosim_done, max_cycles=200_000_000)
+        assert result.completed
+        assert cosim.read_sw(tracer.checksum) == expected_checksum(SMALL)
+
+    def test_partition_b_generates_much_more_traffic_than_c(self):
+        results = {}
+        for letter in ("B", "C"):
+            tracer = build_partition(letter, SMALL)
+            cosim = Cosimulator(tracer.design)
+            results[letter] = cosim.run(tracer.cosim_done, max_cycles=200_000_000)
+        assert results["B"].channel_words > 3 * results["C"].channel_words
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(KeyError):
+            build_partition("Z", SMALL)
+
+    def test_unknown_module_placement_rejected(self):
+        from repro.apps.raytracer.pipeline import build_raytracer
+
+        with pytest.raises(ValueError):
+            build_raytracer(SMALL, {"bogus": HW})

@@ -1,0 +1,231 @@
+"""Tests for the kernel operational semantics (Section 5) and the reference simulator."""
+
+import pytest
+
+from repro.core.action import IfA, LetA, LocalGuard, Loop, NoAction, Par, RegWrite, Seq, WhenA, par, seq
+from repro.core.errors import DoubleWriteError, GuardFail, SimulationError
+from repro.core.expr import BinOp, Const, KernelCall, LetE, Mux, RegRead, UnOp, Var, WhenE
+from repro.core.interpreter import Simulator
+from repro.core.module import Design, Module
+from repro.core.primitives import Fifo
+from repro.core.semantics import Evaluator, commit, try_rule
+from repro.core.types import BoolT, UIntT
+
+
+@pytest.fixture
+def design():
+    top = Module("top")
+    a = top.add_register("a", UIntT(32), 1)
+    b = top.add_register("b", UIntT(32), 2)
+    flag = top.add_register("flag", BoolT(), False)
+    return top, a, b, flag
+
+
+def run_action(action, store):
+    evaluator = Evaluator()
+    return evaluator.exec_action(action, {}, lambda reg: store[reg], None)
+
+
+class TestBasicActions:
+    def test_reg_write(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        updates = run_action(a.write(Const(5)), store)
+        assert updates == {a: 5}
+
+    def test_no_action(self, design):
+        top, a, b, flag = design
+        assert run_action(NoAction(), {a: 1}) == {}
+
+    def test_parallel_swap(self, design):
+        """a := b | b := a swaps the registers (both see the initial state)."""
+        top, a, b, flag = design
+        store = {a: 1, b: 2}
+        updates = run_action(Par([a.write(RegRead(b)), b.write(RegRead(a))]), store)
+        assert updates == {a: 2, b: 1}
+
+    def test_sequential_composition_sees_updates(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2}
+        updates = run_action(Seq([a.write(Const(10)), b.write(RegRead(a))]), store)
+        assert updates == {a: 10, b: 10}
+
+    def test_parallel_double_write_is_error(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2}
+        with pytest.raises(DoubleWriteError):
+            run_action(Par([a.write(Const(1)), a.write(Const(2))]), store)
+
+    def test_conditional_action_local_effect(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        updates = run_action(IfA(RegRead(flag), a.write(Const(9))), store)
+        assert updates == {}
+        store[flag] = True
+        updates = run_action(IfA(RegRead(flag), a.write(Const(9))), store)
+        assert updates == {a: 9}
+
+    def test_if_else(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        action = IfA(RegRead(flag), a.write(Const(1)), a.write(Const(2)))
+        assert run_action(action, store) == {a: 2}
+
+    def test_guarded_action_global_effect(self, design):
+        """A false when-guard invalidates the whole atomic action."""
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        action = Par([a.write(Const(5)), WhenA(b.write(Const(6)), RegRead(flag))])
+        with pytest.raises(GuardFail):
+            run_action(action, store)
+
+    def test_local_guard_converts_failure_to_noop(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        action = Par(
+            [a.write(Const(5)), LocalGuard(WhenA(b.write(Const(6)), RegRead(flag)))]
+        )
+        assert run_action(action, store) == {a: 5}
+
+    def test_let_action_binding(self, design):
+        top, a, b, flag = design
+        store = {a: 3, b: 2}
+        action = LetA("x", BinOp("+", RegRead(a), Const(4)), b.write(Var("x")))
+        assert run_action(action, store) == {b: 7}
+
+    def test_let_is_non_strict(self, design):
+        """A spurious binding with a failing guard has no effect if unused."""
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        action = LetA("unused", WhenE(Const(1), RegRead(flag)), a.write(Const(5)))
+        assert run_action(action, store) == {a: 5}
+
+    def test_loop_action(self, design):
+        top, a, b, flag = design
+        store = {a: 0, b: 2}
+        action = Loop(BinOp("<", RegRead(a), Const(5)), a.write(BinOp("+", RegRead(a), Const(1))))
+        assert run_action(action, store) == {a: 5}
+
+    def test_loop_bound_enforced(self, design):
+        top, a, b, flag = design
+        store = {a: 0}
+        action = Loop(Const(True), a.write(RegRead(a)), max_iterations=10)
+        with pytest.raises(SimulationError):
+            run_action(action, store)
+
+
+class TestExpressions:
+    def test_mux_evaluates_selected_arm_only(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: True}
+        # The unselected arm has a failing guard; it must not matter.
+        expr = Mux(RegRead(flag), Const(10), WhenE(Const(20), Const(False)))
+        evaluator = Evaluator()
+        assert evaluator.eval_expr(expr, {}, lambda r: store[r], None) == 10
+
+    def test_short_circuit_and(self, design):
+        top, a, b, flag = design
+        store = {flag: False}
+        expr = BinOp("&&", RegRead(flag), WhenE(Const(True), Const(False)))
+        evaluator = Evaluator()
+        assert evaluator.eval_expr(expr, {}, lambda r: store[r], None) is False
+
+    def test_let_expression(self):
+        evaluator = Evaluator()
+        expr = LetE("x", Const(3), BinOp("*", Var("x"), Var("x")))
+        assert evaluator.eval_expr(expr, {}, lambda r: 0, None) == 9
+
+    def test_unary_ops(self):
+        evaluator = Evaluator()
+        assert evaluator.eval_expr(UnOp("!", Const(False)), {}, lambda r: 0, None) is True
+        assert evaluator.eval_expr(UnOp("-", Const(3)), {}, lambda r: 0, None) == -3
+
+    def test_kernel_call(self):
+        evaluator = Evaluator()
+        expr = KernelCall("add", lambda x, y: x + y, [Const(2), Const(3)], 10, 1)
+        assert evaluator.eval_expr(expr, {}, lambda r: 0, None) == 5
+
+    def test_kernel_cost_annotations(self):
+        kc = KernelCall("k", lambda x: x, [Const(1)], sw_cycles=lambda x: 10 * x, hw_cycles=3)
+        assert kc.cost("sw", [4]) == 40
+        assert kc.cost("hw", [4]) == 3
+
+
+class TestRulesAndSimulator:
+    def test_try_rule_guard_failure_is_noop(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: False}
+        rule = top.add_rule("r", a.write(Const(9)).when(RegRead(flag)))
+        outcome = try_rule(rule, store)
+        assert not outcome.fired and outcome.updates == {}
+
+    def test_try_rule_and_commit(self, design):
+        top, a, b, flag = design
+        store = {a: 1, b: 2, flag: True}
+        rule = top.add_rule("r", a.write(Const(9)).when(RegRead(flag)))
+        outcome = try_rule(rule, store)
+        assert outcome.fired
+        commit(store, outcome.updates)
+        assert store[a] == 9
+
+    def test_fifo_pipeline_end_to_end(self):
+        top = Module("top")
+        fifo = top.add_submodule(Fifo("q", UIntT(32), depth=2))
+        cnt = top.add_register("cnt", UIntT(32), 0)
+        total = top.add_register("total", UIntT(32), 0)
+        top.add_rule(
+            "produce",
+            par(fifo.call("enq", RegRead(cnt)), cnt.write(BinOp("+", RegRead(cnt), Const(1))))
+            .when(BinOp("<", RegRead(cnt), Const(5))),
+        )
+        top.add_rule(
+            "consume",
+            par(total.write(BinOp("+", RegRead(total), fifo.value("first"))), fifo.call("deq")),
+        )
+        sim = Simulator(Design(top))
+        sim.run(1000)
+        assert sim.read(total) == sum(range(5))
+        assert sim.read(cnt) == 5
+
+    @pytest.mark.parametrize("policy", ["round-robin", "priority", "random"])
+    def test_all_scheduling_policies_reach_same_final_state(self, policy):
+        top = Module("top")
+        fifo = top.add_submodule(Fifo("q", UIntT(32), depth=2))
+        cnt = top.add_register("cnt", UIntT(32), 0)
+        total = top.add_register("total", UIntT(32), 0)
+        top.add_rule(
+            "produce",
+            par(fifo.call("enq", RegRead(cnt)), cnt.write(BinOp("+", RegRead(cnt), Const(1))))
+            .when(BinOp("<", RegRead(cnt), Const(8))),
+        )
+        top.add_rule(
+            "consume",
+            par(total.write(BinOp("+", RegRead(total), fifo.value("first"))), fifo.call("deq")),
+        )
+        sim = Simulator(Design(top), policy=policy, seed=42)
+        sim.run(1000)
+        assert sim.read(total) == sum(range(8))
+
+    def test_simulator_quiescence(self, design):
+        top, a, b, flag = design
+        top.add_rule("never", a.write(Const(1)).when(Const(False)))
+        sim = Simulator(Design(top))
+        assert sim.run(100) == 0
+        assert sim.guard_failures > 0
+
+    def test_run_until_predicate(self):
+        top = Module("top")
+        cnt = top.add_register("cnt", UIntT(32), 0)
+        top.add_rule("tick", cnt.write(BinOp("+", RegRead(cnt), Const(1))))
+        sim = Simulator(Design(top))
+        fired = sim.run_until(lambda s: s.read(cnt) >= 10)
+        assert fired == 10
+
+    def test_run_until_raises_on_quiescence(self, design):
+        top, a, b, flag = design
+        top.add_rule("never", a.write(Const(1)).when(Const(False)))
+        sim = Simulator(Design(top))
+        from repro.core.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            sim.run_until(lambda s: False, max_steps=10)

@@ -1,0 +1,220 @@
+"""Tests for the bit-accurate type system and the marshaling layer (Section 2.3 / 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError, TypeCheckError
+from repro.core.fixedpoint import FixComplex, FixedPoint
+from repro.core.types import (
+    BitT,
+    BoolT,
+    ComplexT,
+    FixPtT,
+    IntT,
+    OpaqueT,
+    StructT,
+    UIntT,
+    VectorT,
+    words_for,
+)
+from repro.platform import marshal
+
+
+class TestScalarTypes:
+    def test_bool_pack_unpack(self):
+        t = BoolT()
+        assert t.bit_width() == 1
+        assert t.unpack(t.pack(True)) is True
+        assert t.unpack(t.pack(False)) is False
+
+    def test_bool_rejects_non_bool(self):
+        with pytest.raises(TypeCheckError):
+            BoolT().pack(1)
+
+    @pytest.mark.parametrize("width", [1, 8, 16, 32, 64])
+    def test_uint_roundtrip(self, width):
+        t = UIntT(width)
+        value = (1 << width) - 1
+        assert t.unpack(t.pack(value)) == value
+        assert t.unpack(t.pack(0)) == 0
+
+    def test_uint_out_of_range(self):
+        with pytest.raises(TypeCheckError):
+            UIntT(8).pack(256)
+        with pytest.raises(TypeCheckError):
+            UIntT(8).pack(-1)
+
+    @pytest.mark.parametrize("value", [-128, -1, 0, 1, 127])
+    def test_int_roundtrip(self, value):
+        t = IntT(8)
+        assert t.unpack(t.pack(value)) == value
+
+    def test_int_out_of_range(self):
+        with pytest.raises(TypeCheckError):
+            IntT(8).pack(128)
+
+    def test_bit_type(self):
+        t = BitT(12)
+        assert t.bit_width() == 12
+        assert t.unpack(t.pack(0xABC)) == 0xABC
+
+    def test_fixpt_roundtrip(self):
+        t = FixPtT(8, 24)
+        x = FixedPoint.from_float(-1.375)
+        assert t.unpack(t.pack(x)) == x
+        assert t.bit_width() == 32
+
+    def test_fixpt_format_mismatch(self):
+        t = FixPtT(8, 24)
+        with pytest.raises(TypeCheckError):
+            t.pack(FixedPoint.from_float(1.0, 16, 16))
+
+    def test_complex_roundtrip(self):
+        t = ComplexT(FixPtT(8, 24))
+        c = FixComplex.from_floats(0.5, -0.25)
+        assert t.unpack(t.pack(c)) == c
+        assert t.bit_width() == 64
+
+    def test_defaults(self):
+        assert BoolT().default() is False
+        assert UIntT(8).default() == 0
+        assert FixPtT().default() == FixedPoint.zero()
+
+
+class TestCompositeTypes:
+    def test_vector_roundtrip(self):
+        t = VectorT(4, UIntT(8))
+        value = (1, 2, 3, 255)
+        assert t.unpack(t.pack(value)) == value
+        assert t.bit_width() == 32
+
+    def test_vector_wrong_length(self):
+        with pytest.raises(TypeCheckError):
+            VectorT(4, UIntT(8)).pack((1, 2, 3))
+
+    def test_vector_of_complex(self):
+        t = VectorT(3, ComplexT(FixPtT(8, 24)))
+        value = tuple(FixComplex.from_floats(i * 0.5, -i) for i in range(3))
+        assert t.unpack(t.pack(value)) == value
+
+    def test_struct_roundtrip(self):
+        t = StructT("Pair", [("a", UIntT(8)), ("b", IntT(8))])
+        value = {"a": 200, "b": -5}
+        assert t.unpack(t.pack(value)) == value
+
+    def test_struct_missing_field(self):
+        t = StructT("Pair", [("a", UIntT(8)), ("b", IntT(8))])
+        with pytest.raises(TypeCheckError):
+            t.pack({"a": 1})
+
+    def test_struct_duplicate_fields_rejected(self):
+        with pytest.raises(TypeCheckError):
+            StructT("Bad", [("a", UIntT(8)), ("a", UIntT(8))])
+
+    def test_nested_struct(self):
+        vec3 = StructT("Vec3", [("x", FixPtT(16, 16)), ("y", FixPtT(16, 16)), ("z", FixPtT(16, 16))])
+        tri = StructT("Tri", [("v0", vec3), ("v1", vec3), ("v2", vec3)])
+        value = {
+            name: {axis: FixedPoint.from_float(i + 0.5, 16, 16) for i, axis in enumerate("xyz")}
+            for name in ("v0", "v1", "v2")
+        }
+        assert tri.unpack(tri.pack(value)) == value
+        assert tri.bit_width() == 9 * 32
+
+    def test_struct_field_type_lookup(self):
+        t = StructT("Pair", [("a", UIntT(8)), ("b", IntT(8))])
+        assert t.field_type("a") == UIntT(8)
+        with pytest.raises(TypeCheckError):
+            t.field_type("c")
+
+    def test_words_for(self):
+        assert words_for(UIntT(32)) == 1
+        assert words_for(UIntT(33)) == 2
+        assert words_for(VectorT(64, ComplexT(FixPtT(8, 24)))) == 128
+
+    def test_opaque_type_refuses_packing(self):
+        t = OpaqueT(default=())
+        assert t.default() == ()
+        with pytest.raises(TypeCheckError):
+            t.pack(())
+        with pytest.raises(TypeCheckError):
+            t.bit_width()
+
+    def test_type_equality_and_hash(self):
+        assert VectorT(4, UIntT(8)) == VectorT(4, UIntT(8))
+        assert hash(VectorT(4, UIntT(8))) == hash(VectorT(4, UIntT(8)))
+        assert VectorT(4, UIntT(8)) != VectorT(5, UIntT(8))
+
+
+class TestMarshaling:
+    def test_marshal_value_roundtrip(self):
+        t = VectorT(8, UIntT(32))
+        value = tuple(range(8))
+        words = marshal.marshal_value(t, value)
+        assert len(words) == 8
+        assert marshal.demarshal_value(t, words) == value
+
+    def test_frame_and_unframe(self):
+        framed = marshal.frame_message(3, [10, 20, 30])
+        vc, payload = marshal.unframe_message(framed)
+        assert vc == 3
+        assert payload == [10, 20, 30]
+
+    def test_marshal_message_roundtrip(self):
+        t = StructT("Hit", [("hit", BoolT()), ("t", FixPtT(16, 16)), ("tri", UIntT(32))])
+        value = {"hit": True, "t": FixedPoint.from_float(2.5, 16, 16), "tri": 7}
+        words = marshal.marshal_message(5, t, value)
+        vc, decoded = marshal.demarshal_message(t, words)
+        assert vc == 5
+        assert decoded == value
+
+    def test_message_words_includes_header(self):
+        t = VectorT(64, ComplexT(FixPtT(8, 24)))
+        assert marshal.message_words(t) == 129
+
+    def test_bad_vc_id_rejected(self):
+        with pytest.raises(SimulationError):
+            marshal.frame_message(300, [1])
+
+    def test_length_mismatch_detected(self):
+        framed = marshal.frame_message(1, [1, 2, 3])
+        with pytest.raises(SimulationError):
+            marshal.unframe_message(framed[:-1])
+
+    def test_demarshal_word_count_checked(self):
+        with pytest.raises(SimulationError):
+            marshal.demarshal_value(UIntT(32), [1, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_vector_marshal_roundtrip_property(self, values):
+        t = VectorT(len(values), UIntT(32))
+        words = marshal.marshal_value(t, tuple(values))
+        assert marshal.demarshal_value(t, words) == tuple(values)
+
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.booleans(),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_struct_marshal_roundtrip_property(self, t_value, shade, hit, tri):
+        hit_t = StructT(
+            "Hit",
+            [
+                ("hit", BoolT()),
+                ("t", FixPtT(16, 16)),
+                ("tri", UIntT(32)),
+                ("shade", FixPtT(16, 16)),
+            ],
+        )
+        value = {
+            "hit": hit,
+            "t": FixedPoint.from_float(t_value, 16, 16),
+            "tri": tri,
+            "shade": FixedPoint.from_float(shade, 16, 16),
+        }
+        words = marshal.marshal_value(hit_t, value)
+        assert marshal.demarshal_value(hit_t, words) == value

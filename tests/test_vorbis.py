@@ -1,0 +1,185 @@
+"""Tests for the Vorbis back-end: kernels, reference, and partition equivalence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.vorbis import kernels
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.partitions import PARTITION_ORDER, PARTITIONS, build_partition
+from repro.apps.vorbis.reference import decode, expected_checksum
+from repro.baselines.handcoded import run_handcoded_vorbis, run_systemc_vorbis
+from repro.core.domains import HW, SW
+from repro.core.fixedpoint import FixComplex, FixedPoint
+from repro.core.interpreter import Simulator
+from repro.sim.cosim import Cosimulator
+
+SMALL = VorbisParams(n_frames=3)
+
+
+class TestKernels:
+    def test_ifft_matches_numpy(self):
+        points = 64
+        data = tuple(
+            FixComplex.from_floats(0.4 * math.cos(0.3 * i), 0.3 * math.sin(0.17 * i))
+            for i in range(points)
+        )
+        out = kernels.natural_order(kernels.ifft_full(data))
+        reference = np.fft.ifft(np.array([c.to_complex() for c in data]))
+        got = np.array([c.to_complex() for c in out])
+        assert np.max(np.abs(got - reference)) < 1e-5
+
+    def test_staged_ifft_equals_full(self):
+        points = 64
+        data = tuple(FixComplex.from_floats(0.1 * ((i * 7) % 5 - 2), 0.05 * (i % 3)) for i in range(points))
+        staged = data
+        for stage in range(3):
+            staged = kernels.ifft_rule_stage(stage, staged, 2)
+        assert staged == kernels.ifft_full(data)
+
+    @pytest.mark.parametrize("points", [8, 16, 32, 64, 128])
+    def test_ifft_sizes(self, points):
+        data = tuple(FixComplex.from_floats(0.2 * math.sin(i), 0.0) for i in range(points))
+        out = kernels.natural_order(kernels.ifft_full(data))
+        reference = np.fft.ifft(np.array([c.to_complex() for c in data]))
+        got = np.array([c.to_complex() for c in out])
+        assert np.max(np.abs(got - reference)) < 1e-4
+
+    def test_ifft_linearity(self):
+        points = 64
+        a = tuple(FixComplex.from_floats(0.1 * (i % 7), 0.0) for i in range(points))
+        b = tuple(FixComplex.from_floats(0.0, 0.05 * (i % 5)) for i in range(points))
+        summed = tuple(x + y for x, y in zip(a, b))
+        lhs = kernels.ifft_full(summed)
+        rhs = tuple(x + y for x, y in zip(kernels.ifft_full(a), kernels.ifft_full(b)))
+        for x, y in zip(lhs, rhs):
+            assert abs((x - y).to_complex()) < 1e-5
+
+    def test_bit_reverse(self):
+        assert kernels.bit_reverse(0, 6) == 0
+        assert kernels.bit_reverse(1, 6) == 32
+        assert kernels.bit_reverse(0b000011, 6) == 0b110000
+        # involution
+        for i in range(64):
+            assert kernels.bit_reverse(kernels.bit_reverse(i, 6), 6) == i
+
+    def test_gen_frame_deterministic(self):
+        assert kernels.gen_frame(3, 32) == kernels.gen_frame(3, 32)
+        assert kernels.gen_frame(3, 32) != kernels.gen_frame(4, 32)
+
+    def test_gen_frame_range(self):
+        for value in kernels.gen_frame(0, 64):
+            assert -1.0 < value.to_float() < 1.0
+
+    def test_imdct_pre_shape(self):
+        frame = kernels.gen_frame(0, 32)
+        spectrum = kernels.imdct_pre(frame)
+        assert len(spectrum) == 64
+
+    def test_imdct_post_shape(self):
+        frame = kernels.gen_frame(0, 32)
+        samples = kernels.imdct_post(kernels.imdct_pre(frame))
+        assert len(samples) == 64
+        assert all(isinstance(s, FixedPoint) for s in samples)
+
+    def test_window_overlap_shapes_and_state(self):
+        n = 32
+        prev = tuple(FixedPoint.zero() for _ in range(n))
+        current = kernels.imdct_post(kernels.imdct_pre(kernels.gen_frame(1, n)))
+        pcm, new_prev = kernels.window_overlap(prev, current)
+        assert len(pcm) == n and len(new_prev) == n
+        assert new_prev == tuple(current[n:])
+
+    def test_window_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            kernels.window_overlap((FixedPoint.zero(),) * 4, (FixedPoint.zero(),) * 4)
+
+    def test_audio_checksum_changes_with_data(self):
+        pcm1 = kernels.gen_frame(0, 32)
+        pcm2 = kernels.gen_frame(1, 32)
+        assert kernels.audio_checksum(pcm1, 0) != kernels.audio_checksum(pcm2, 0)
+
+    def test_kernel_costs_scale_with_frame_size(self):
+        small, large = kernels.kernel_costs(16), kernels.kernel_costs(64)
+        assert large["ifft_rule_stage"][0] > small["ifft_rule_stage"][0]
+        for name, (sw, hw) in large.items():
+            assert sw > 0 and hw > 0
+
+
+class TestReference:
+    def test_reference_is_deterministic(self):
+        assert decode(SMALL).checksum == decode(SMALL).checksum
+
+    def test_checksum_depends_on_frame_count(self):
+        assert expected_checksum(VorbisParams(n_frames=2)) != expected_checksum(
+            VorbisParams(n_frames=3)
+        )
+
+    def test_reference_cost_positive(self):
+        result = decode(SMALL)
+        assert result.cpu_cycles > 0
+        assert len(result.pcm_frames) == SMALL.n_frames
+
+
+class TestBackendDesign:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            VorbisParams(n=33)
+
+    def test_unknown_stage_rejected(self):
+        from repro.apps.vorbis.backend import build_backend
+
+        with pytest.raises(ValueError):
+            build_backend(SMALL, {"bogus": HW})
+
+    def test_partition_placements_cover_all_stages(self):
+        for letter, placement in PARTITIONS.items():
+            assert set(placement) == {"ctrl", "imdct", "ifft", "window"}
+
+    def test_f_is_full_software_and_e_full_hardware(self):
+        assert all(dom == SW for dom in PARTITIONS["F"].values())
+        assert all(dom == HW for dom in PARTITIONS["E"].values())
+
+    def test_full_sw_design_runs_on_reference_simulator(self):
+        """The unpartitioned design under one-rule-at-a-time semantics is bit-exact."""
+        backend = build_partition("F", SMALL)
+        sim = Simulator(backend.design)
+        sim.run_until(lambda s: s.read(backend.frames_out) >= SMALL.n_frames, max_steps=100000)
+        assert sim.read(backend.checksum) == expected_checksum(SMALL)
+
+    @pytest.mark.parametrize("letter", PARTITION_ORDER)
+    def test_every_partition_is_bit_exact(self, letter):
+        """Latency-insensitive partitioning preserves behaviour (Section 4.3)."""
+        backend = build_partition(letter, SMALL)
+        cosim = Cosimulator(backend.design)
+        result = cosim.run(backend.cosim_done, max_cycles=50_000_000)
+        assert result.completed
+        assert cosim.read_sw(backend.checksum) == expected_checksum(SMALL)
+
+    def test_partition_a_crosses_at_the_ifft(self):
+        backend = build_partition("A", SMALL)
+        from repro.core.partition import partition_design
+
+        cut_names = {s.name for s in partition_design(backend.design, SW).cut}
+        assert cut_names == {"q_pre", "q_ifft"}
+
+    def test_partition_e_crosses_at_frontend_and_audio(self):
+        backend = build_partition("E", SMALL)
+        from repro.core.partition import partition_design
+
+        cut_names = {s.name for s in partition_design(backend.design, SW).cut}
+        assert cut_names == {"q_in", "q_pcm"}
+
+
+class TestBaselines:
+    def test_handcoded_matches_reference(self):
+        assert run_handcoded_vorbis(SMALL).checksum == expected_checksum(SMALL)
+
+    def test_systemc_matches_reference(self):
+        assert run_systemc_vorbis(SMALL).checksum == expected_checksum(SMALL)
+
+    def test_systemc_slower_than_handcoded(self):
+        handcoded = run_handcoded_vorbis(SMALL)
+        systemc = run_systemc_vorbis(SMALL)
+        assert systemc.fpga_cycles() > 1.5 * handcoded.fpga_cycles()
