@@ -33,26 +33,35 @@ def run_vorbis_partition(
     config: OptimizationConfig | None = None,
     burst: bool = True,
     platform: Platform | None = None,
+    backend: str = "compiled",
 ) -> CosimResult:
-    """Co-simulate one Vorbis partition and return its result."""
-    backend = vorbis_partitions.build_partition(letter, params)
+    """Co-simulate one Vorbis partition and return its result.
+
+    ``backend`` selects the execution backend (``"compiled"`` by default --
+    the closure-compiled engines; ``"interp"`` for the tree-walking
+    reference).  Both produce bitwise-identical results, which
+    ``tests/test_compiled_backend.py`` verifies.
+    """
+    workload = vorbis_partitions.build_partition(letter, params)
     cosim = Cosimulator(
-        backend.design,
+        workload.design,
         platform=platform or Platform.ml507(),
         config=config or OptimizationConfig.all(),
         burst=burst,
+        backend=backend,
     )
-    return cosim.run(backend.cosim_done, max_cycles=500_000_000)
+    return cosim.run(workload.cosim_done, max_cycles=500_000_000)
 
 
 def run_raytracer_partition(
     letter: str,
     params: RayTracerParams = RAYTRACER_PARAMS,
     burst: bool = True,
+    backend: str = "compiled",
 ) -> CosimResult:
     """Co-simulate one ray-tracer partition and return its result."""
     tracer = rt_partitions.build_partition(letter, params)
-    cosim = Cosimulator(tracer.design, burst=burst)
+    cosim = Cosimulator(tracer.design, burst=burst, backend=backend)
     return cosim.run(tracer.cosim_done, max_cycles=500_000_000)
 
 

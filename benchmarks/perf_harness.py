@@ -1,0 +1,190 @@
+"""Wall-clock performance harness for the two execution backends.
+
+Runs the Figure 13 workloads -- every Ogg Vorbis partition (A-F) and every
+ray-tracer partition (A-D) -- under both the tree-walking reference backend
+(``interp``) and the closure-compiled backend with dirty-set scheduling
+(``compiled``), and records per-workload wall-clock seconds, rule firings
+per second and simulated FPGA cycles.
+
+Outputs one JSON file per backend next to this script (``BENCH_interp.json``
+and ``BENCH_compiled.json``) so future PRs have a perf trajectory to regress
+against, and prints a comparison table.  The harness also *verifies* the
+backends agree: every workload's :class:`~repro.sim.cosim.CosimResult`
+(stores statistics, fire counts, channel stats) must be bitwise identical
+between the two, otherwise the run fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py           # full run
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick   # CI smoke run
+
+Timing methodology: each workload's design is elaborated once (both backends
+execute the *same* immutable design, mirroring the paper's compile-once /
+run-many model); the measured quantity is the best of ``--repeats``
+co-simulation runs, which is the standard way to suppress scheduler noise on
+shared machines.  One-time closure-compilation cost is reported separately
+as ``compile_seconds``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.raytracer import partitions as rt_partitions
+from repro.apps.raytracer.params import RayTracerParams
+from repro.apps.vorbis import partitions as vorbis_partitions
+from repro.apps.vorbis.params import VorbisParams
+from repro.sim.cosim import Cosimulator
+
+BACKENDS = ("interp", "compiled")
+
+#: Figure 13 workload sizes.  ``full`` uses larger inputs than the benchmark
+#: suite's quick defaults so steady-state rule throughput dominates startup
+#: (the paper's audio test bench ran 10 000 frames); ``quick`` matches the
+#: suite's sizes and is meant for CI smoke runs.
+SIZES = {
+    "full": {
+        "vorbis": VorbisParams(n_frames=48),
+        "raytracer": RayTracerParams(n_triangles=96, image_width=8, image_height=8),
+    },
+    "quick": {
+        "vorbis": VorbisParams(n_frames=12),
+        "raytracer": RayTracerParams(n_triangles=96, image_width=5, image_height=5),
+    },
+}
+
+
+def build_workloads(size: str):
+    """Elaborate every fig13 partition once; returns ``[(name, backend_obj)]``."""
+    params = SIZES[size]
+    workloads = []
+    for letter in vorbis_partitions.PARTITION_ORDER:
+        workloads.append(
+            (f"vorbis_{letter}", vorbis_partitions.build_partition(letter, params["vorbis"]))
+        )
+    for letter in rt_partitions.PARTITION_ORDER:
+        workloads.append(
+            (f"raytracer_{letter}", rt_partitions.build_partition(letter, params["raytracer"]))
+        )
+    return workloads
+
+
+def run_once(workload, backend: str):
+    cosim = Cosimulator(workload.design, backend=backend)
+    result = cosim.run(workload.cosim_done, max_cycles=500_000_000)
+    return result
+
+
+def measure(workload, backend: str, repeats: int) -> Dict[str, Any]:
+    # First run pays one-time compilation/analysis for this design+backend.
+    t0 = time.perf_counter()
+    result = run_once(workload, backend)
+    first = time.perf_counter() - t0
+
+    best = first
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_once(workload, backend)
+        best = min(best, time.perf_counter() - t0)
+
+    firings = result.sw_firings + result.hw_firings
+    return {
+        "wall_seconds": best,
+        "compile_seconds": max(0.0, first - best),
+        "firings": firings,
+        "firings_per_sec": firings / best if best > 0 else float("inf"),
+        "fpga_cycles": result.fpga_cycles,
+        "completed": result.completed,
+        "result": asdict(result),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads, 1 repeat (CI smoke run)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timed repetitions per workload (best-of)"
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path(__file__).resolve().parent,
+        help="directory for BENCH_<backend>.json",
+    )
+    args = parser.parse_args(argv)
+    size = "quick" if args.quick else "full"
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 5)
+
+    workloads = build_workloads(size)
+    bench: Dict[str, Dict[str, Any]] = {backend: {} for backend in BACKENDS}
+    mismatches = []
+
+    for name, workload in workloads:
+        for backend in BACKENDS:
+            bench[backend][name] = measure(workload, backend, repeats)
+        if bench["interp"][name]["result"] != bench["compiled"][name]["result"]:
+            mismatches.append(name)
+
+    # -- report ------------------------------------------------------------
+    header = f"{'workload':<14} {'interp (s)':>11} {'compiled (s)':>13} {'speedup':>8} {'firings/s (compiled)':>21}"
+    print("\n=== Figure 13 workloads: interp vs. compiled backend ===")
+    print(header)
+    print("-" * len(header))
+    total = {backend: 0.0 for backend in BACKENDS}
+    for name, _ in workloads:
+        ti = bench["interp"][name]["wall_seconds"]
+        tc = bench["compiled"][name]["wall_seconds"]
+        total["interp"] += ti
+        total["compiled"] += tc
+        print(
+            f"{name:<14} {ti:>11.4f} {tc:>13.4f} {ti / tc:>7.2f}x "
+            f"{bench['compiled'][name]['firings_per_sec']:>20,.0f}"
+        )
+    aggregate = total["interp"] / total["compiled"]
+    print("-" * len(header))
+    print(
+        f"{'TOTAL':<14} {total['interp']:>11.4f} {total['compiled']:>13.4f} {aggregate:>7.2f}x"
+    )
+    if mismatches:
+        print(f"\nBACKEND MISMATCH on: {', '.join(mismatches)}")
+    else:
+        print("\nAll CosimResult statistics bitwise identical across backends.")
+
+    # -- persist -----------------------------------------------------------
+    meta = {
+        "size": size,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "machine": platform_mod.machine(),
+        "aggregate_wall_seconds": None,  # per-file below
+    }
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    for backend in BACKENDS:
+        payload = {
+            "meta": {**meta, "backend": backend, "aggregate_wall_seconds": total[backend]},
+            "workloads": {
+                name: {k: v for k, v in stats.items() if k != "result"}
+                for name, stats in bench[backend].items()
+            },
+        }
+        # Quick (CI smoke) runs get their own files so they never clobber
+        # the committed full-size trajectory that EXPERIMENTS.md records.
+        suffix = "_quick" if size == "quick" else ""
+        out_path = args.out_dir / f"BENCH_{backend}{suffix}.json"
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,34 +64,61 @@ def write_set(node: Node) -> Set[Register]:
     return regs
 
 
-def _method_read_set(instance: Module, name: str) -> Set[Register]:
+def _method_read_set(instance: Module, name: str) -> FrozenSet[Register]:
     method = instance.get_method(name)
+    cached = getattr(method, "_read_set_cache", None)
+    if cached is not None:
+        return cached
     if isinstance(instance, PrimitiveModule):
         native = instance.get_native(name)
-        return set(native.reads)
-    regs: Set[Register] = set()
-    if method.body is not None:
-        regs |= read_set(method.body)
-    regs |= read_set(method.guard)
-    return regs
+        result = frozenset(native.reads)
+    else:
+        regs: Set[Register] = set()
+        if method.body is not None:
+            regs |= read_set(method.body)
+        regs |= read_set(method.guard)
+        result = frozenset(regs)
+    method._read_set_cache = result  # type: ignore[attr-defined]
+    return result
 
 
-def _method_write_set(instance: Module, name: str) -> Set[Register]:
+def _method_write_set(instance: Module, name: str) -> FrozenSet[Register]:
     method = instance.get_method(name)
+    cached = getattr(method, "_write_set_cache", None)
+    if cached is not None:
+        return cached
     if isinstance(instance, PrimitiveModule):
         native = instance.get_native(name)
-        return set(native.writes)
-    if method.kind != "action" or method.body is None:
-        return set()
-    return write_set(method.body)
+        result = frozenset(native.writes)
+    elif method.kind != "action" or method.body is None:
+        result = frozenset()
+    else:
+        result = frozenset(write_set(method.body))
+    method._write_set_cache = result  # type: ignore[attr-defined]
+    return result
 
 
-def rule_read_set(rule: Rule) -> Set[Register]:
-    return read_set(rule.action)
+# The rule-level analyses are memoised on the rule objects: every scheduler,
+# engine and partition check asks for the same sets repeatedly, and an
+# elaborated rule's action never changes.  (``read_set``/``write_set`` on
+# arbitrary nodes stay uncached -- the optimiser calls them on freshly
+# rewritten bodies.)
 
 
-def rule_write_set(rule: Rule) -> Set[Register]:
-    return write_set(rule.action)
+def rule_read_set(rule: Rule) -> FrozenSet[Register]:
+    cached = getattr(rule, "_read_set_cache", None)
+    if cached is None:
+        cached = frozenset(read_set(rule.action))
+        rule._read_set_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def rule_write_set(rule: Rule) -> FrozenSet[Register]:
+    cached = getattr(rule, "_write_set_cache", None)
+    if cached is None:
+        cached = frozenset(write_set(rule.action))
+        rule._write_set_cache = cached  # type: ignore[attr-defined]
+    return cached
 
 
 def primitive_method_calls(rule: Rule) -> Dict[PrimitiveModule, Set[str]]:
@@ -101,6 +128,9 @@ def primitive_method_calls(rule: Rule) -> Dict[PrimitiveModule, Set[str]]:
     ``ifft.input(x)`` is charged with the ``enq`` it performs on the FIFO
     inside ``ifft``.
     """
+    cached = getattr(rule, "_primitive_calls_cache", None)
+    if cached is not None:
+        return cached
     result: Dict[PrimitiveModule, Set[str]] = {}
 
     def visit(node: Node) -> None:
@@ -115,6 +145,7 @@ def primitive_method_calls(rule: Rule) -> Dict[PrimitiveModule, Set[str]]:
                 visit(method.guard)
 
     visit(rule.action)
+    rule._primitive_calls_cache = result  # type: ignore[attr-defined]
     return result
 
 
@@ -129,6 +160,19 @@ def conflicts(rule_a: Rule, rule_b: Rule) -> bool:
     """
     if rule_a is rule_b:
         return True
+    cache = getattr(rule_a, "_conflict_cache", None)
+    if cache is None:
+        cache = {}
+        rule_a._conflict_cache = cache  # type: ignore[attr-defined]
+    cached = cache.get(rule_b)
+    if cached is not None:
+        return cached
+    result = _conflicts_uncached(rule_a, rule_b)
+    cache[rule_b] = result
+    return result
+
+
+def _conflicts_uncached(rule_a: Rule, rule_b: Rule) -> bool:
     reads_a, writes_a = rule_read_set(rule_a), rule_write_set(rule_a)
     reads_b, writes_b = rule_read_set(rule_b), rule_write_set(rule_b)
     shared = (writes_a & writes_b) | (writes_a & reads_b) | (writes_b & reads_a)
@@ -158,6 +202,7 @@ class ConflictMatrix:
 
     def __init__(self, rules: List[Rule]):
         self.rules = list(rules)
+        self._index: Dict[Rule, int] = {r: i for i, r in enumerate(self.rules)}
         self._conflicting: Set[FrozenSet[int]] = set()
         for i in range(len(self.rules)):
             for j in range(i + 1, len(self.rules)):
@@ -167,8 +212,8 @@ class ConflictMatrix:
     def conflict(self, rule_a: Rule, rule_b: Rule) -> bool:
         if rule_a is rule_b:
             return True
-        i = self.rules.index(rule_a)
-        j = self.rules.index(rule_b)
+        i = self._index[rule_a]
+        j = self._index[rule_b]
         return frozenset((i, j)) in self._conflicting
 
     def conflict_free_with(self, rule: Rule, chosen: List[Rule]) -> bool:

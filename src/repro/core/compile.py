@@ -1,0 +1,1277 @@
+"""Closure compilation: lower rules to nested Python closures at elaboration.
+
+The paper's generated C++ is fast because every BCL rule is *compiled* --
+guard lifting, inlining and sequentialisation turn it into straight-line
+code -- whereas :class:`~repro.core.semantics.Evaluator` re-dispatches over
+the AST (a chain of ``isinstance`` tests, dict-copied environments and
+operator-table lookups) on every firing.  This module closes that gap for
+the Python reproduction: each :class:`~repro.core.expr.Expr` /
+:class:`~repro.core.action.Action` node is lowered *once* to a closure, so
+firing a rule afterwards is one call through a tree of precompiled closures
+with
+
+* constants, operator functions (``BINARY_OPS``), native method
+  implementations and method bodies resolved at compile time,
+* environments as tuples indexed by statically assigned slots instead of
+  per-``let`` dict copies,
+* observation hooks specialised away entirely when none are installed, and
+* prebuilt :class:`~repro.core.errors.GuardFail` instances on the failure
+  paths (mirroring the generated C++'s cheap ``throw``).
+
+Three closure *modes* are produced lazily per rule:
+
+``fast``
+    No hooks at all -- used by the reference simulator when no observer is
+    installed.
+``hooked``
+    Calls the :class:`~repro.core.semantics.EvalHooks` callbacks that carry
+    cost information (``on_register_read``/``on_register_write``,
+    ``on_kernel``, ``on_method``, ``on_guard_fail``) exactly as the tree
+    walker does, and ``on_node`` for the cost-bearing arithmetic nodes
+    (``BinOp``/``UnOp``/``Mux``/``FieldSelect``).  Structural nodes do not
+    trigger ``on_node`` (the tree walker visits them, but no cost model
+    observes them), so ``SwCostAccumulator.cpu_cycles`` is reproduced
+    bit-for-bit while ``nodes_visited`` intentionally counts fewer nodes.
+``latency``
+    Calls only ``on_kernel``/``on_method`` -- the callbacks
+    :class:`~repro.sim.costmodel.HwLatencyAccumulator` observes -- so the
+    hardware engine can compute a rule's updates *and* its FSM latency in a
+    single evaluation.
+
+Every compiled closure has the uniform signature ``fn(env, read, hooks)``
+(``env`` a tuple of slot values, ``read`` the register-read function,
+``hooks`` ignored in ``fast`` mode), which keeps composition trivial.
+Action closures always return a *fresh* updates dict, which lets parallel
+composition reuse its first branch's dict as the merge accumulator.
+
+Evaluation order, laziness (non-strict lets are memoised thunk cells) and
+guard-failure points mirror the tree walker exactly; the tree walker remains
+the semantic reference oracle behind the engines' ``backend="interp"``
+switch, and ``tests/test_compiled_backend.py`` checks observational
+equivalence (stores, fire counts, cost statistics) between the two.
+
+Compiled closures assume the elaborated design is immutable (rule actions
+and method bodies are never rewritten after compilation) and that foreign
+kernels are pure -- the same assumptions the hardware engine's re-evaluation
+and the static read/write-set analysis already make.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.action import (
+    Action,
+    IfA,
+    LetA,
+    LocalGuard,
+    Loop,
+    MethodCallA,
+    NoAction,
+    Par,
+    RegWrite,
+    Seq,
+    WhenA,
+)
+from repro.core.errors import (
+    DoubleWriteError,
+    ElaborationError,
+    GuardFail,
+    SimulationError,
+)
+from repro.core.expr import (
+    BINARY_OPS,
+    UNARY_OPS,
+    BinOp,
+    Const,
+    Expr,
+    FieldSelect,
+    KernelCall,
+    LetE,
+    MethodCallE,
+    Mux,
+    RegRead,
+    UnOp,
+    Var,
+    WhenE,
+)
+from repro.core.module import Method, Module, PrimitiveModule, Register, Rule
+
+#: Read function supplied by the engines (usually ``store.__getitem__``).
+ReadFn = Callable[..., Any]
+#: A compiled node: ``fn(env, read, hooks) -> value | updates``.
+ClosureFn = Callable[[tuple, ReadFn, Any], Any]
+
+#: Closure modes (see module docstring).
+MODE_FAST = "fast"
+MODE_HOOKED = "hooked"
+MODE_LATENCY = "latency"
+
+
+def raise_for_missing_register(exc: KeyError) -> None:
+    """Convert a store-miss ``KeyError`` to the tree walker's diagnostic.
+
+    The compiled engines read through ``store.__getitem__`` for speed; when
+    the missing key is a register this re-raises the same
+    :class:`SimulationError` the interp backend's ``try_rule`` produces.
+    Other ``KeyError``\\ s (e.g. a struct field select) return to the caller,
+    which should re-raise.
+    """
+    key = exc.args[0] if exc.args else None
+    if isinstance(key, Register):
+        raise SimulationError(
+            f"register {key.full_name} is not part of this store"
+        ) from None
+
+
+class _Cell:
+    """A memoised thunk cell for a non-strict let binding (compiled ``_Thunk``)."""
+
+    __slots__ = ("forced", "value", "fn", "env", "read", "hooks")
+
+    def __init__(self, fn: ClosureFn, env: tuple, read: ReadFn, hooks: Any):
+        self.forced = False
+        self.value: Any = None
+        self.fn = fn
+        self.env = env
+        self.read = read
+        self.hooks = hooks
+
+    def force(self) -> Any:
+        if not self.forced:
+            self.value = self.fn(self.env, self.read, self.hooks)
+            self.forced = True
+        return self.value
+
+
+# Scope maps a variable name to ``(slot_index, is_thunk)``: method parameters
+# are strict values, let bindings are thunk cells.
+Scope = Dict[str, Tuple[int, bool]]
+
+
+def _has_hook_sites(node) -> bool:
+    """Whether evaluating ``node`` can trigger a kernel/method callback."""
+    for sub in node.walk():
+        if isinstance(sub, (KernelCall, MethodCallE, MethodCallA)):
+            return True
+    return False
+
+
+def _seq_never_reads_back(actions) -> bool:
+    """Whether no element of a ``Seq`` reads a register an earlier one writes.
+
+    Uses the conservative static read/write sets, so ``True`` guarantees the
+    sequential overlay can never be consulted and the incoming read function
+    may be threaded through unchanged.
+    """
+    from repro.core.analysis import read_set, write_set
+
+    written: set = set()
+    for sub in actions:
+        if written and (written & read_set(sub)):
+            return False
+        written |= write_set(sub)
+    return True
+
+
+class ClosureCompiler:
+    """Compiles expressions and actions to closures for one hook mode."""
+
+    def __init__(self, mode: str = MODE_FAST, max_loop_iterations: int = 1_000_000):
+        if mode not in (MODE_FAST, MODE_HOOKED, MODE_LATENCY):
+            raise ValueError(f"unknown closure mode {mode!r}")
+        self.mode = mode
+        #: Emit the full cost-callback set (register/guard/node hooks).
+        self.all_hooks = mode == MODE_HOOKED
+        #: Emit kernel/method callbacks (both hooked and latency modes).
+        self.kernel_hooks = mode in (MODE_HOOKED, MODE_LATENCY)
+        self.max_loop_iterations = max_loop_iterations
+        # Lazily compiled user-module methods, keyed by method identity.  The
+        # call-site closure captures the (mutable) per-method dict so mutual
+        # recursion between methods compiles without infinite regress.
+        self._methods: Dict[int, Dict[str, ClosureFn]] = {}
+
+    # ------------------------------------------------------------------ expr
+
+    def compile_expr(self, expr: Expr, scope: Scope, depth: int) -> ClosureFn:
+        all_hooks = self.all_hooks
+
+        # Latency mode only observes kernel/method sites; a subtree without
+        # any compiles identically in fast mode, where the peephole fusions
+        # below apply.
+        if self.mode == MODE_LATENCY and _has_hook_sites(expr):
+            pass  # compile below, in latency mode
+        elif not all_hooks:
+            return self._compile_expr_fused(expr, scope, depth)
+        return self._compile_expr_generic(expr, scope, depth)
+
+    def _compile_expr_fused(self, expr: Expr, scope: Scope, depth: int) -> ClosureFn:
+        """Hook-free compilation with peephole fusion of hot leaf patterns.
+
+        Binary operations over register reads and constants (``cnt < 17``,
+        ``acc + 1``) are the bulk of rule guards; fusing the leaf access into
+        the operation closure removes one or two closure calls per node.
+        """
+        if isinstance(expr, BinOp) and expr.op not in ("&&", "||"):
+            op_fn = BINARY_OPS[expr.op]
+            left, right = expr.left, expr.right
+            if isinstance(right, Const):
+                const = right.value
+                if isinstance(left, RegRead):
+                    reg = left.reg
+                    def reg_op_const(env, read, hooks, _op=op_fn, _r=reg, _c=const):
+                        return _op(read(_r), _c)
+                    return reg_op_const
+                left_fn = self.compile_expr(left, scope, depth)
+                def any_op_const(env, read, hooks, _op=op_fn, _l=left_fn, _c=const):
+                    return _op(_l(env, read, hooks), _c)
+                return any_op_const
+            if isinstance(left, RegRead):
+                reg = left.reg
+                if isinstance(right, RegRead):
+                    reg_b = right.reg
+                    def reg_op_reg(env, read, hooks, _op=op_fn, _a=reg, _b=reg_b):
+                        return _op(read(_a), read(_b))
+                    return reg_op_reg
+                right_fn = self.compile_expr(right, scope, depth)
+                def reg_op_any(env, read, hooks, _op=op_fn, _r=reg, _f=right_fn):
+                    return _op(read(_r), _f(env, read, hooks))
+                return reg_op_any
+        if isinstance(expr, UnOp) and isinstance(expr.operand, RegRead):
+            op_fn = UNARY_OPS[expr.op]
+            reg = expr.operand.reg
+            return lambda env, read, hooks, _op=op_fn, _r=reg: _op(read(_r))
+        return self._compile_expr_generic(expr, scope, depth)
+
+    def _compile_expr_generic(self, expr: Expr, scope: Scope, depth: int) -> ClosureFn:
+        all_hooks = self.all_hooks
+
+        if isinstance(expr, Const):
+            value = expr.value
+            return lambda env, read, hooks, _v=value: _v
+
+        if isinstance(expr, Var):
+            if expr.name not in scope:
+                name = expr.name
+                def unbound(env, read, hooks, _n=name):
+                    raise ElaborationError(f"unbound variable {_n!r}")
+                return unbound
+            slot, is_thunk = scope[expr.name]
+            if is_thunk:
+                def force_var(env, read, hooks, _i=slot):
+                    cell = env[_i]
+                    if cell.forced:
+                        return cell.value
+                    value = cell.fn(cell.env, cell.read, cell.hooks)
+                    cell.value = value
+                    cell.forced = True
+                    return value
+                return force_var
+            return lambda env, read, hooks, _i=slot: env[_i]
+
+        if isinstance(expr, RegRead):
+            reg = expr.reg
+            if all_hooks:
+                def read_reg(env, read, hooks, _r=reg):
+                    hooks.on_register_read(_r)
+                    return read(_r)
+                return read_reg
+            return lambda env, read, hooks, _r=reg: read(_r)
+
+        if isinstance(expr, UnOp):
+            op_fn = UNARY_OPS[expr.op]
+            operand = self.compile_expr(expr.operand, scope, depth)
+            if all_hooks:
+                def un_op(env, read, hooks, _op=op_fn, _f=operand, _n=expr):
+                    hooks.on_node(_n)
+                    return _op(_f(env, read, hooks))
+                return un_op
+            return lambda env, read, hooks, _op=op_fn, _f=operand: _op(_f(env, read, hooks))
+
+        if isinstance(expr, BinOp):
+            left = self.compile_expr(expr.left, scope, depth)
+            right = self.compile_expr(expr.right, scope, depth)
+            if expr.op == "&&":
+                if all_hooks:
+                    def sc_and_h(env, read, hooks, _l=left, _r=right, _n=expr):
+                        hooks.on_node(_n)
+                        if not _l(env, read, hooks):
+                            return False
+                        return bool(_r(env, read, hooks))
+                    return sc_and_h
+                def sc_and(env, read, hooks, _l=left, _r=right):
+                    if not _l(env, read, hooks):
+                        return False
+                    return bool(_r(env, read, hooks))
+                return sc_and
+            if expr.op == "||":
+                if all_hooks:
+                    def sc_or_h(env, read, hooks, _l=left, _r=right, _n=expr):
+                        hooks.on_node(_n)
+                        if _l(env, read, hooks):
+                            return True
+                        return bool(_r(env, read, hooks))
+                    return sc_or_h
+                def sc_or(env, read, hooks, _l=left, _r=right):
+                    if _l(env, read, hooks):
+                        return True
+                    return bool(_r(env, read, hooks))
+                return sc_or
+            op_fn = BINARY_OPS[expr.op]
+            if all_hooks:
+                def bin_op_h(env, read, hooks, _op=op_fn, _l=left, _r=right, _n=expr):
+                    hooks.on_node(_n)
+                    return _op(_l(env, read, hooks), _r(env, read, hooks))
+                return bin_op_h
+            def bin_op(env, read, hooks, _op=op_fn, _l=left, _r=right):
+                return _op(_l(env, read, hooks), _r(env, read, hooks))
+            return bin_op
+
+        if isinstance(expr, Mux):
+            cond = self.compile_expr(expr.cond, scope, depth)
+            then = self.compile_expr(expr.then, scope, depth)
+            orelse = self.compile_expr(expr.orelse, scope, depth)
+            if all_hooks:
+                def mux_h(env, read, hooks, _c=cond, _t=then, _e=orelse, _n=expr):
+                    hooks.on_node(_n)
+                    if _c(env, read, hooks):
+                        return _t(env, read, hooks)
+                    return _e(env, read, hooks)
+                return mux_h
+            def mux(env, read, hooks, _c=cond, _t=then, _e=orelse):
+                if _c(env, read, hooks):
+                    return _t(env, read, hooks)
+                return _e(env, read, hooks)
+            return mux
+
+        if isinstance(expr, WhenE):
+            guard = self.compile_expr(expr.guard, scope, depth)
+            body = self.compile_expr(expr.body, scope, depth)
+            fail = GuardFail(f"expression guard failed at {expr!r}")
+            if all_hooks:
+                def when_e_h(env, read, hooks, _g=guard, _b=body, _n=expr, _x=fail):
+                    if not _g(env, read, hooks):
+                        hooks.on_guard_fail(_n)
+                        _x.__traceback__ = None
+                        raise _x
+                    return _b(env, read, hooks)
+                return when_e_h
+            def when_e(env, read, hooks, _g=guard, _b=body, _x=fail):
+                if not _g(env, read, hooks):
+                    _x.__traceback__ = None
+                    raise _x
+                return _b(env, read, hooks)
+            return when_e
+
+        if isinstance(expr, LetE):
+            value = self.compile_expr(expr.value, scope, depth)
+            inner = dict(scope)
+            inner[expr.name] = (depth, True)
+            body = self.compile_expr(expr.body, inner, depth + 1)
+            def let_e(env, read, hooks, _v=value, _b=body):
+                return _b(env + (_Cell(_v, env, read, hooks),), read, hooks)
+            return let_e
+
+        if isinstance(expr, FieldSelect):
+            operand = self.compile_expr(expr.operand, scope, depth)
+            field = expr.field
+            if isinstance(field, int):
+                if all_hooks:
+                    def sel_idx_h(env, read, hooks, _f=operand, _i=field, _n=expr):
+                        hooks.on_node(_n)
+                        return _f(env, read, hooks)[_i]
+                    return sel_idx_h
+                return lambda env, read, hooks, _f=operand, _i=field: _f(env, read, hooks)[_i]
+            if all_hooks:
+                def sel_h(env, read, hooks, _f=operand, _a=field, _n=expr):
+                    hooks.on_node(_n)
+                    value = _f(env, read, hooks)
+                    if isinstance(value, dict):
+                        return value[_a]
+                    return getattr(value, _a)
+                return sel_h
+            def sel(env, read, hooks, _f=operand, _a=field):
+                value = _f(env, read, hooks)
+                if isinstance(value, dict):
+                    return value[_a]
+                return getattr(value, _a)
+            return sel
+
+        if isinstance(expr, KernelCall):
+            arg_fns = tuple(self.compile_expr(a, scope, depth) for a in expr.args)
+            fn = expr.fn
+            if self.kernel_hooks:
+                def kernel_h(env, read, hooks, _fns=arg_fns, _fn=fn, _k=expr):
+                    values = [f(env, read, hooks) for f in _fns]
+                    hooks.on_kernel(_k, values)
+                    return _fn(*values)
+                return kernel_h
+            if len(arg_fns) == 1:
+                a0 = arg_fns[0]
+                return lambda env, read, hooks, _a0=a0, _fn=fn: _fn(_a0(env, read, hooks))
+            if len(arg_fns) == 2:
+                a0, a1 = arg_fns
+                def kernel2(env, read, hooks, _a0=a0, _a1=a1, _fn=fn):
+                    return _fn(_a0(env, read, hooks), _a1(env, read, hooks))
+                return kernel2
+            def kernel(env, read, hooks, _fns=arg_fns, _fn=fn):
+                return _fn(*[f(env, read, hooks) for f in _fns])
+            return kernel
+
+        if isinstance(expr, MethodCallE):
+            return self._compile_method_call(expr, scope, depth, is_action=False)
+
+        raise ElaborationError(f"cannot compile expression node {expr!r}")
+
+    # ---------------------------------------------------------------- action
+
+    def compile_action(self, action: Action, scope: Scope, depth: int) -> ClosureFn:
+        all_hooks = self.all_hooks
+
+        if isinstance(action, NoAction):
+            return lambda env, read, hooks: {}
+
+        if isinstance(action, RegWrite):
+            reg = action.reg
+            if not all_hooks:
+                # Constant writes (``busy := True``) and register copies are
+                # the hottest actions; fuse the value access away.
+                if isinstance(action.value, Const):
+                    const = action.value.value
+                    return lambda env, read, hooks, _r=reg, _c=const: {_r: _c}
+                if isinstance(action.value, RegRead):
+                    src = action.value.reg
+                    return lambda env, read, hooks, _r=reg, _s=src: {_r: read(_s)}
+            value = self.compile_expr(action.value, scope, depth)
+            if all_hooks:
+                def write_h(env, read, hooks, _v=value, _r=reg):
+                    result = _v(env, read, hooks)
+                    hooks.on_register_write(_r)
+                    return {_r: result}
+                return write_h
+            return lambda env, read, hooks, _v=value, _r=reg: {_r: _v(env, read, hooks)}
+
+        if isinstance(action, IfA):
+            cond = self.compile_expr(action.cond, scope, depth)
+            then = self.compile_action(action.then, scope, depth)
+            if action.orelse is None:
+                def if_a(env, read, hooks, _c=cond, _t=then):
+                    if _c(env, read, hooks):
+                        return _t(env, read, hooks)
+                    return {}
+                return if_a
+            orelse = self.compile_action(action.orelse, scope, depth)
+            def if_else(env, read, hooks, _c=cond, _t=then, _e=orelse):
+                if _c(env, read, hooks):
+                    return _t(env, read, hooks)
+                return _e(env, read, hooks)
+            return if_else
+
+        if isinstance(action, WhenA):
+            guard = self.compile_expr(action.guard, scope, depth)
+            body = self.compile_action(action.body, scope, depth)
+            fail = GuardFail(f"action guard failed at {action!r}")
+            if all_hooks:
+                def when_a_h(env, read, hooks, _g=guard, _b=body, _n=action, _x=fail):
+                    if not _g(env, read, hooks):
+                        hooks.on_guard_fail(_n)
+                        _x.__traceback__ = None
+                        raise _x
+                    return _b(env, read, hooks)
+                return when_a_h
+            def when_a(env, read, hooks, _g=guard, _b=body, _x=fail):
+                if not _g(env, read, hooks):
+                    _x.__traceback__ = None
+                    raise _x
+                return _b(env, read, hooks)
+            return when_a
+
+        if isinstance(action, Par):
+            sub_fns = tuple(self.compile_action(a, scope, depth) for a in action.actions)
+            first, rest = sub_fns[0], sub_fns[1:]
+            if not rest:
+                return first
+            def par(env, read, hooks, _first=first, _rest=rest):
+                merged = _first(env, read, hooks)
+                for f in _rest:
+                    for reg, value in f(env, read, hooks).items():
+                        if reg in merged:
+                            raise DoubleWriteError(
+                                f"parallel composition writes register {reg.full_name} twice"
+                            )
+                        merged[reg] = value
+                return merged
+            return par
+
+        if isinstance(action, Seq):
+            sub_fns = tuple(self.compile_action(a, scope, depth) for a in action.actions)
+            if _seq_never_reads_back(action.actions):
+                # No later element reads an earlier element's writes (the
+                # common shape after sequentialisation of parallel actions),
+                # so the overlay-read indirection can never trigger: thread
+                # the incoming read function straight through.
+                def sequence_flat(env, read, hooks, _fns=sub_fns):
+                    overlay: Dict[Any, Any] = {}
+                    for f in _fns:
+                        overlay.update(f(env, read, hooks))
+                    return overlay
+                return sequence_flat
+            def sequence(env, read, hooks, _fns=sub_fns):
+                overlay: Dict[Any, Any] = {}
+                def overlaid_read(reg, _o=overlay, _r=read):
+                    if reg in _o:
+                        return _o[reg]
+                    return _r(reg)
+                for f in _fns:
+                    overlay.update(f(env, overlaid_read, hooks))
+                return overlay
+            return sequence
+
+        if isinstance(action, LetA):
+            value = self.compile_expr(action.value, scope, depth)
+            inner = dict(scope)
+            inner[action.name] = (depth, True)
+            body = self.compile_action(action.body, inner, depth + 1)
+            def let_a(env, read, hooks, _v=value, _b=body):
+                return _b(env + (_Cell(_v, env, read, hooks),), read, hooks)
+            return let_a
+
+        if isinstance(action, Loop):
+            cond = self.compile_expr(action.cond, scope, depth)
+            body = self.compile_action(action.body, scope, depth)
+            limit = min(action.max_iterations, self.max_loop_iterations)
+            def loop(env, read, hooks, _c=cond, _b=body, _limit=limit):
+                overlay: Dict[Any, Any] = {}
+                def overlaid_read(reg, _o=overlay, _r=read):
+                    if reg in _o:
+                        return _o[reg]
+                    return _r(reg)
+                iterations = 0
+                while _c(env, overlaid_read, hooks):
+                    overlay.update(_b(env, overlaid_read, hooks))
+                    iterations += 1
+                    if iterations >= _limit:
+                        raise SimulationError(
+                            f"loop exceeded {_limit} iterations; either the bound is "
+                            "too small or the loop does not terminate"
+                        )
+                return overlay
+            return loop
+
+        if isinstance(action, LocalGuard):
+            body = self.compile_action(action.body, scope, depth)
+            def local_guard(env, read, hooks, _b=body):
+                try:
+                    return _b(env, read, hooks)
+                except GuardFail:
+                    return {}
+            return local_guard
+
+        if isinstance(action, MethodCallA):
+            return self._compile_method_call(action, scope, depth, is_action=True)
+
+        raise ElaborationError(f"cannot compile action node {action!r}")
+
+    # ---------------------------------------------------------------- methods
+
+    def _compile_method_call(self, call, scope: Scope, depth: int, is_action: bool) -> ClosureFn:
+        instance: Module = call.instance
+        method: Method = instance.get_method(call.method)
+        if len(call.args) != len(method.params):
+            raise ElaborationError(
+                f"method {instance.name}.{call.method} expects "
+                f"{len(method.params)} arguments, got {len(call.args)}"
+            )
+        arg_fns = tuple(self.compile_expr(a, scope, depth) for a in call.args)
+        emit_method_hook = self.kernel_hooks
+        all_hooks = self.all_hooks
+        method_name = call.method
+
+        if isinstance(instance, PrimitiveModule):
+            native = instance.get_native(method_name)
+            guard_fn, body_fn = native.guard_fn, native.body_fn
+            fail = GuardFail(
+                f"{'action' if is_action else 'value'} method "
+                f"{instance.name}.{method_name} is not ready"
+            )
+            if is_action:
+                def call_native_a(
+                    env, read, hooks,
+                    _fns=arg_fns, _g=guard_fn, _b=body_fn,
+                    _inst=instance, _name=method_name, _m=method, _x=fail,
+                ):
+                    if emit_method_hook:
+                        hooks.on_method(_inst, _name)
+                    values = [f(env, read, hooks) for f in _fns]
+                    if not _g(read, *values):
+                        if all_hooks:
+                            hooks.on_guard_fail(_m)
+                        _x.__traceback__ = None
+                        raise _x
+                    updates, _ = _b(read, *values)
+                    if all_hooks:
+                        for reg in updates:
+                            hooks.on_register_write(reg)
+                    return updates
+                return call_native_a
+            def call_native_v(
+                env, read, hooks,
+                _fns=arg_fns, _g=guard_fn, _b=body_fn,
+                _inst=instance, _name=method_name, _m=method, _x=fail,
+            ):
+                if emit_method_hook:
+                    hooks.on_method(_inst, _name)
+                values = [f(env, read, hooks) for f in _fns]
+                if not _g(read, *values):
+                    if all_hooks:
+                        hooks.on_guard_fail(_m)
+                    _x.__traceback__ = None
+                    raise _x
+                _, result = _b(read, *values)
+                return result
+            return call_native_v
+
+        # User-module method: compile its guard and body once, in a fresh
+        # parameter scope, resolved lazily through the shared cache dict so
+        # (mutually) recursive methods terminate at compile time.
+        compiled = self._compiled_method(method, is_action)
+        fail = GuardFail(
+            f"{'action' if is_action else 'value'} method "
+            f"{instance.name}.{method_name} is not ready"
+        )
+        def call_user(
+            env, read, hooks,
+            _fns=arg_fns, _c=compiled, _inst=instance, _name=method_name,
+            _m=method, _x=fail,
+        ):
+            if emit_method_hook:
+                hooks.on_method(_inst, _name)
+            method_env = tuple(f(env, read, hooks) for f in _fns)
+            if not _c["guard"](method_env, read, hooks):
+                if all_hooks:
+                    hooks.on_guard_fail(_m)
+                _x.__traceback__ = None
+                raise _x
+            return _c["body"](method_env, read, hooks)
+        return call_user
+
+    def _compiled_method(self, method: Method, is_action: bool) -> Dict[str, ClosureFn]:
+        key = id(method)
+        compiled = self._methods.get(key)
+        if compiled is not None:
+            return compiled
+        compiled = {}
+        self._methods[key] = compiled  # pre-register: breaks recursion cycles
+        param_scope: Scope = {p: (i, False) for i, p in enumerate(method.params)}
+        param_depth = len(method.params)
+        compiled["guard"] = self.compile_expr(method.guard, param_scope, param_depth)
+        if method.body is None:
+            owner = method.module.name if method.module is not None else "?"
+            kind, name = method.kind, method.name
+            def missing_body(env, read, hooks, _o=owner, _k=kind, _n=name):
+                raise ElaborationError(f"{_k} method {_o}.{_n} has no body")
+            compiled["body"] = missing_body
+        elif is_action:
+            compiled["body"] = self.compile_action(method.body, param_scope, param_depth)
+        else:
+            compiled["body"] = self.compile_expr(method.body, param_scope, param_depth)
+        return compiled
+
+
+# --------------------------------------------------------------------------
+# counting mode: folded software-cost accumulation
+# --------------------------------------------------------------------------
+
+
+class CountingCompiler:
+    """Compiles closures that accumulate CPU-cycle costs into a plain cell.
+
+    The ``hooked`` mode reproduces :class:`~repro.sim.costmodel.SwCostAccumulator`
+    through its generic callback interface -- one Python method call per
+    cost-bearing node.  This compiler specialises the accumulation against a
+    concrete :class:`~repro.sim.costmodel.SwCostParams` instead: closures
+    have the same ``fn(env, read, cell)`` shape (the hooks slot carries a
+    one-element list) and add pre-folded integer constants to ``cell[0]``.
+
+    *Straight-line* subtrees -- no guard-failure points, no branching, no
+    lazy bindings, no dynamic kernel costs -- have a statically known total
+    cost, so they compile to a single ``cell[0] += C`` followed by their
+    hook-free fast closure: the rule body of a fully lifted rule becomes one
+    constant add plus pure computation, which is exactly the generated C++'s
+    cost structure (Section 6.3).  The accumulated totals equal the tree
+    walker's ``cpu_cycles`` bit-for-bit, including on guard-failure paths
+    (a folded constant is only added when its subtree is reached, and a
+    straight-line subtree cannot fail partway).
+
+    The structural cases below (If/When/Par/Seq/Let/Loop/LocalGuard) mirror
+    :class:`ClosureCompiler`'s hook-free branches on purpose: both copies
+    are pinned to the tree-walking oracle by the differential suite
+    (``tests/test_compiled_backend.py``), so a semantics change that lands
+    in only one copy fails those tests rather than drifting silently.
+    """
+
+    def __init__(self, params, max_loop_iterations: int = 1_000_000):
+        self.params = params
+        self.max_loop_iterations = max_loop_iterations
+        # Straight-line subtrees are executed through hook-free closures.
+        self._fast = ClosureCompiler(MODE_FAST, max_loop_iterations)
+        self._methods: Dict[int, Dict[str, ClosureFn]] = {}
+
+    # -- cost analysis ------------------------------------------------------
+
+    def static_cost(self, node, scope: Scope) -> Optional[int]:
+        """Total CPU cost of ``node`` if it is straight-line, else ``None``.
+
+        Straight-line means: evaluation always visits every sub-node exactly
+        once (no Mux/short-circuit/If branches, no loops), cannot raise a
+        guard failure, forces no lazy bindings, and all kernel costs are
+        constants.  Method calls are never straight-line (their implicit
+        guards may fail and their native bodies have dynamic write counts).
+        """
+        p = self.params
+        if isinstance(node, Const):
+            return 0
+        if isinstance(node, Var):
+            entry = scope.get(node.name)
+            if entry is None or entry[1]:  # unbound or lazy (thunk) binding
+                return None
+            return 0
+        if isinstance(node, RegRead):
+            return p.reg_read
+        if isinstance(node, UnOp):
+            inner = self.static_cost(node.operand, scope)
+            return None if inner is None else p.alu_op + inner
+        if isinstance(node, BinOp):
+            if node.op in ("&&", "||"):
+                return None
+            left = self.static_cost(node.left, scope)
+            if left is None:
+                return None
+            right = self.static_cost(node.right, scope)
+            return None if right is None else p.alu_op + left + right
+        if isinstance(node, FieldSelect):
+            inner = self.static_cost(node.operand, scope)
+            return None if inner is None else p.alu_op + inner
+        if isinstance(node, KernelCall):
+            if callable(node.sw_cycles):
+                return None
+            total = int(node.sw_cycles) + p.kernel_dispatch
+            for arg in node.args:
+                inner = self.static_cost(arg, scope)
+                if inner is None:
+                    return None
+                total += inner
+            return total
+        if isinstance(node, NoAction):
+            return 0
+        if isinstance(node, RegWrite):
+            inner = self.static_cost(node.value, scope)
+            return None if inner is None else p.reg_write + inner
+        if isinstance(node, (Par, Seq)):
+            total = 0
+            for sub in node.actions:
+                inner = self.static_cost(sub, scope)
+                if inner is None:
+                    return None
+                total += inner
+            return total
+        # Mux, WhenE/WhenA, LetE/LetA, IfA, Loop, LocalGuard, method calls:
+        # branching, failing, lazy or dynamic -- never straight-line.
+        return None
+
+    # -- compilation --------------------------------------------------------
+
+    def compile_expr(self, expr: Expr, scope: Scope, depth: int) -> ClosureFn:
+        cost = self.static_cost(expr, scope)
+        if cost is not None:
+            fast = self._fast.compile_expr(expr, scope, depth)
+            if cost == 0:
+                return fast
+            def static_e(env, read, cell, _f=fast, _c=cost):
+                cell[0] += _c
+                return _f(env, read, cell)
+            return static_e
+        return self._compile_expr_dynamic(expr, scope, depth)
+
+    def compile_action(self, action: Action, scope: Scope, depth: int) -> ClosureFn:
+        cost = self.static_cost(action, scope)
+        if cost is not None:
+            fast = self._fast.compile_action(action, scope, depth)
+            if cost == 0:
+                return fast
+            def static_a(env, read, cell, _f=fast, _c=cost):
+                cell[0] += _c
+                return _f(env, read, cell)
+            return static_a
+        return self._compile_action_dynamic(action, scope, depth)
+
+    def _compile_expr_dynamic(self, expr: Expr, scope: Scope, depth: int) -> ClosureFn:
+        p = self.params
+
+        if isinstance(expr, Var):
+            # Dynamic only when lazy (or unbound); forcing charges the
+            # binding's cost to the cell captured at creation, exactly like
+            # the tree walker's thunks.
+            if expr.name not in scope:
+                name = expr.name
+                def unbound(env, read, cell, _n=name):
+                    raise ElaborationError(f"unbound variable {_n!r}")
+                return unbound
+            slot, _ = scope[expr.name]
+            def force_var(env, read, cell, _i=slot):
+                thunk = env[_i]
+                if thunk.forced:
+                    return thunk.value
+                value = thunk.fn(thunk.env, thunk.read, thunk.hooks)
+                thunk.value = value
+                thunk.forced = True
+                return value
+            return force_var
+
+        if isinstance(expr, UnOp):
+            op_fn = UNARY_OPS[expr.op]
+            operand = self.compile_expr(expr.operand, scope, depth)
+            alu = p.alu_op
+            def un_op(env, read, cell, _op=op_fn, _f=operand, _c=alu):
+                cell[0] += _c
+                return _op(_f(env, read, cell))
+            return un_op
+
+        if isinstance(expr, BinOp):
+            left = self.compile_expr(expr.left, scope, depth)
+            right = self.compile_expr(expr.right, scope, depth)
+            alu = p.alu_op
+            if expr.op == "&&":
+                def sc_and(env, read, cell, _l=left, _r=right, _c=alu):
+                    cell[0] += _c
+                    if not _l(env, read, cell):
+                        return False
+                    return bool(_r(env, read, cell))
+                return sc_and
+            if expr.op == "||":
+                def sc_or(env, read, cell, _l=left, _r=right, _c=alu):
+                    cell[0] += _c
+                    if _l(env, read, cell):
+                        return True
+                    return bool(_r(env, read, cell))
+                return sc_or
+            op_fn = BINARY_OPS[expr.op]
+            def bin_op(env, read, cell, _op=op_fn, _l=left, _r=right, _c=alu):
+                cell[0] += _c
+                return _op(_l(env, read, cell), _r(env, read, cell))
+            return bin_op
+
+        if isinstance(expr, Mux):
+            cond = self.compile_expr(expr.cond, scope, depth)
+            then = self.compile_expr(expr.then, scope, depth)
+            orelse = self.compile_expr(expr.orelse, scope, depth)
+            alu = p.alu_op
+            def mux(env, read, cell, _co=cond, _t=then, _e=orelse, _c=alu):
+                cell[0] += _c
+                if _co(env, read, cell):
+                    return _t(env, read, cell)
+                return _e(env, read, cell)
+            return mux
+
+        if isinstance(expr, WhenE):
+            guard = self.compile_expr(expr.guard, scope, depth)
+            body = self.compile_expr(expr.body, scope, depth)
+            fail = GuardFail(f"expression guard failed at {expr!r}")
+            def when_e(env, read, cell, _g=guard, _b=body, _x=fail):
+                if not _g(env, read, cell):
+                    _x.__traceback__ = None
+                    raise _x
+                return _b(env, read, cell)
+            return when_e
+
+        if isinstance(expr, LetE):
+            value = self.compile_expr(expr.value, scope, depth)
+            inner = dict(scope)
+            inner[expr.name] = (depth, True)
+            body = self.compile_expr(expr.body, inner, depth + 1)
+            def let_e(env, read, cell, _v=value, _b=body):
+                return _b(env + (_Cell(_v, env, read, cell),), read, cell)
+            return let_e
+
+        if isinstance(expr, FieldSelect):
+            operand = self.compile_expr(expr.operand, scope, depth)
+            field = expr.field
+            alu = p.alu_op
+            if isinstance(field, int):
+                def sel_idx(env, read, cell, _f=operand, _i=field, _c=alu):
+                    cell[0] += _c
+                    return _f(env, read, cell)[_i]
+                return sel_idx
+            def sel(env, read, cell, _f=operand, _a=field, _c=alu):
+                cell[0] += _c
+                value = _f(env, read, cell)
+                if isinstance(value, dict):
+                    return value[_a]
+                return getattr(value, _a)
+            return sel
+
+        if isinstance(expr, KernelCall):
+            arg_fns = tuple(self.compile_expr(a, scope, depth) for a in expr.args)
+            fn = expr.fn
+            dispatch = p.kernel_dispatch
+            if callable(expr.sw_cycles):
+                cost_fn = expr.sw_cycles
+                def kernel_dyn(env, read, cell, _fns=arg_fns, _fn=fn, _cf=cost_fn, _d=dispatch):
+                    values = [f(env, read, cell) for f in _fns]
+                    cell[0] += int(_cf(*values)) + _d
+                    return _fn(*values)
+                return kernel_dyn
+            static = int(expr.sw_cycles) + dispatch
+            def kernel(env, read, cell, _fns=arg_fns, _fn=fn, _c=static):
+                values = [f(env, read, cell) for f in _fns]
+                cell[0] += _c
+                return _fn(*values)
+            return kernel
+
+        if isinstance(expr, MethodCallE):
+            return self._compile_method_call(expr, scope, depth, is_action=False)
+
+        if isinstance(expr, (Const, RegRead)):  # pragma: no cover - static
+            return self.compile_expr(expr, scope, depth)
+        raise ElaborationError(f"cannot compile expression node {expr!r}")
+
+    def _compile_action_dynamic(self, action: Action, scope: Scope, depth: int) -> ClosureFn:
+        p = self.params
+
+        if isinstance(action, RegWrite):
+            value = self.compile_expr(action.value, scope, depth)
+            reg = action.reg
+            wcost = p.reg_write
+            def write(env, read, cell, _v=value, _r=reg, _c=wcost):
+                result = _v(env, read, cell)
+                cell[0] += _c
+                return {_r: result}
+            return write
+
+        if isinstance(action, IfA):
+            cond = self.compile_expr(action.cond, scope, depth)
+            then = self.compile_action(action.then, scope, depth)
+            if action.orelse is None:
+                def if_a(env, read, cell, _c=cond, _t=then):
+                    if _c(env, read, cell):
+                        return _t(env, read, cell)
+                    return {}
+                return if_a
+            orelse = self.compile_action(action.orelse, scope, depth)
+            def if_else(env, read, cell, _c=cond, _t=then, _e=orelse):
+                if _c(env, read, cell):
+                    return _t(env, read, cell)
+                return _e(env, read, cell)
+            return if_else
+
+        if isinstance(action, WhenA):
+            guard = self.compile_expr(action.guard, scope, depth)
+            body = self.compile_action(action.body, scope, depth)
+            fail = GuardFail(f"action guard failed at {action!r}")
+            def when_a(env, read, cell, _g=guard, _b=body, _x=fail):
+                if not _g(env, read, cell):
+                    _x.__traceback__ = None
+                    raise _x
+                return _b(env, read, cell)
+            return when_a
+
+        if isinstance(action, Par):
+            sub_fns = tuple(self.compile_action(a, scope, depth) for a in action.actions)
+            first, rest = sub_fns[0], sub_fns[1:]
+            if not rest:
+                return first
+            def par(env, read, cell, _first=first, _rest=rest):
+                merged = _first(env, read, cell)
+                for f in _rest:
+                    for reg, value in f(env, read, cell).items():
+                        if reg in merged:
+                            raise DoubleWriteError(
+                                f"parallel composition writes register {reg.full_name} twice"
+                            )
+                        merged[reg] = value
+                return merged
+            return par
+
+        if isinstance(action, Seq):
+            sub_fns = tuple(self.compile_action(a, scope, depth) for a in action.actions)
+            if _seq_never_reads_back(action.actions):
+                def sequence_flat(env, read, cell, _fns=sub_fns):
+                    overlay: Dict[Any, Any] = {}
+                    for f in _fns:
+                        overlay.update(f(env, read, cell))
+                    return overlay
+                return sequence_flat
+            def sequence(env, read, cell, _fns=sub_fns):
+                overlay: Dict[Any, Any] = {}
+                def overlaid_read(reg, _o=overlay, _r=read):
+                    if reg in _o:
+                        return _o[reg]
+                    return _r(reg)
+                for f in _fns:
+                    overlay.update(f(env, overlaid_read, cell))
+                return overlay
+            return sequence
+
+        if isinstance(action, LetA):
+            value = self.compile_expr(action.value, scope, depth)
+            inner = dict(scope)
+            inner[action.name] = (depth, True)
+            body = self.compile_action(action.body, inner, depth + 1)
+            def let_a(env, read, cell, _v=value, _b=body):
+                return _b(env + (_Cell(_v, env, read, cell),), read, cell)
+            return let_a
+
+        if isinstance(action, Loop):
+            cond = self.compile_expr(action.cond, scope, depth)
+            body = self.compile_action(action.body, scope, depth)
+            limit = min(action.max_iterations, self.max_loop_iterations)
+            def loop(env, read, cell, _c=cond, _b=body, _limit=limit):
+                overlay: Dict[Any, Any] = {}
+                def overlaid_read(reg, _o=overlay, _r=read):
+                    if reg in _o:
+                        return _o[reg]
+                    return _r(reg)
+                iterations = 0
+                while _c(env, overlaid_read, cell):
+                    overlay.update(_b(env, overlaid_read, cell))
+                    iterations += 1
+                    if iterations >= _limit:
+                        raise SimulationError(
+                            f"loop exceeded {_limit} iterations; either the bound is "
+                            "too small or the loop does not terminate"
+                        )
+                return overlay
+            return loop
+
+        if isinstance(action, LocalGuard):
+            body = self.compile_action(action.body, scope, depth)
+            def local_guard(env, read, cell, _b=body):
+                try:
+                    return _b(env, read, cell)
+                except GuardFail:
+                    return {}
+            return local_guard
+
+        if isinstance(action, MethodCallA):
+            return self._compile_method_call(action, scope, depth, is_action=True)
+
+        if isinstance(action, NoAction):  # pragma: no cover - static
+            return self.compile_action(action, scope, depth)
+        raise ElaborationError(f"cannot compile action node {action!r}")
+
+    def _compile_method_call(self, call, scope: Scope, depth: int, is_action: bool) -> ClosureFn:
+        p = self.params
+        instance: Module = call.instance
+        method: Method = instance.get_method(call.method)
+        if len(call.args) != len(method.params):
+            raise ElaborationError(
+                f"method {instance.name}.{call.method} expects "
+                f"{len(method.params)} arguments, got {len(call.args)}"
+            )
+        arg_fns = tuple(self.compile_expr(a, scope, depth) for a in call.args)
+        fail = GuardFail(
+            f"{'action' if is_action else 'value'} method "
+            f"{instance.name}.{call.method} is not ready"
+        )
+
+        if isinstance(instance, PrimitiveModule):
+            native = instance.get_native(call.method)
+            guard_fn, body_fn = native.guard_fn, native.body_fn
+            overhead = p.native_method_overhead
+            if hasattr(instance, "read_latency"):
+                overhead += p.regfile_access
+            if is_action:
+                wcost = p.reg_write
+                def call_native_a(
+                    env, read, cell,
+                    _fns=arg_fns, _g=guard_fn, _b=body_fn, _o=overhead, _w=wcost, _x=fail,
+                ):
+                    cell[0] += _o
+                    values = [f(env, read, cell) for f in _fns]
+                    if not _g(read, *values):
+                        _x.__traceback__ = None
+                        raise _x
+                    updates, _ = _b(read, *values)
+                    cell[0] += _w * len(updates)
+                    return updates
+                return call_native_a
+            def call_native_v(
+                env, read, cell,
+                _fns=arg_fns, _g=guard_fn, _b=body_fn, _o=overhead, _x=fail,
+            ):
+                cell[0] += _o
+                values = [f(env, read, cell) for f in _fns]
+                if not _g(read, *values):
+                    _x.__traceback__ = None
+                    raise _x
+                _, result = _b(read, *values)
+                return result
+            return call_native_v
+
+        compiled = self._compiled_method(method, is_action)
+        overhead = p.method_call_overhead
+        def call_user(env, read, cell, _fns=arg_fns, _c=compiled, _o=overhead, _x=fail):
+            cell[0] += _o
+            method_env = tuple(f(env, read, cell) for f in _fns)
+            if not _c["guard"](method_env, read, cell):
+                _x.__traceback__ = None
+                raise _x
+            return _c["body"](method_env, read, cell)
+        return call_user
+
+    def _compiled_method(self, method: Method, is_action: bool) -> Dict[str, ClosureFn]:
+        key = id(method)
+        compiled = self._methods.get(key)
+        if compiled is not None:
+            return compiled
+        compiled = {}
+        self._methods[key] = compiled
+        param_scope: Scope = {name: (i, False) for i, name in enumerate(method.params)}
+        param_depth = len(method.params)
+        compiled["guard"] = self.compile_expr(method.guard, param_scope, param_depth)
+        if method.body is None:
+            owner = method.module.name if method.module is not None else "?"
+            kind, name = method.kind, method.name
+            def missing_body(env, read, cell, _o=owner, _k=kind, _n=name):
+                raise ElaborationError(f"{_k} method {_o}.{_n} has no body")
+            compiled["body"] = missing_body
+        elif is_action:
+            compiled["body"] = self.compile_action(method.body, param_scope, param_depth)
+        else:
+            compiled["body"] = self.compile_expr(method.body, param_scope, param_depth)
+        return compiled
+
+
+# --------------------------------------------------------------------------
+# per-rule entry points
+# --------------------------------------------------------------------------
+
+_EMPTY_SCOPE: Scope = {}
+
+
+class RuleExec:
+    """Lazily compiled closure entry points for one rule's raw action.
+
+    ``fast(read)``, ``hooked(read, hooks)`` and ``latency(read, hooks)`` each
+    evaluate the whole rule against ``read`` and return its updates dict,
+    raising :class:`GuardFail` when the rule cannot fire.
+    """
+
+    __slots__ = ("rule", "max_loop_iterations", "_fast", "_hooked", "_latency")
+
+    def __init__(self, rule: Rule, max_loop_iterations: int = 1_000_000):
+        self.rule = rule
+        self.max_loop_iterations = max_loop_iterations
+        self._fast: Optional[ClosureFn] = None
+        self._hooked: Optional[ClosureFn] = None
+        self._latency: Optional[ClosureFn] = None
+
+    def _compile(self, mode: str) -> ClosureFn:
+        compiler = ClosureCompiler(mode, self.max_loop_iterations)
+        return compiler.compile_action(self.rule.action, _EMPTY_SCOPE, 0)
+
+    def fast(self, read: ReadFn) -> Dict[Any, Any]:
+        fn = self._fast
+        if fn is None:
+            fn = self._fast = self._compile(MODE_FAST)
+        return fn((), read, None)
+
+    def hooked(self, read: ReadFn, hooks: Any) -> Dict[Any, Any]:
+        fn = self._hooked
+        if fn is None:
+            fn = self._hooked = self._compile(MODE_HOOKED)
+        return fn((), read, hooks)
+
+    def latency(self, read: ReadFn, hooks: Any) -> Dict[Any, Any]:
+        fn = self._latency
+        if fn is None:
+            fn = self._latency = self._compile(MODE_LATENCY)
+        return fn((), read, hooks)
+
+
+def rule_exec(rule: Rule, max_loop_iterations: int = 1_000_000) -> RuleExec:
+    """The (cached) compiled executor for ``rule``'s raw action.
+
+    The cache lives on the rule object; it is keyed by the loop bound so an
+    engine with a non-default ``max_loop_iterations`` gets its own compile.
+    """
+    cached = getattr(rule, "_compiled_exec", None)
+    if cached is None or cached.max_loop_iterations != max_loop_iterations:
+        cached = RuleExec(rule, max_loop_iterations)
+        rule._compiled_exec = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class CompiledRuleExec:
+    """Compiled guard/body closures for an optimised rule (Section 6.3 form).
+
+    Wraps a :class:`~repro.core.optimize.CompiledRule`: the lifted top-level
+    guard and the residual body compile to closures in two flavours --
+
+    * ``guard_counting``/``body_counting``: cost accumulation folded against
+      a concrete :class:`~repro.sim.costmodel.SwCostParams` into a plain
+      ``[int]`` cell (:class:`CountingCompiler`); what the software engine
+      uses on its hot path.
+    * ``guard_hooked``/``body_hooked``: generic
+      :class:`~repro.core.semantics.EvalHooks` callbacks, compiled lazily,
+      for observers other than the cost accumulator.
+    """
+
+    __slots__ = (
+        "guard",
+        "body",
+        "max_loop_iterations",
+        "_hooked",
+        "_counting",
+        "_counting_params",
+    )
+
+    def __init__(self, guard: Expr, body: Action, max_loop_iterations: int = 1_000_000):
+        self.guard = guard
+        self.body = body
+        self.max_loop_iterations = max_loop_iterations
+        self._hooked: Optional[Tuple[ClosureFn, ClosureFn]] = None
+        self._counting: Optional[Tuple[ClosureFn, ClosureFn]] = None
+        self._counting_params: Any = None
+
+    def _hooked_fns(self) -> Tuple[ClosureFn, ClosureFn]:
+        fns = self._hooked
+        if fns is None:
+            compiler = ClosureCompiler(MODE_HOOKED, self.max_loop_iterations)
+            fns = self._hooked = (
+                compiler.compile_expr(self.guard, _EMPTY_SCOPE, 0),
+                compiler.compile_action(self.body, _EMPTY_SCOPE, 0),
+            )
+        return fns
+
+    def counting_fns(self, params) -> Tuple[ClosureFn, ClosureFn]:
+        """Closures accumulating ``params`` costs into a ``[int]`` cell."""
+        if self._counting is None or self._counting_params != params:
+            compiler = CountingCompiler(params, self.max_loop_iterations)
+            self._counting = (
+                compiler.compile_expr(self.guard, _EMPTY_SCOPE, 0),
+                compiler.compile_action(self.body, _EMPTY_SCOPE, 0),
+            )
+            self._counting_params = params
+        return self._counting
+
+    def guard_hooked(self, read: ReadFn, hooks: Any) -> Any:
+        return self._hooked_fns()[0]((), read, hooks)
+
+    def body_hooked(self, read: ReadFn, hooks: Any) -> Dict[Any, Any]:
+        return self._hooked_fns()[1]((), read, hooks)
+
+
+def compiled_rule_exec(compiled_rule, max_loop_iterations: int = 1_000_000) -> CompiledRuleExec:
+    """The (cached) closure executor for an optimised rule.
+
+    Populates ``CompiledRule.compiled_fn`` on first use so repeated engine
+    constructions over the same compiled rules share one compile.
+    """
+    cached = compiled_rule.compiled_fn
+    if cached is None or cached.max_loop_iterations != max_loop_iterations:
+        cached = CompiledRuleExec(
+            compiled_rule.guard, compiled_rule.body, max_loop_iterations
+        )
+        compiled_rule.compiled_fn = cached
+    return cached

@@ -15,7 +15,6 @@ on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Tuple, Union
 
 Number = Union[int, float, "FixedPoint"]
@@ -30,19 +29,41 @@ def _wrap(raw: int, total_bits: int) -> int:
     return raw
 
 
-@dataclass(frozen=True)
 class FixedPoint:
     """A signed fixed-point number with ``int_bits`` integer and ``frac_bits`` fractional bits.
 
     The value is stored as the raw (scaled) integer ``raw`` so that the
     represented real number is ``raw / 2**frac_bits``.  Instances are
-    immutable and hashable, which lets them be used directly as register
-    values in the interpreter's store.
+    treated as immutable and are hashable, which lets them be used directly
+    as register values in the interpreter's store.
+
+    Fixed-point multiplies and adds are by far the hottest operations in the
+    Vorbis pipeline (every IMDCT butterfly runs through here in *both*
+    partitions), so this is a ``__slots__`` value class with hand-specialised
+    arithmetic rather than a frozen dataclass: the common same-format
+    fast path wraps and constructs the result without going through
+    ``_coerce``/``_make``/``__init__`` dispatch.  Semantics (two's-complement
+    wrapping, format-mismatch errors, equality and hashing) are unchanged.
     """
 
-    raw: int
-    int_bits: int = 8
-    frac_bits: int = 24
+    __slots__ = ("raw", "int_bits", "frac_bits")
+
+    def __init__(self, raw: int, int_bits: int = 8, frac_bits: int = 24):
+        self.raw = raw
+        self.int_bits = int_bits
+        self.frac_bits = frac_bits
+
+    def __eq__(self, other: object):
+        if other.__class__ is FixedPoint:
+            return (
+                self.raw == other.raw
+                and self.int_bits == other.int_bits
+                and self.frac_bits == other.frac_bits
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.raw, self.int_bits, self.frac_bits))
 
     # -- constructors ------------------------------------------------------
 
@@ -95,27 +116,53 @@ class FixedPoint:
         raise TypeError(f"cannot coerce {type(other).__name__} to FixedPoint")
 
     def _make(self, raw: int) -> "FixedPoint":
-        return FixedPoint(_wrap(raw, self.total_bits), self.int_bits, self.frac_bits)
+        total_bits = self.int_bits + self.frac_bits
+        raw &= (1 << total_bits) - 1
+        if raw >= 1 << (total_bits - 1):
+            raw -= 1 << total_bits
+        result = FixedPoint.__new__(FixedPoint)
+        result.raw = raw
+        result.int_bits = self.int_bits
+        result.frac_bits = self.frac_bits
+        return result
 
     # -- arithmetic --------------------------------------------------------
+    #
+    # Each operation inlines the common case (both operands already share a
+    # format); mixed int/float operands fall back to ``_coerce``.
 
     def __add__(self, other: Number) -> "FixedPoint":
-        o = self._coerce(other)
-        return self._make(self.raw + o.raw)
+        if (
+            other.__class__ is not FixedPoint
+            or other.int_bits != self.int_bits
+            or other.frac_bits != self.frac_bits
+        ):
+            other = self._coerce(other)
+        return self._make(self.raw + other.raw)
 
     __radd__ = __add__
 
     def __sub__(self, other: Number) -> "FixedPoint":
-        o = self._coerce(other)
-        return self._make(self.raw - o.raw)
+        if (
+            other.__class__ is not FixedPoint
+            or other.int_bits != self.int_bits
+            or other.frac_bits != self.frac_bits
+        ):
+            other = self._coerce(other)
+        return self._make(self.raw - other.raw)
 
     def __rsub__(self, other: Number) -> "FixedPoint":
         o = self._coerce(other)
         return o - self
 
     def __mul__(self, other: Number) -> "FixedPoint":
-        o = self._coerce(other)
-        return self._make((self.raw * o.raw) >> self.frac_bits)
+        if (
+            other.__class__ is not FixedPoint
+            or other.int_bits != self.int_bits
+            or other.frac_bits != self.frac_bits
+        ):
+            other = self._coerce(other)
+        return self._make((self.raw * other.raw) >> self.frac_bits)
 
     __rmul__ = __mul__
 
@@ -158,15 +205,27 @@ class FixedPoint:
         return f"FixedPoint({self.to_float():.6f}, fmt={self.int_bits}.{self.frac_bits})"
 
 
-@dataclass(frozen=True)
 class FixComplex:
     """A complex number whose real and imaginary parts are :class:`FixedPoint`.
 
     Mirrors the ``Complex#(FixPt)`` type of the paper's IFFT interface.
+    Like :class:`FixedPoint`, a ``__slots__`` value class on the butterfly
+    hot path; treated as immutable.
     """
 
-    real: FixedPoint
-    imag: FixedPoint
+    __slots__ = ("real", "imag")
+
+    def __init__(self, real: FixedPoint, imag: FixedPoint):
+        self.real = real
+        self.imag = imag
+
+    def __eq__(self, other: object):
+        if other.__class__ is FixComplex:
+            return self.real == other.real and self.imag == other.imag
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.real, self.imag))
 
     @classmethod
     def from_floats(

@@ -11,6 +11,22 @@ Rule choice is the only source of non-determinism in BCL; the simulator makes
 it explicit and controllable (round-robin, fixed priority, or seeded random)
 so that tests can check that *all* schedules produce acceptable behaviours
 and that partitioned designs are observationally equivalent to the original.
+
+Two execution backends implement the same semantics:
+
+* ``backend="interp"`` (default) walks the rule ASTs through
+  :class:`~repro.core.semantics.Evaluator` -- the semantic reference oracle;
+* ``backend="compiled"`` fires each rule through its closure-compiled form
+  (:mod:`repro.core.compile`), which skips the per-node dispatch entirely.
+
+The compiled backend additionally uses *dirty-set scheduling*
+(:class:`~repro.core.scheduler.RuleWakeup`): a rule whose guard failed is
+not re-evaluated until a register in its read set is written.  Skipped
+attempts still count as guard failures (they are guaranteed failures), so
+``firings``/``guard_failures``/``fire_counts`` match the interp backend's
+exhaustive scan exactly.  When an :class:`~repro.core.semantics.EvalHooks`
+observer is installed the skip is disabled -- the observer is entitled to
+see every attempted evaluation.
 """
 
 from __future__ import annotations
@@ -18,8 +34,10 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.errors import SchedulingError
+from repro.core.compile import raise_for_missing_register, rule_exec
+from repro.core.errors import GuardFail, SchedulingError
 from repro.core.module import Design, Register, Rule
+from repro.core.scheduler import RuleWakeup
 from repro.core.semantics import Evaluator, EvalHooks, RuleOutcome, Store, commit, try_rule
 
 
@@ -37,7 +55,11 @@ class Simulator:
         Seed for the ``"random"`` policy, to keep runs reproducible.
     hooks:
         Optional :class:`~repro.core.semantics.EvalHooks` observer (used by
-        the software cost model).
+        the software cost model).  Installing hooks disables dirty-set
+        skipping so the observer sees every attempted rule evaluation.
+    backend:
+        ``"interp"`` (tree-walking reference) or ``"compiled"`` (closure
+        compiled; observationally equivalent and much faster).
     """
 
     def __init__(
@@ -47,16 +69,39 @@ class Simulator:
         seed: Optional[int] = None,
         hooks: Optional[EvalHooks] = None,
         max_loop_iterations: int = 1_000_000,
+        backend: str = "interp",
     ):
         if policy not in ("round-robin", "priority", "random"):
             raise ValueError(f"unknown scheduling policy {policy!r}")
+        if backend not in ("interp", "compiled"):
+            raise ValueError(f"unknown execution backend {backend!r}")
         self.design = design
         self.policy = policy
+        self.backend = backend
         self.rng = random.Random(seed)
         self.hooks = hooks
         self.evaluator = Evaluator(max_loop_iterations=max_loop_iterations)
-        self.store: Store = design.initial_store()
         self.rules: List[Rule] = list(design.all_rules())
+        self._index_of: Dict[Rule, int] = {r: i for i, r in enumerate(self.rules)}
+        # Dirty-set scheduling rides with the compiled backend (the interp
+        # backend stays the untouched exhaustive-scan reference), and its
+        # skipping is exact only when nobody observes the skipped
+        # (guaranteed-failing) evaluations.
+        self._skip_sleeping = backend == "compiled" and hooks is None
+        store = design.initial_store()
+        if self._skip_sleeping:
+            self._wakeup: Optional[RuleWakeup] = RuleWakeup(self.rules)
+            self.store: Store = self._wakeup.wrap_store(store)
+        else:
+            self._wakeup = None
+            self.store = store
+        if backend == "compiled":
+            self._exec = [rule_exec(r, max_loop_iterations) for r in self.rules]
+        else:
+            self._exec = []
+        self._priority_order: List[Rule] = sorted(
+            self.rules, key=lambda r: (-r.urgency, self._index_of[r])
+        )
         self._rr_index = 0
         #: Number of rule firings so far.
         self.firings = 0
@@ -78,16 +123,32 @@ class Simulator:
 
     def _candidate_order(self) -> List[Rule]:
         if self.policy == "priority":
-            return sorted(
-                self.rules, key=lambda r: (-r.urgency, self.rules.index(r))
-            )
+            return self._priority_order
         if self.policy == "random":
             order = list(self.rules)
             self.rng.shuffle(order)
             return order
         # round-robin: start from the rule after the last one that fired
-        n = len(self.rules)
-        return [self.rules[(self._rr_index + i) % n] for i in range(n)]
+        i = self._rr_index
+        return self.rules[i:] + self.rules[:i]
+
+    # -- rule attempt (both backends) -----------------------------------------
+
+    def _attempt(self, rule: Rule) -> Optional[Dict[Register, Any]]:
+        """Evaluate ``rule``; its updates if the guard held, else ``None``."""
+        if self.backend == "compiled":
+            read = self.store.__getitem__
+            try:
+                if self.hooks is not None:
+                    return self._exec[self._index_of[rule]].hooked(read, self.hooks)
+                return self._exec[self._index_of[rule]].fast(read)
+            except GuardFail:
+                return None
+            except KeyError as exc:
+                raise_for_missing_register(exc)
+                raise
+        outcome = try_rule(rule, self.store, self.evaluator, self.hooks)
+        return outcome.updates if outcome.fired else None
 
     def step(self) -> Optional[RuleOutcome]:
         """Attempt rules (in policy order) until one fires; commit and return it.
@@ -97,16 +158,38 @@ class Simulator:
         """
         if not self.rules:
             return None
-        order = self._candidate_order()
-        for rule in order:
-            outcome = try_rule(rule, self.store, self.evaluator, self.hooks)
-            if outcome.fired:
-                commit(self.store, outcome.updates)
-                self.firings += 1
-                self.fire_counts[rule.full_name] += 1
-                self._rr_index = (self.rules.index(rule) + 1) % len(self.rules)
-                return outcome
-            self.guard_failures += 1
+        # Re-checked per step so an observer installed after construction
+        # still sees every attempted evaluation.
+        skip_sleeping = self._skip_sleeping and self.hooks is None
+        wakeup = self._wakeup
+        sleeping = None
+        if skip_sleeping:
+            if self.policy != "random" and wakeup.all_asleep:
+                # Quiescent: every rule is known guard-disabled.  (The random
+                # policy still runs the scan so its RNG consumption -- one
+                # shuffle per step -- matches an exhaustive scheduler exactly.)
+                self.guard_failures += len(self.rules)
+                return None
+            sleeping = wakeup.sleeping
+        index_of = self._index_of
+        for rule in self._candidate_order():
+            i = index_of[rule]
+            if sleeping is not None and sleeping[i]:
+                # Guaranteed guard failure: nothing the rule reads changed
+                # since it last failed.
+                self.guard_failures += 1
+                continue
+            updates = self._attempt(rule)
+            if updates is None:
+                if skip_sleeping:
+                    wakeup.sleep_index(i)
+                self.guard_failures += 1
+                continue
+            commit(self.store, updates)
+            self.firings += 1
+            self.fire_counts[rule.full_name] += 1
+            self._rr_index = (i + 1) % len(self.rules)
+            return RuleOutcome(rule, fired=True, updates=updates)
         return None
 
     def run(self, max_steps: int = 10_000) -> int:

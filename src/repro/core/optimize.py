@@ -350,7 +350,10 @@ class CompiledRule:
     lifted), ``body`` the residual action, ``can_fail`` whether the residual
     body may still raise a guard failure (deciding try/catch + rollback),
     and ``shadow_registers`` the set of registers that must be shadowed
-    before executing the body.
+    before executing the body.  ``compiled_fn`` caches the closure-compiled
+    form of the guard/body pair (see :mod:`repro.core.compile`); it is
+    populated lazily by :func:`repro.core.compile.compiled_rule_exec` when an
+    engine runs with ``backend="compiled"``.
     """
 
     rule: Rule
@@ -359,6 +362,7 @@ class CompiledRule:
     can_fail: bool
     shadow_registers: Set[Register]
     config: OptimizationConfig
+    compiled_fn: Optional[object] = None
 
     @property
     def needs_shadow(self) -> bool:
@@ -370,7 +374,32 @@ def compile_rule(
     config: OptimizationConfig,
     all_registers: Optional[List[Register]] = None,
 ) -> CompiledRule:
-    """Apply the enabled Section 6.3 transformations to a rule."""
+    """Apply the enabled Section 6.3 transformations to a rule.
+
+    The result is memoised per ``(rule, config)``: the transformations are
+    deterministic over the immutable elaborated rule, and every engine
+    construction over the same design would otherwise redo the full
+    inline/sequentialise/lift pipeline (and lose the closure-compiled form
+    cached on the result).
+    """
+    cache = getattr(rule, "_compile_rule_cache", None)
+    if cache is None:
+        cache = {}
+        rule._compile_rule_cache = cache  # type: ignore[attr-defined]
+    key = (config, None if all_registers is None else tuple(all_registers))
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    compiled = _compile_rule_uncached(rule, config, all_registers)
+    cache[key] = compiled
+    return compiled
+
+
+def _compile_rule_uncached(
+    rule: Rule,
+    config: OptimizationConfig,
+    all_registers: Optional[List[Register]] = None,
+) -> CompiledRule:
     from repro.core.guards import may_fail
     from repro.core.expr import TRUE
 

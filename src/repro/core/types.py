@@ -232,7 +232,11 @@ class VectorT(BCLType):
         self.elem = elem
 
     def bit_width(self) -> int:
-        return self.n * self.elem.bit_width()
+        cached = getattr(self, "_bit_width_cache", None)
+        if cached is None:
+            cached = self.n * self.elem.bit_width()
+            self._bit_width_cache = cached
+        return cached
 
     def pack(self, value: Any) -> int:
         if not isinstance(value, (tuple, list)) or len(value) != self.n:
@@ -287,7 +291,12 @@ class StructT(BCLType):
         raise TypeCheckError(f"struct {self.name} has no field {field!r}")
 
     def bit_width(self) -> int:
-        return sum(t.bit_width() for _, t in self.fields)
+        # Memoised: struct widths sit on the per-message marshaling path.
+        cached = getattr(self, "_bit_width_cache", None)
+        if cached is None:
+            cached = sum(t.bit_width() for _, t in self.fields)
+            self._bit_width_cache = cached
+        return cached
 
     def pack(self, value: Any) -> int:
         if not isinstance(value, Mapping):

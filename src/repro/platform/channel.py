@@ -115,16 +115,26 @@ class ChannelDirection:
         return message
 
     def deliveries_due(self, now: float) -> List[Message]:
-        """Remove and return every message whose delivery time has arrived."""
-        due = [m for m in self.in_flight if m.delivered_at <= now]
-        if due:
-            self.in_flight = [m for m in self.in_flight if m.delivered_at > now]
-        return sorted(due, key=lambda m: m.delivered_at)
+        """Remove and return every message whose delivery time has arrived.
+
+        The direction serialises transfers (each send starts no earlier than
+        ``busy_until``), so ``in_flight`` is already ordered by delivery
+        time and the due messages are a prefix -- no filtering or sorting.
+        """
+        in_flight = self.in_flight
+        if not in_flight or in_flight[0].delivered_at > now:
+            return []
+        cut = 1
+        n = len(in_flight)
+        while cut < n and in_flight[cut].delivered_at <= now:
+            cut += 1
+        self.in_flight = in_flight[cut:]
+        return in_flight[:cut]
 
     def next_delivery_time(self) -> Optional[float]:
         if not self.in_flight:
             return None
-        return min(m.delivered_at for m in self.in_flight)
+        return self.in_flight[0].delivered_at
 
     @property
     def pending(self) -> int:

@@ -47,15 +47,14 @@ class VirtualChannel:
         #: Messages launched but not yet delivered (consume a credit each).
         self.in_flight = 0
         self.stats = VirtualChannelStats()
+        #: Channel words per transferred element, including the message header
+        #: (fixed by the element type; computed once, it sits on the per-message
+        #: hot path of the transport loop).
+        self.words_per_element = message_words(sync.ty, word_bits)
 
     @property
     def element_type(self) -> BCLType:
         return self.sync.ty
-
-    @property
-    def words_per_element(self) -> int:
-        """Channel words per transferred element, including the message header."""
-        return message_words(self.sync.ty, self.word_bits)
 
     def can_send(self) -> bool:
         """Whether launching one more element would respect the consumer's buffering."""

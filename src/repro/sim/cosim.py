@@ -80,6 +80,7 @@ class Cosimulator:
         default_domain: Optional[Domain] = None,
         burst: bool = True,
         max_loop_iterations: int = 1_000_000,
+        backend: str = "interp",
     ):
         self.design = design
         self.platform = platform or Platform.ml507()
@@ -87,6 +88,7 @@ class Cosimulator:
         self.hw_domain = hw_domain
         self.sw_domain = sw_domain
         self.burst = burst
+        self.backend = backend
 
         self.partitioning: Partitioning = partition_design(
             design, default_domain if default_domain is not None else sw_domain
@@ -103,22 +105,47 @@ class Cosimulator:
             else []
         )
 
-        self.store_hw: Store = design.initial_store()
-        self.store_sw: Store = design.initial_store()
-        self.hw = HwEngine(hw_rules, self.store_hw)
+        self.hw = HwEngine(hw_rules, design.initial_store(), backend=backend)
         self.sw = SwEngine(
             sw_rules,
-            self.store_sw,
+            design.initial_store(),
             self.platform,
             self.config,
             design.all_registers(),
             max_loop_iterations=max_loop_iterations,
+            backend=backend,
         )
+        # The engines wrap their stores for dirty-set write tracking; use the
+        # wrapped stores so transport-layer writes wake the rules they affect.
+        self.store_hw: Store = self.hw.store
+        self.store_sw: Store = self.sw.store
+        #: register -> owning store, resolved lazily (domain resolution per
+        #: read sat on the termination predicate's per-cycle path).
+        self._owning_store: Dict[Register, Store] = {}
 
         self.channel = DuplexChannel(self.platform.channel, burst=burst)
         self.vcs = VirtualChannelTable(
             self.partitioning.cut, word_bits=self.platform.channel.word_bits
         )
+        # Precomputed per-synchronizer transport routing (the engines, stores
+        # and channel direction for a sync never change during a run; resolving
+        # them per pump call dominated the main loop's idle cost).
+        self._routes = []
+        for sync in self.partitioning.cut:
+            vc = self.vcs.channel_for(sync)
+            producer_engine, producer_store = self._engine_for(sync.domain_enq)
+            _, consumer_store = self._engine_for(sync.domain_deq)
+            towards_hw = sync.domain_deq == self.hw_domain
+            self._routes.append(
+                (
+                    sync,
+                    vc,
+                    producer_engine,
+                    producer_store,
+                    consumer_store,
+                    self.channel.direction(towards_hw),
+                )
+            )
         self.now: float = 0.0
 
     # -- store access helpers ----------------------------------------------------
@@ -138,10 +165,12 @@ class Cosimulator:
 
     def read(self, reg: Register) -> Any:
         """Read a register from whichever partition owns it."""
-        owner_domain = _owning_domain(reg, self.hw_domain, self.sw_domain)
-        if owner_domain == self.hw_domain:
-            return self.store_hw[reg]
-        return self.store_sw[reg]
+        store = self._owning_store.get(reg)
+        if store is None:
+            owner_domain = _owning_domain(reg, self.hw_domain, self.sw_domain)
+            store = self.store_hw if owner_domain == self.hw_domain else self.store_sw
+            self._owning_store[reg] = store
+        return store[reg]
 
     def fifo_contents(self, fifo: Fifo) -> Tuple[Any, ...]:
         """Contents of a FIFO in the partition that owns it."""
@@ -152,13 +181,9 @@ class Cosimulator:
     def _pump_transport(self, now: float) -> bool:
         """Launch transfers from producer-side endpoints whenever credits allow."""
         progress = False
-        for sync in self.partitioning.cut:
-            vc = self.vcs.channel_for(sync)
-            producer_engine, producer_store = self._engine_for(sync.domain_enq)
-            _, consumer_store = self._engine_for(sync.domain_deq)
-            towards_hw = sync.domain_deq == self.hw_domain
-            direction = self.channel.direction(towards_hw)
-
+        for sync, vc, producer_engine, producer_store, consumer_store, direction in self._routes:
+            if not producer_store[sync.data]:
+                continue
             if sync.data in producer_engine.locked_registers():
                 # An in-flight rule will commit a deferred update to this
                 # endpoint; draining it now would be clobbered by that commit.
@@ -183,6 +208,8 @@ class Cosimulator:
         progress = False
         for towards_hw in (True, False):
             direction = self.channel.direction(towards_hw)
+            if not direction.in_flight:
+                continue
             target = self.hw if towards_hw else self.sw
             for message in direction.deliveries_due(now):
                 vc = self.vcs.by_id(message.vc_id)

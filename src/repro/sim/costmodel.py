@@ -17,9 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from repro.core.expr import KernelCall
+from repro.core.expr import BinOp, FieldSelect, KernelCall, Mux, UnOp
 from repro.core.module import Module, PrimitiveModule, Register
 from repro.core.semantics import EvalHooks
+
+#: AST nodes that cost one ALU operation when evaluated (all other nodes are
+#: structural and free); shared by the hooks below and the closure compiler.
+COSTED_NODES = (BinOp, UnOp, Mux, FieldSelect)
 
 
 @dataclass(frozen=True)
@@ -82,9 +86,7 @@ class SwCostAccumulator(EvalHooks):
     def on_node(self, node) -> None:
         self.nodes_visited += 1
         # Arithmetic-ish nodes; structural nodes (Seq/Par/Let/...) are free.
-        from repro.core.expr import BinOp, FieldSelect, Mux, UnOp
-
-        if isinstance(node, (BinOp, UnOp, Mux, FieldSelect)):
+        if isinstance(node, COSTED_NODES):
             self.cpu_cycles += self.params.alu_op
 
     def on_kernel(self, kernel: KernelCall, arg_values: Sequence[Any]) -> None:

@@ -20,28 +20,72 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.analysis import rule_write_set
+from repro.core.analysis import rule_read_set, rule_write_set
+from repro.core.compile import RuleExec, raise_for_missing_register, rule_exec
+from repro.core.errors import GuardFail
 from repro.core.module import Register, Rule
-from repro.core.scheduler import HwSchedule
+from repro.core.scheduler import HwSchedule, RuleWakeup
 from repro.core.semantics import Evaluator, Store, commit, try_rule
 from repro.sim.costmodel import HwLatencyAccumulator
 
 
 class HwEngine:
-    """Executes the rules of one hardware partition, cycle by cycle."""
+    """Executes the rules of one hardware partition, cycle by cycle.
 
-    def __init__(self, rules: List[Rule], store: Store, name: str = "HW"):
+    ``backend="interp"`` evaluates rules through the tree-walking
+    :class:`~repro.core.semantics.Evaluator` (guards are checked with one
+    evaluation, then the selected rules are re-evaluated under the latency
+    accumulator, exactly like the reference implementation always did).
+    ``backend="compiled"`` fires each rule through its closure-compiled form
+    *once*, computing updates and FSM latency together; a selected rule is
+    only re-evaluated if an earlier rule in the same cycle committed to a
+    register it reads.  The compiled backend also uses dirty-set scheduling:
+    a rule whose guard failed is not re-checked until something it reads is
+    written.  In that mode the engine wraps the store it is given to observe
+    external writes; always use ``engine.store`` (the live store) after
+    construction.
+    """
+
+    def __init__(
+        self,
+        rules: List[Rule],
+        store: Store,
+        name: str = "HW",
+        backend: str = "interp",
+    ):
+        if backend not in ("interp", "compiled"):
+            raise ValueError(f"unknown execution backend {backend!r}")
         self.name = name
         self.rules = list(rules)
-        self.store = store
+        self.backend = backend
+        self._use_dirty = backend == "compiled"
+        if self._use_dirty:
+            self._wakeup: Optional[RuleWakeup] = RuleWakeup(self.rules)
+            self.store = self._wakeup.wrap_store(store)
+        else:
+            self._wakeup = None
+            self.store = store
         self.schedule = HwSchedule(self.rules)
         self.evaluator = Evaluator()
+        self._exec: Dict[Rule, RuleExec] = (
+            {rule: rule_exec(rule) for rule in self.rules}
+            if backend == "compiled"
+            else {}
+        )
         #: rule -> (finish_time, deferred updates) for in-flight multi-cycle rules.
         self.busy: Dict[Rule, Tuple[float, Dict[Register, Any]]] = {}
+        #: reference-counted union of the busy rules' write sets (kept
+        #: incrementally -- rebuilding it per cycle dominated busy designs).
+        self._locked_count: Dict[Register, int] = {}
+        #: earliest finish time among busy rules (None when idle).
+        self._next_finish: Optional[float] = None
         #: deliveries queued because their target register was locked by a busy rule.
         self._pending_deliveries: List[Tuple[Register, Any]] = []
         self._write_sets: Dict[Rule, Set[Register]] = {
-            rule: rule_write_set(rule) for rule in self.rules
+            rule: set(rule_write_set(rule)) for rule in self.rules
+        }
+        self._read_sets: Dict[Rule, Set[Register]] = {
+            rule: set(rule_read_set(rule)) for rule in self.rules
         }
         # Statistics
         self.fire_counts: Dict[str, int] = {r.full_name: 0 for r in self.rules}
@@ -51,19 +95,39 @@ class HwEngine:
 
     # -- channel-facing API ---------------------------------------------------
 
-    def locked_registers(self) -> Set[Register]:
+    def locked_registers(self):
         """Registers owned by in-flight multi-cycle rules (their deferred updates).
 
         The co-simulator's transport layer must not mutate these concurrently,
         otherwise the deferred commit would clobber the transport's change.
+        Returns a set-like view (supports ``in``, ``&`` and iteration).
         """
-        locked: Set[Register] = set()
-        for rule in self.busy:
-            locked |= self._write_sets[rule]
-        return locked
+        return self._locked_count.keys()
 
     # Backwards-compatible private alias used internally.
     _locked_registers = locked_registers
+
+    def _lock_rule(self, rule: Rule, finish: float, updates: Dict[Register, Any]) -> None:
+        self.busy[rule] = (finish, updates)
+        locked = self._locked_count
+        for reg in self._write_sets[rule]:
+            locked[reg] = locked.get(reg, 0) + 1
+        if self._next_finish is None or finish < self._next_finish:
+            self._next_finish = finish
+
+    def _unlock_rule(self, rule: Rule) -> Dict[Register, Any]:
+        _, updates = self.busy.pop(rule)
+        locked = self._locked_count
+        for reg in self._write_sets[rule]:
+            count = locked[reg] - 1
+            if count:
+                locked[reg] = count
+            else:
+                del locked[reg]
+        self._next_finish = (
+            min(finish for finish, _ in self.busy.values()) if self.busy else None
+        )
+        return updates
 
     def deliver(self, reg: Register, item: Any, now: float) -> None:
         """Append an arriving element to an endpoint FIFO register.
@@ -92,9 +156,7 @@ class HwEngine:
     # -- execution -------------------------------------------------------------
 
     def next_completion_time(self) -> Optional[float]:
-        if not self.busy:
-            return None
-        return min(finish for finish, _ in self.busy.values())
+        return self._next_finish
 
     def step_cycle(self, now: float) -> bool:
         """Simulate one clock edge at time ``now``.  Returns True on progress."""
@@ -107,31 +169,69 @@ class HwEngine:
         progress = False
 
         # 1. Complete multi-cycle rules whose latency has elapsed.
-        finished = [rule for rule, (finish, _) in self.busy.items() if finish <= now]
-        for rule in finished:
-            _, updates = self.busy.pop(rule)
-            commit(self.store, updates)
-            progress = True
-        if finished:
+        if self._next_finish is not None and self._next_finish <= now:
+            finished = [rule for rule, (finish, _) in self.busy.items() if finish <= now]
+            for rule in finished:
+                commit(self.store, self._unlock_rule(rule))
+                progress = True
             self._flush_pending_deliveries()
 
-        # 2. Determine which rules may attempt to fire this cycle.
+        # 2. Determine which rules may attempt to fire this cycle.  Sleeping
+        #    rules (guard failed, read set untouched since) cannot be enabled
+        #    and are skipped without evaluation.
+        use_dirty = self._use_dirty
+        sleeping = index_of = None
+        if use_dirty:
+            if self._wakeup.all_asleep and not self.busy:
+                # Every rule is known guard-disabled and nothing is in flight.
+                if progress:
+                    self.cycles_active += 1
+                return progress
+            sleeping = self._wakeup.sleeping
+            index_of = self._wakeup.index_of
         locked = self._locked_registers()
-        candidates = [
-            rule
-            for rule in self.rules
-            if rule not in self.busy and not (self._write_sets[rule] & locked)
-        ]
+        if use_dirty:
+            candidates = [
+                rule
+                for rule in self.rules
+                if rule not in self.busy
+                and not sleeping[index_of[rule]]
+                and not (self._write_sets[rule] & locked)
+            ]
+        else:
+            candidates = [
+                rule
+                for rule in self.rules
+                if rule not in self.busy and not (self._write_sets[rule] & locked)
+            ]
         if not candidates:
             if progress:
                 self.cycles_active += 1
             return progress
 
+        compiled = self.backend == "compiled"
         enabled: List[Rule] = []
-        for rule in candidates:
-            outcome = try_rule(rule, self.store, self.evaluator)
-            if outcome.fired:
+        #: rule -> (updates, latency) evaluated against this cycle's initial state.
+        evaluated: Dict[Rule, Tuple[Dict[Register, Any], int]] = {}
+        if compiled:
+            read = self.store.__getitem__
+            for rule in candidates:
+                latency_hooks = HwLatencyAccumulator()
+                try:
+                    updates = self._exec[rule].latency(read, latency_hooks)
+                except GuardFail:
+                    self._wakeup.sleep_index(index_of[rule])
+                    continue
+                except KeyError as exc:
+                    raise_for_missing_register(exc)
+                    raise
+                evaluated[rule] = (updates, latency_hooks.latency)
                 enabled.append(rule)
+        else:
+            for rule in candidates:
+                outcome = try_rule(rule, self.store, self.evaluator)
+                if outcome.fired:
+                    enabled.append(rule)
 
         chosen = self.schedule.select(enabled)
 
@@ -142,21 +242,42 @@ class HwEngine:
         #    the same cycle can produce an immediate update that the deferred
         #    commit would later clobber.
         cycle_locked: Set[Register] = set(locked)
+        cycle_dirty: Set[Register] = set()
         for rule in chosen:
             if self._write_sets[rule] & cycle_locked:
                 continue
-            latency_hooks = HwLatencyAccumulator()
-            outcome = try_rule(rule, self.store, self.evaluator, latency_hooks)
-            if not outcome.fired:
-                # An earlier rule in the same cycle changed the state under it.
-                continue
+            if compiled:
+                updates, latency = evaluated[rule]
+                if self._read_sets[rule] & cycle_dirty:
+                    # An earlier rule in this cycle wrote state this rule
+                    # reads; the phase-2 evaluation is stale, redo it.
+                    latency_hooks = HwLatencyAccumulator()
+                    try:
+                        updates = self._exec[rule].latency(
+                            self.store.__getitem__, latency_hooks
+                        )
+                    except GuardFail:
+                        self._wakeup.sleep_index(index_of[rule])
+                        continue
+                    except KeyError as exc:
+                        raise_for_missing_register(exc)
+                        raise
+                    latency = latency_hooks.latency
+            else:
+                latency_hooks = HwLatencyAccumulator()
+                outcome = try_rule(rule, self.store, self.evaluator, latency_hooks)
+                if not outcome.fired:
+                    # An earlier rule in the same cycle changed the state under it.
+                    continue
+                updates, latency = outcome.updates, latency_hooks.latency
             self.fire_counts[rule.full_name] += 1
             self.total_firings += 1
             progress = True
-            if latency_hooks.latency <= 1:
-                commit(self.store, outcome.updates)
+            if latency <= 1:
+                commit(self.store, updates)
+                cycle_dirty.update(updates)
             else:
-                self.busy[rule] = (now + latency_hooks.latency, outcome.updates)
+                self._lock_rule(rule, now + latency, updates)
                 cycle_locked |= self._write_sets[rule]
 
         if progress:

@@ -18,17 +18,37 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.compile import compiled_rule_exec
 from repro.core.errors import GuardFail
 from repro.core.module import Register, Rule
 from repro.core.optimize import CompiledRule, OptimizationConfig, compile_rule
-from repro.core.scheduler import SwSchedule
+from repro.core.scheduler import RuleWakeup, SwSchedule
 from repro.core.semantics import Evaluator, Store, commit
 from repro.platform.platform import Platform
 from repro.sim.costmodel import SwCostAccumulator
 
+#: Shared empty set-like view for engines with no in-flight rule.
+_EMPTY_LOCKED: frozenset = frozenset()
+
 
 class SwEngine:
-    """Executes the rules of one software partition under the cost model."""
+    """Executes the rules of one software partition under the cost model.
+
+    ``backend`` selects how a rule attempt is evaluated: ``"interp"`` walks
+    the optimised rule's guard/body ASTs through the tree-walking
+    :class:`~repro.core.semantics.Evaluator`; ``"compiled"`` calls their
+    closure-compiled forms (:mod:`repro.core.compile`).  Both charge
+    identical CPU-cycle costs.
+
+    The compiled backend additionally uses dirty-set scheduling: a rule
+    whose attempt failed is skipped (not re-evaluated) until a register in
+    its read set is written.  The cost model still charges the skipped
+    attempt -- the scheduler of the generated C++ really would re-run the
+    guard -- using the recorded cost of the last real attempt, which is
+    exact because nothing the rule reads has changed.  In that mode the
+    engine wraps the store it is given to observe external writes; always
+    use ``engine.store`` (the live store) after construction.
+    """
 
     def __init__(
         self,
@@ -39,10 +59,20 @@ class SwEngine:
         all_registers: Optional[List[Register]] = None,
         name: str = "SW",
         max_loop_iterations: int = 1_000_000,
+        backend: str = "interp",
     ):
+        if backend not in ("interp", "compiled"):
+            raise ValueError(f"unknown execution backend {backend!r}")
         self.name = name
         self.rules = list(rules)
-        self.store = store
+        self.backend = backend
+        self._use_dirty = backend == "compiled"
+        if self._use_dirty:
+            self._wakeup: Optional[RuleWakeup] = RuleWakeup(self.rules)
+            self.store = self._wakeup.wrap_store(store)
+        else:
+            self._wakeup = None
+            self.store = store
         self.platform = platform
         self.config = config
         self.schedule = SwSchedule(self.rules)
@@ -50,6 +80,20 @@ class SwEngine:
         self.compiled: Dict[Rule, CompiledRule] = {
             rule: compile_rule(rule, config, all_registers) for rule in self.rules
         }
+        #: rule -> (guard_fn, body_fn) counting closures (compiled backend).
+        self._count_fns = (
+            {
+                rule: compiled_rule_exec(cr, max_loop_iterations).counting_fns(
+                    platform.sw_costs
+                )
+                for rule, cr in self.compiled.items()
+            }
+            if backend == "compiled"
+            else {}
+        )
+        #: CPU cost of each rule's most recent failed attempt (valid while
+        #: the rule sleeps -- its read set is untouched, so the cost is too).
+        self._last_fail_cost: Dict[Rule, float] = {}
         self.busy_until: float = 0.0
         self._pending_updates: Optional[Dict[Register, Any]] = None
         self._pending_deliveries: List[Tuple[Register, Any]] = []
@@ -82,15 +126,16 @@ class SwEngine:
             self.store[reg] = tuple(self.store[reg]) + (item,)
         self._pending_deliveries = []
 
-    def locked_registers(self) -> set:
+    def locked_registers(self):
         """Registers whose value is pending an uncommitted in-flight rule.
 
         The transport layer must not mutate these until the rule commits,
         otherwise its deferred updates would overwrite the transport's change.
+        Returns a set-like view (supports ``in``, ``&`` and iteration).
         """
         if self._pending_updates is None:
-            return set()
-        return set(self._pending_updates.keys())
+            return _EMPTY_LOCKED
+        return self._pending_updates.keys()
 
     def charge_driver(self, n_words: int, now: float) -> None:
         """Charge the processor for marshaling/driving one channel message.
@@ -134,8 +179,25 @@ class SwEngine:
 
         self._flush_pending_deliveries()
 
+        use_dirty = self._use_dirty
+        sleeping = index_of = None
+        if use_dirty:
+            if self._wakeup.all_asleep:
+                # Every rule is known guard-disabled: the scan would fail
+                # across the board.  Count the failures without iterating.
+                self.guard_failures += len(self.rules)
+                return progress
+            sleeping = self._wakeup.sleeping
+            index_of = self._wakeup.index_of
+
         wasted_this_scan = 0.0
         for rule in self.schedule.candidates(self._last_fired):
+            if use_dirty and sleeping[index_of[rule]]:
+                # Guaranteed guard failure (read set untouched since the last
+                # real attempt); charge the recorded cost without evaluating.
+                wasted_this_scan += self._last_fail_cost[rule]
+                self.guard_failures += 1
+                continue
             cpu_cost, fired, updates = self._attempt(rule)
             if fired:
                 total_cpu = cpu_cost + wasted_this_scan
@@ -151,6 +213,10 @@ class SwEngine:
                 return True
             # Failed attempt: its cost is wasted work, charged to whatever
             # fires next in this scan (the scheduler really does spend it).
+            # The rule sleeps until something it reads is written.
+            if use_dirty:
+                self._wakeup.sleep_index(index_of[rule])
+                self._last_fail_cost[rule] = cpu_cost
             wasted_this_scan += cpu_cost
             self.guard_failures += 1
         # Nothing can fire: the partition is blocked waiting for input.  The
@@ -161,26 +227,38 @@ class SwEngine:
     # -- single rule attempt -------------------------------------------------------
 
     def _attempt(self, rule: Rule) -> Tuple[float, bool, Dict[Register, Any]]:
-        """Attempt one rule; returns ``(cpu_cost, fired, updates)``."""
+        """Attempt one rule; returns ``(cpu_cost, fired, updates)``.
+
+        The compiled backend runs the closure-compiled guard/body with
+        cost-counting cells; the interp backend walks the ASTs under a
+        :class:`SwCostAccumulator`.  Both charge identical cycles.
+        """
         params = self.platform.sw_costs
         cr = self.compiled[rule]
-        acc = SwCostAccumulator(params)
         cost = float(params.rule_attempt_overhead)
-
-        def read(reg: Register) -> Any:
-            return self.store[reg]
+        read = self.store.__getitem__
+        count_fns = self._count_fns.get(rule)
 
         # 1. Top-level (lifted) guard check.
-        try:
-            guard_ok = bool(self.evaluator.eval_expr(cr.guard, {}, read, acc))
-        except GuardFail:
-            guard_ok = False
-        cost += acc.cpu_cycles
+        if count_fns is not None:
+            guard_fn, body_fn = count_fns
+            cell = [0]
+            try:
+                guard_ok = bool(guard_fn((), read, cell))
+            except GuardFail:
+                guard_ok = False
+            cost += cell[0]
+        else:
+            acc = SwCostAccumulator(params)
+            try:
+                guard_ok = bool(self.evaluator.eval_expr(cr.guard, {}, read, acc))
+            except GuardFail:
+                guard_ok = False
+            cost += acc.cpu_cycles
         if not guard_ok:
             return cost, False, {}
 
         # 2. Transactional setup for bodies that may still fail.
-        body_acc = SwCostAccumulator(params)
         setup = 0.0
         if cr.can_fail:
             if self.config.inline_methods:
@@ -191,14 +269,26 @@ class SwEngine:
         cost += setup
 
         # 3. Execute the residual body.
-        try:
-            updates = self.evaluator.exec_action(cr.body, {}, read, body_acc)
-        except GuardFail:
+        if count_fns is not None:
+            body_cell = [0]
+            try:
+                updates = body_fn((), read, body_cell)
+            except GuardFail:
+                cost += body_cell[0]
+                cost += params.rollback_base
+                cost += len(cr.shadow_registers) * params.rollback_per_register
+                return cost, False, {}
+            cost += body_cell[0]
+        else:
+            body_acc = SwCostAccumulator(params)
+            try:
+                updates = self.evaluator.exec_action(cr.body, {}, read, body_acc)
+            except GuardFail:
+                cost += body_acc.cpu_cycles
+                cost += params.rollback_base
+                cost += len(cr.shadow_registers) * params.rollback_per_register
+                return cost, False, {}
             cost += body_acc.cpu_cycles
-            cost += params.rollback_base
-            cost += len(cr.shadow_registers) * params.rollback_per_register
-            return cost, False, {}
-        cost += body_acc.cpu_cycles
 
         # 4. Commit.
         if cr.can_fail:
