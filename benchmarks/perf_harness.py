@@ -1,7 +1,9 @@
 """Wall-clock performance harness for the two execution backends.
 
 Runs the Figure 13 workloads -- every Ogg Vorbis partition (A-F) and every
-ray-tracer partition (A-D) -- under both the tree-walking reference backend
+ray-tracer partition (A-D) -- plus the multi-domain fabric workload
+(``vorbis_G3``: SW front-end -> HW-imdct/ifft -> HW-window, three engines
+on a routed topology), under both the tree-walking reference backend
 (``interp``) and the closure-compiled backend with dirty-set scheduling
 (``compiled``), and records per-workload wall-clock seconds, rule firings
 per second and simulated FPGA cycles.
@@ -13,10 +15,22 @@ backends agree: every workload's :class:`~repro.sim.cosim.CosimResult`
 (stores statistics, fire counts, channel stats) must be bitwise identical
 between the two, otherwise the run fails.
 
+Two extra sections ride along:
+
+* a **transport ablation** (interpreted per-element transport vs. the
+  closure-compiled batch-drain dataplane, rule backend held at
+  ``compiled``), recorded under ``transport_ablation`` in
+  ``BENCH_compiled.json``;
+* an optional **sharded sweep** (``--processes N``): the same workload set
+  fanned across worker processes by :mod:`repro.sim.shard`, reported as
+  sweep wall-clock vs. serial-equivalent compute and recorded under
+  ``sweep`` in ``BENCH_compiled.json``.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_harness.py           # full run
-    PYTHONPATH=src python benchmarks/perf_harness.py --quick   # CI smoke run
+    PYTHONPATH=src python benchmarks/perf_harness.py               # full run
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick       # CI smoke run
+    PYTHONPATH=src python benchmarks/perf_harness.py --processes 4 # + sharded sweep
 
 Timing methodology: each workload's design is elaborated once (both backends
 execute the *same* immutable design, mirroring the paper's compile-once /
@@ -43,9 +57,18 @@ from repro.apps.raytracer import partitions as rt_partitions
 from repro.apps.raytracer.params import RayTracerParams
 from repro.apps.vorbis import partitions as vorbis_partitions
 from repro.apps.vorbis.params import VorbisParams
-from repro.sim.cosim import Cosimulator
+from repro.sim.cosim import CosimFabric, Cosimulator
+from repro.sim.shard import SweepTask, run_sweep
 
 BACKENDS = ("interp", "compiled")
+
+#: Multi-domain fabric workloads: name -> (builder letter, #domains).
+MULTI_DOMAIN = {"vorbis_G3": "G"}
+
+#: Channel-heavy workloads used for the transport ablation.  ``xfer_stress``
+#: is the dedicated dataplane stressor (deep synchronizers, bursty
+#: producers); the others show the ablation's effect on application mixes.
+TRANSPORT_ABLATION = ("xfer_stress", "vorbis_A", "vorbis_C", "raytracer_B", "vorbis_G3")
 
 #: Figure 13 workload sizes.  ``full`` uses larger inputs than the benchmark
 #: suite's quick defaults so steady-state rule throughput dominates startup
@@ -63,37 +86,114 @@ SIZES = {
 }
 
 
+class TransportStress:
+    """A workload whose run time is dominated by the transport dataplane.
+
+    SW fills a deep synchronizer in bursts (the ``xferSW`` idiom of Section
+    6.3: a ``Loop`` that enqueues until the FIFO is full), HW echoes every
+    element back, SW drains the return FIFO in bursts.  Rule work is a
+    single add per element, so nearly all simulated activity is credit
+    accounting, FIFO draining and message delivery -- exactly what the
+    compiled dataplane lowers to closures, and the worst case for the old
+    per-element tuple re-slicing (queues hundreds of elements deep).
+    """
+
+    def __init__(self, n_items: int = 4096, depth: int = 256):
+        from repro.core.action import Loop, par, seq
+        from repro.core.domains import HW, SW
+        from repro.core.expr import BinOp, Const, RegRead
+        from repro.core.module import Design, Module
+        from repro.core.synchronizers import SyncFifo
+        from repro.core.types import UIntT
+
+        self.n_items = n_items
+        top = Module("top")
+        swm = top.add_submodule(Module("swside", domain=SW))
+        hwm = top.add_submodule(Module("hwside", domain=HW))
+        q_in = top.add_submodule(SyncFifo("q_in", UIntT(32), SW, HW, depth=depth))
+        q_out = top.add_submodule(SyncFifo("q_out", UIntT(32), HW, SW, depth=depth))
+        cnt = swm.add_register("cnt", UIntT(32), 0)
+        acc = swm.add_register("acc", UIntT(32), 0)
+        self.ndone = swm.add_register("ndone", UIntT(32), 0)
+        more = BinOp("<", RegRead(cnt), Const(n_items))
+        swm.add_rule(
+            "burst_produce",
+            Loop(
+                BinOp("&&", q_in.value("notFull"), more),
+                seq(q_in.call("enq", RegRead(cnt)), cnt.write(BinOp("+", RegRead(cnt), Const(1)))),
+                max_iterations=depth + 1,
+            ).when(BinOp("&&", q_in.value("notFull"), more)),
+        )
+        hwm.add_rule(
+            "echo",
+            par(
+                q_out.call("enq", BinOp("+", q_in.value("first"), Const(1))),
+                q_in.call("deq"),
+            ),
+        )
+        swm.add_rule(
+            "burst_collect",
+            Loop(
+                q_out.value("notEmpty"),
+                seq(
+                    acc.write(BinOp("+", RegRead(acc), q_out.value("first"))),
+                    q_out.call("deq"),
+                    self.ndone.write(BinOp("+", RegRead(self.ndone), Const(1))),
+                ),
+                max_iterations=depth + 1,
+            ).when(q_out.value("notEmpty")),
+        )
+        self.design = Design(top, "xfer_stress")
+
+    def cosim_done(self, cosim) -> bool:
+        return cosim.read(self.ndone) >= self.n_items
+
+
+#: Transport-stress sizes (items echoed across the channel and back).
+STRESS_SIZES = {"full": 8192, "quick": 2048}
+
+
 def build_workloads(size: str):
-    """Elaborate every fig13 partition once; returns ``[(name, backend_obj)]``."""
+    """Elaborate every fig13 partition plus the multi-domain fabric workloads.
+
+    Returns ``[(name, workload, is_fabric)]``; fabric workloads run on
+    :class:`CosimFabric` (N engines), the rest on the two-partition wrapper.
+    """
     params = SIZES[size]
     workloads = []
     for letter in vorbis_partitions.PARTITION_ORDER:
         workloads.append(
-            (f"vorbis_{letter}", vorbis_partitions.build_partition(letter, params["vorbis"]))
+            (f"vorbis_{letter}", vorbis_partitions.build_partition(letter, params["vorbis"]), False)
         )
     for letter in rt_partitions.PARTITION_ORDER:
         workloads.append(
-            (f"raytracer_{letter}", rt_partitions.build_partition(letter, params["raytracer"]))
+            (f"raytracer_{letter}", rt_partitions.build_partition(letter, params["raytracer"]), False)
+        )
+    for name, letter in MULTI_DOMAIN.items():
+        workloads.append(
+            (name, vorbis_partitions.build_multi_partition(letter, params["vorbis"]), True)
         )
     return workloads
 
 
-def run_once(workload, backend: str):
-    cosim = Cosimulator(workload.design, backend=backend)
-    result = cosim.run(workload.cosim_done, max_cycles=500_000_000)
-    return result
+def run_once(workload, backend: str, is_fabric: bool = False, transport=None):
+    if is_fabric:
+        sim = CosimFabric(workload.design, backend=backend, transport=transport)
+    else:
+        sim = Cosimulator(workload.design, backend=backend, transport=transport)
+    return sim.run(workload.cosim_done, max_cycles=500_000_000)
 
 
-def measure(workload, backend: str, repeats: int) -> Dict[str, Any]:
+def measure(workload, backend: str, repeats: int, is_fabric: bool = False, transport=None) -> Dict[str, Any]:
     # First run pays one-time compilation/analysis for this design+backend.
     t0 = time.perf_counter()
-    result = run_once(workload, backend)
+    result = run_once(workload, backend, is_fabric, transport)
     first = time.perf_counter() - t0
 
     best = first
     for _ in range(repeats):
         t0 = time.perf_counter()
-        result = run_once(workload, backend)
+        result = run_once(workload, backend, is_fabric, transport)
         best = min(best, time.perf_counter() - t0)
 
     firings = result.sw_firings + result.hw_firings
@@ -108,6 +208,143 @@ def measure(workload, backend: str, repeats: int) -> Dict[str, Any]:
     }
 
 
+def transport_ablation(
+    workloads, repeats: int, size: str, compiled_stats: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Interpreted vs. compiled transport, rule backend held at ``compiled``.
+
+    ``compiled_stats`` (the main loop's per-workload measurements of the
+    compiled backend, whose default transport *is* compiled) is reused as
+    the compiled arm, so only the interpreted-transport arm re-simulates.
+    """
+    by_name = {name: (workload, is_fabric) for name, workload, is_fabric in workloads}
+    by_name["xfer_stress"] = (TransportStress(n_items=STRESS_SIZES[size]), False)
+    rows: Dict[str, Any] = {}
+    for name in TRANSPORT_ABLATION:
+        if name not in by_name:
+            continue
+        workload, is_fabric = by_name[name]
+        stats = {
+            "interp": measure(workload, "compiled", repeats, is_fabric, transport="interp")
+        }
+        if compiled_stats is not None and name in compiled_stats:
+            stats["compiled"] = compiled_stats[name]
+        else:
+            stats["compiled"] = measure(
+                workload, "compiled", repeats, is_fabric, transport="compiled"
+            )
+        if stats["interp"]["result"] != stats["compiled"]["result"]:
+            raise SystemExit(f"transport backends disagree on {name}")
+        rows[name] = {
+            "interp_transport_seconds": stats["interp"]["wall_seconds"],
+            "compiled_transport_seconds": stats["compiled"]["wall_seconds"],
+            "speedup": stats["interp"]["wall_seconds"] / stats["compiled"]["wall_seconds"],
+            "channel_messages": stats["compiled"]["result"]["channel_messages"],
+        }
+    return rows
+
+
+def dataplane_microbench(size: str) -> Dict[str, Any]:
+    """Pure transport throughput: the dataplane without the rule engines.
+
+    Builds a rule-less two-domain design whose only module is one deep
+    synchronizer, then drives pump/deliver directly: refill the producer
+    endpoint with a full burst, pump until the burst is across, drain the
+    consumer endpoint (returning credits), repeat.  Both transport modes
+    move exactly the same messages; the measured quantity is elements/sec
+    through the dataplane alone, which is what
+    :func:`repro.core.compile.compile_transport_pump` actually compiled
+    (the end-to-end ablation rows dilute it with rule execution).
+    """
+    from repro.core.domains import HW, SW
+    from repro.core.module import Design, Module
+    from repro.core.synchronizers import SyncFifo
+    from repro.core.types import UIntT
+
+    n_elements = {"full": 200_000, "quick": 40_000}[size]
+    rows: Dict[str, Any] = {}
+    for depth in (16, 256, 1024):
+        timings: Dict[str, float] = {}
+        for mode in ("interp", "compiled"):
+            top = Module("top")
+            top.add_submodule(Module("swside", domain=SW))
+            top.add_submodule(Module("hwside", domain=HW))
+            sync = top.add_submodule(SyncFifo("q", UIntT(32), SW, HW, depth=depth))
+            cosim = Cosimulator(Design(top, "dataplane"), backend="compiled", transport=mode)
+            data = sync.data
+            src, dst = cosim.store_sw, cosim.store_hw
+            burst = tuple(range(depth))
+            moved = 0
+            now = 0.0
+            t0 = time.perf_counter()
+            while moved < n_elements:
+                src[data] = burst
+                while src[data] or cosim.topology.next_delivery_time() is not None:
+                    cosim._pump_transport(now)
+                    next_delivery = cosim.topology.next_delivery_time()
+                    now = max(now + 1.0, next_delivery if next_delivery is not None else now)
+                    cosim._deliver_due(now)
+                    dst[data] = ()  # consumer drains instantly; credits return
+                moved += depth
+            timings[mode] = time.perf_counter() - t0
+            assert cosim.topology.total_messages == moved, "dataplane lost messages"
+        rows[f"depth_{depth}"] = {
+            "elements": moved,
+            "interp_seconds": timings["interp"],
+            "compiled_seconds": timings["compiled"],
+            "interp_elements_per_sec": moved / timings["interp"],
+            "compiled_elements_per_sec": moved / timings["compiled"],
+            "speedup": timings["interp"] / timings["compiled"],
+        }
+    return rows
+
+
+def sharded_sweep(size: str, processes: int, backend: str = "compiled") -> Dict[str, Any]:
+    """The full workload set fanned across processes by the shard runner."""
+    params = SIZES[size]
+    tasks = [
+        SweepTask(
+            name=f"vorbis_{letter}",
+            builder=vorbis_partitions.build_partition,
+            args=(letter, params["vorbis"]),
+            backend=backend,
+        )
+        for letter in vorbis_partitions.PARTITION_ORDER
+    ]
+    tasks += [
+        SweepTask(
+            name=f"raytracer_{letter}",
+            builder=rt_partitions.build_partition,
+            args=(letter, params["raytracer"]),
+            backend=backend,
+        )
+        for letter in rt_partitions.PARTITION_ORDER
+    ]
+    tasks += [
+        SweepTask(
+            name=name,
+            builder=vorbis_partitions.build_multi_partition,
+            args=(letter, params["vorbis"]),
+            backend=backend,
+            engine_kinds={
+                d.name: ("hw" if d.name.startswith("HW") else "sw")
+                for d in vorbis_partitions.multi_partition_domains(letter)
+            },
+        )
+        for name, letter in MULTI_DOMAIN.items()
+    ]
+    report = run_sweep(tasks, processes=processes)
+    print(f"\n=== Sharded sweep ({report.processes} processes) ===")
+    print(report.table())
+    return {
+        "processes": report.processes,
+        "tasks": len(report.outcomes),
+        "wall_seconds": report.wall_seconds,
+        "worker_seconds": report.worker_seconds,
+        "speedup": report.speedup,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -115,6 +352,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=None, help="timed repetitions per workload (best-of)"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=0,
+        help="also run the workload set as a sharded multiprocess sweep",
     )
     parser.add_argument(
         "--out-dir", type=Path, default=Path(__file__).resolve().parent,
@@ -128,19 +369,19 @@ def main(argv=None) -> int:
     bench: Dict[str, Dict[str, Any]] = {backend: {} for backend in BACKENDS}
     mismatches = []
 
-    for name, workload in workloads:
+    for name, workload, is_fabric in workloads:
         for backend in BACKENDS:
-            bench[backend][name] = measure(workload, backend, repeats)
+            bench[backend][name] = measure(workload, backend, repeats, is_fabric)
         if bench["interp"][name]["result"] != bench["compiled"][name]["result"]:
             mismatches.append(name)
 
     # -- report ------------------------------------------------------------
     header = f"{'workload':<14} {'interp (s)':>11} {'compiled (s)':>13} {'speedup':>8} {'firings/s (compiled)':>21}"
-    print("\n=== Figure 13 workloads: interp vs. compiled backend ===")
+    print("\n=== Figure 13 workloads (+ multi-domain fabric): interp vs. compiled backend ===")
     print(header)
     print("-" * len(header))
     total = {backend: 0.0 for backend in BACKENDS}
-    for name, _ in workloads:
+    for name, _, _ in workloads:
         ti = bench["interp"][name]["wall_seconds"]
         tc = bench["compiled"][name]["wall_seconds"]
         total["interp"] += ti
@@ -159,6 +400,35 @@ def main(argv=None) -> int:
     else:
         print("\nAll CosimResult statistics bitwise identical across backends.")
 
+    # -- transport ablation ------------------------------------------------
+    ablation = transport_ablation(workloads, repeats, size, compiled_stats=bench["compiled"])
+    print("\n=== Transport dataplane: interpreted vs. compiled (rule backend = compiled) ===")
+    t_header = f"{'workload':<14} {'interp tx (s)':>13} {'compiled tx (s)':>15} {'speedup':>8} {'messages':>9}"
+    print(t_header)
+    print("-" * len(t_header))
+    for name, row in ablation.items():
+        print(
+            f"{name:<14} {row['interp_transport_seconds']:>13.4f} "
+            f"{row['compiled_transport_seconds']:>15.4f} {row['speedup']:>7.2f}x "
+            f"{row['channel_messages']:>9}"
+        )
+
+    dataplane = dataplane_microbench(size)
+    print("\n=== Dataplane microbenchmark: pure transport throughput (no rule engines) ===")
+    d_header = f"{'config':<12} {'interp (elem/s)':>16} {'compiled (elem/s)':>18} {'speedup':>8}"
+    print(d_header)
+    print("-" * len(d_header))
+    for name, row in dataplane.items():
+        print(
+            f"{name:<12} {row['interp_elements_per_sec']:>16,.0f} "
+            f"{row['compiled_elements_per_sec']:>18,.0f} {row['speedup']:>7.2f}x"
+        )
+
+    # -- sharded sweep -----------------------------------------------------
+    sweep = None
+    if args.processes:
+        sweep = sharded_sweep(size, args.processes)
+
     # -- persist -----------------------------------------------------------
     meta = {
         "size": size,
@@ -176,6 +446,11 @@ def main(argv=None) -> int:
                 for name, stats in bench[backend].items()
             },
         }
+        if backend == "compiled":
+            payload["transport_ablation"] = ablation
+            payload["transport_dataplane"] = dataplane
+            if sweep is not None:
+                payload["sweep"] = sweep
         # Quick (CI smoke) runs get their own files so they never clobber
         # the committed full-size trajectory that EXPERIMENTS.md records.
         suffix = "_quick" if size == "quick" else ""

@@ -40,7 +40,8 @@ from repro.core.primitives import Fifo, RegFile, PulseWire
 from repro.core.synchronizers import SyncFifo
 from repro.core.domains import Domain, HW, SW, DomainError
 from repro.core.partition import partition_design
-from repro.sim.cosim import Cosimulator, CosimResult
+from repro.sim.cosim import CosimFabric, Cosimulator, CosimResult
+from repro.platform.channel import Topology
 from repro.platform.platform import Platform
 
 __version__ = "1.0.0"
@@ -70,7 +71,9 @@ __all__ = [
     "SW",
     "DomainError",
     "partition_design",
+    "CosimFabric",
     "Cosimulator",
     "CosimResult",
+    "Topology",
     "Platform",
 ]

@@ -55,7 +55,9 @@ class RayTracer:
     syncs: Dict[str, SyncFifo] = field(default_factory=dict)
 
     def cosim_done(self, cosim) -> bool:
-        return cosim.read_sw(self.done_count) >= self.params.n_rays
+        # Owner-resolved read: works on the two-partition wrapper and on
+        # N-domain fabrics (done_count lives in the software-side collector).
+        return cosim.read(self.done_count) >= self.params.n_rays
 
     def image_values(self, reader) -> List[FixedPoint]:
         """The rendered pixel values, via a register reader function."""

@@ -56,8 +56,13 @@ class VorbisBackend:
         return reader(self.frames_out) >= self.params.n_frames
 
     def cosim_done(self, cosim) -> bool:
-        """Termination predicate for :class:`~repro.sim.cosim.Cosimulator`."""
-        return cosim.read_sw(self.frames_out) >= self.params.n_frames
+        """Termination predicate for any :class:`~repro.sim.cosim.CosimFabric`.
+
+        Uses the fabric's owner-resolved ``read`` so the same predicate
+        drives the two-partition wrapper and N-domain fabrics alike
+        (``frames_out`` lives in the always-software audio sink).
+        """
+        return cosim.read(self.frames_out) >= self.params.n_frames
 
     def placement_name(self) -> str:
         return ", ".join(f"{k}={v.name}" for k, v in sorted(self.placement.items()))

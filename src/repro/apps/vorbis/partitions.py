@@ -61,3 +61,58 @@ def build_partition(letter: str, params: Optional[VorbisParams] = None) -> Vorbi
 def hw_stage_names(letter: str) -> List[str]:
     """Which stage groups are in hardware for a partition (used in reports)."""
     return sorted(stage for stage, dom in PARTITIONS[letter].items() if dom == HW)
+
+
+# --------------------------------------------------------------------------
+# multi-domain partitions (N-domain fabric workloads)
+# --------------------------------------------------------------------------
+#
+# Beyond the paper's two-way split: the same back-end, cut into more than
+# two domain partitions by giving stage groups their *own* hardware
+# domains.  Each extra domain becomes its own cycle-level engine with its
+# own point-to-point links in the co-simulation fabric -- e.g. partition G
+# is the front-end/control in software, the IMDCT+IFFT on one hardware
+# partition and the windowing function on a second, with the q_post
+# synchronizer riding a dedicated HW_IMDCT->HW_WIN link instead of
+# competing with the SW-side traffic.  Domain names start with ``HW`` so
+# :func:`repro.sim.cosim.default_engine_kinds` picks the hardware engine.
+
+HW_IMDCT = Domain("HW_IMDCT")
+HW_IFFT = Domain("HW_IFFT")
+HW_WIN = Domain("HW_WIN")
+
+#: Multi-domain placements: G = 3 domains (SW -> HW-imdct/ifft -> HW-window),
+#: H = 4 domains (the IFFT pipe gets its own partition as well).
+MULTI_PARTITIONS: Dict[str, Dict[str, Domain]] = {
+    "G": {"ctrl": SW, "imdct": HW_IMDCT, "ifft": HW_IMDCT, "window": HW_WIN},
+    "H": {"ctrl": SW, "imdct": HW_IMDCT, "ifft": HW_IFFT, "window": HW_WIN},
+}
+
+MULTI_PARTITION_ORDER: List[str] = ["G", "H"]
+
+
+def multi_partition_placement(letter: str) -> Dict[str, Domain]:
+    """The stage placement of one multi-domain partition (G, H)."""
+    if letter not in MULTI_PARTITIONS:
+        raise KeyError(
+            f"unknown multi-domain Vorbis partition {letter!r}; "
+            f"expected one of {MULTI_PARTITION_ORDER}"
+        )
+    return dict(MULTI_PARTITIONS[letter])
+
+
+def build_multi_partition(letter: str, params: Optional[VorbisParams] = None):
+    """Build the back-end design for multi-domain partition ``letter``."""
+    return build_backend(
+        params=params,
+        placement=multi_partition_placement(letter),
+        name=f"vorbis_{letter}",
+    )
+
+
+def multi_partition_domains(letter: str) -> List[Domain]:
+    """The distinct domains of a multi-domain partition, SW included."""
+    seen: Dict[str, Domain] = {SW.name: SW}
+    for dom in MULTI_PARTITIONS[letter].values():
+        seen.setdefault(dom.name, dom)
+    return list(seen.values())

@@ -1275,3 +1275,183 @@ def compiled_rule_exec(compiled_rule, max_loop_iterations: int = 1_000_000) -> C
         )
         compiled_rule.compiled_fn = cached
     return cached
+
+
+# --------------------------------------------------------------------------
+# transport dataplane
+# --------------------------------------------------------------------------
+#
+# The same closure-compilation idea the rule engines use -- resolve
+# everything resolvable at elaboration, leave only the data-dependent work
+# in the hot path -- applied to the co-simulator's channel transport.  A
+# transport *route* (one synchronizer mapped onto one topology link) never
+# changes during a run: its endpoint stores, its data register, its credit
+# arithmetic inputs (FIFO depth, words per element) and its delivery
+# callbacks are all fixed.  ``compile_transport_pump`` and
+# ``compile_transport_delivery`` lower them once into closures whose cell
+# variables are pre-bound, so the per-iteration cost is a couple of dict
+# lookups instead of attribute chains, routing decisions and per-element
+# tuple re-slicing.
+#
+# These helpers are deliberately structural (they touch their collaborators
+# only through the callables and attributes passed in), so the core layer
+# does not import platform/sim types.
+
+
+def compile_transport_pump(
+    data_reg: Any,
+    depth: int,
+    producer_store: Any,
+    consumer_store: Any,
+    vc: Any,
+    direction: Any,
+    make_message: Callable[..., Any],
+    locked: Callable[[], Any],
+    charge_driver: Optional[Callable[[int, float], None]] = None,
+) -> Callable[[float], bool]:
+    """Compile one producer-side transport route to a pump closure.
+
+    The closure launches as many queued elements as the consumer's credit
+    window allows, in one batch: the credit window
+    ``depth - consumer_occupancy - in_flight`` is computed once (occupancy
+    cannot change mid-pump -- deliveries happen in a separate phase), the
+    drained prefix is committed with a single tuple re-slice, and the
+    channel send is inlined with the route's *pre-computed* constants --
+    per-message occupancy and propagation latency never change for a fixed
+    route, so the per-element work is building the
+    :class:`~repro.platform.channel.Message` and advancing ``busy_until``.
+    Counter updates (channel/vc statistics, credits, in-flight counts) are
+    committed once per batch; ``busy_cycles`` is accumulated per element so
+    floating-point results stay bitwise identical to the reference
+    transport.  Observable behaviour (message order/timing, credit
+    accounting, stall counts, driver charges) is identical to draining one
+    element at a time through ``ChannelDirection.send``.
+
+    Returns ``pump(now) -> bool`` (whether any element was launched).
+    """
+    vc_id = vc.vc_id
+    words = vc.words_per_element
+    note_stall = vc.note_credit_stall
+    vc_stats = vc.stats
+    stats = direction.stats
+    per_vc = stats.per_vc_messages
+    in_flight_append = direction.in_flight.append
+    # Route constants: one message's channel occupancy and one-way latency.
+    occupancy = direction.params.occupancy_cycles(words, direction.burst)
+    latency = direction.params.one_way_latency_cycles
+
+    def pump(now: float) -> bool:
+        queue = producer_store[data_reg]
+        if not queue:
+            return False
+        if data_reg in locked():
+            # An in-flight rule will commit a deferred update to this
+            # endpoint; draining it now would be clobbered by that commit.
+            return False
+        window = depth - len(consumer_store[data_reg]) - vc.in_flight
+        if window <= 0:
+            note_stall()
+            return False
+        n = len(queue)
+        if window < n:
+            n = window
+        busy = direction.busy_until
+        busy_cycles = stats.busy_cycles
+        for item in queue[:n]:
+            start = busy if busy > now else now
+            busy = start + occupancy
+            in_flight_append(make_message(vc_id, item, words, now, start, busy + latency))
+            busy_cycles += occupancy
+            if charge_driver is not None:
+                # The processor spends time marshaling and driving the DMA.
+                charge_driver(words, now)
+        direction.busy_until = busy
+        stats.busy_cycles = busy_cycles
+        stats.messages += n
+        stats.words += n * words
+        per_vc[vc_id] = per_vc.get(vc_id, 0) + n
+        vc.credits = window - n
+        vc.in_flight += n
+        vc_stats.messages_sent += n
+        vc_stats.words_sent += n * words
+        producer_store[data_reg] = queue[n:]
+        if n < len(queue):
+            note_stall()
+        return True
+
+    return pump
+
+
+def compile_transport_delivery(
+    direction: Any,
+    vc_by_id: Dict[int, Any],
+    deliver: Callable[[Any, Any, float], None],
+    deliver_batch: Optional[Callable[[Any, tuple, float], None]] = None,
+    charge_driver: Optional[Callable[[int, float], None]] = None,
+) -> Callable[[float], bool]:
+    """Compile one topology link's consumer side to a delivery closure.
+
+    Everything per-link is pre-resolved: the link's due-message scan, the
+    vc_id -> virtual-channel table, the target engine's delivery entry
+    points and (for software consumers) the driver-cost charge.
+
+    When the target supplies ``deliver_batch`` (hardware engines -- their
+    parking condition cannot change mid-sweep), consecutive due messages of
+    the same virtual channel land as one batched endpoint append instead of
+    growing the endpoint tuple one element at a time.  Software consumers
+    deliver per element: each delivery's driver charge makes the engine
+    busy, which parks the *next* delivery -- batching would change credit
+    timing.
+
+    Returns ``deliver_due(now) -> bool`` (whether any message landed).
+    """
+    if deliver_batch is not None and charge_driver is not None:
+        raise ValueError(
+            "deliver_batch and charge_driver are mutually exclusive: driver "
+            "charges make the consumer busy mid-sweep, so charged targets "
+            "must deliver per element"
+        )
+    deliveries_due = direction.deliveries_due
+
+    if deliver_batch is None:
+
+        def deliver_due(now: float) -> bool:
+            messages = deliveries_due(now)
+            if not messages:
+                return False
+            for message in messages:
+                vc = vc_by_id[message.vc_id]
+                deliver(vc.sync.data, message.payload, now)
+                vc.on_deliver()
+                if charge_driver is not None:
+                    # Demarshaling / copy out of the DMA buffer costs CPU time.
+                    charge_driver(vc.words_per_element, now)
+            return True
+
+        return deliver_due
+
+    def deliver_due_batched(now: float) -> bool:
+        messages = deliveries_due(now)
+        if not messages:
+            return False
+        total = len(messages)
+        i = 0
+        while i < total:
+            message = messages[i]
+            vc_id = message.vc_id
+            j = i + 1
+            while j < total and messages[j].vc_id == vc_id:
+                j += 1
+            vc = vc_by_id[vc_id]
+            if j - i == 1:
+                items: tuple = (message.payload,)
+            else:
+                items = tuple(m.payload for m in messages[i:j])
+            deliver_batch(vc.sync.data, items, now)
+            k = j - i
+            vc.in_flight -= k
+            vc.stats.messages_delivered += k
+            i = j
+        return True
+
+    return deliver_due_batched

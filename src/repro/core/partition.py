@@ -72,6 +72,53 @@ class Partitioning:
     def domains(self) -> List[Domain]:
         return sorted(self.programs.keys(), key=lambda d: d.name)
 
+    def route_pairs(self) -> List[tuple]:
+        """The (producer, consumer) domain-name pairs the cut actually uses.
+
+        This is the link set a :class:`~repro.platform.channel.Topology`
+        must provide: one serialised point-to-point link per pair, in cut
+        order (deduplicated).  A two-domain design yields the classic
+        ``[(SW, HW), (HW, SW)]`` duplex pair (or a subset when traffic is
+        one-directional).
+        """
+        pairs: List[tuple] = []
+        seen: Set[tuple] = set()
+        for sync in self.cut:
+            pair = (sync.domain_enq.name, sync.domain_deq.name)
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        return pairs
+
+    def independent_groups(self) -> List[List[Domain]]:
+        """Connected components of the domain graph induced by the cut.
+
+        Domains joined (transitively) by a synchronizer must co-simulate in
+        one fabric; domains in different components never exchange a message
+        and may be sharded into separate simulations/processes
+        (:mod:`repro.sim.shard`).  Returned sorted by each group's first
+        domain name for determinism.
+        """
+        parent: Dict[Domain, Domain] = {d: d for d in self.programs}
+
+        def find(d: Domain) -> Domain:
+            while parent[d] is not d:
+                parent[d] = parent[parent[d]]
+                d = parent[d]
+            return d
+
+        for sync in self.cut:
+            a, b = sync.domain_enq, sync.domain_deq
+            if a in parent and b in parent:
+                ra, rb = find(a), find(b)
+                if ra is not rb:
+                    parent[rb] = ra
+        groups: Dict[Domain, List[Domain]] = {}
+        for d in self.programs:
+            groups.setdefault(find(d), []).append(d)
+        ordered = [sorted(g, key=lambda d: d.name) for g in groups.values()]
+        return sorted(ordered, key=lambda g: g[0].name)
+
     def summary(self) -> str:
         """Human-readable description used by examples and EXPERIMENTS.md."""
         lines = [f"Partitioning of design {self.design.name!r}:"]

@@ -23,7 +23,7 @@ they would on a real bus.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -128,8 +128,11 @@ class ChannelDirection:
         n = len(in_flight)
         while cut < n and in_flight[cut].delivered_at <= now:
             cut += 1
-        self.in_flight = in_flight[cut:]
-        return in_flight[:cut]
+        due = in_flight[:cut]
+        # Trim in place: the list object's identity is stable, so compiled
+        # transport closures may pre-bind ``in_flight.append``.
+        del in_flight[:cut]
+        return due
 
     def next_delivery_time(self) -> Optional[float]:
         if not self.in_flight:
@@ -142,12 +145,30 @@ class ChannelDirection:
 
 
 class DuplexChannel:
-    """A full-duplex channel: one direction per transfer sense (SW→HW, HW→SW)."""
+    """A full-duplex channel: one direction per transfer sense (SW→HW, HW→SW).
+
+    This is the historical two-partition view.  It can own its two
+    :class:`ChannelDirection` resources (legacy constructor) or be a view
+    over two directions that live in a :class:`Topology`
+    (:meth:`from_directions`), which is how the two-partition compatibility
+    wrapper in :mod:`repro.sim.cosim` exposes its fabric links.
+    """
 
     def __init__(self, params: ChannelParams, burst: bool = True):
         self.params = params
         self.to_hw = ChannelDirection(params, "to_hw", burst)
         self.to_sw = ChannelDirection(params, "to_sw", burst)
+
+    @classmethod
+    def from_directions(
+        cls, to_hw: ChannelDirection, to_sw: ChannelDirection
+    ) -> "DuplexChannel":
+        """A duplex view over two existing directions (no new resources)."""
+        view = cls.__new__(cls)
+        view.params = to_hw.params
+        view.to_hw = to_hw
+        view.to_sw = to_sw
+        return view
 
     def direction(self, towards_hw: bool) -> ChannelDirection:
         return self.to_hw if towards_hw else self.to_sw
@@ -167,3 +188,145 @@ class DuplexChannel:
     @property
     def total_words(self) -> int:
         return self.to_hw.stats.words + self.to_sw.stats.words
+
+
+# --------------------------------------------------------------------------
+# N-domain link topologies
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Link:
+    """Static description of one point-to-point link between two domains.
+
+    A link is unidirectional (one serialised bus resource); a full-duplex
+    connection between two domains is two links.  Per-link parameters let a
+    topology mix fabrics of different width/latency (e.g. an on-board
+    LocalLink next to a chip-to-chip serial lane)."""
+
+    src: str
+    dst: str
+    params: ChannelParams
+    burst: bool = True
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+
+class Topology:
+    """A routed set of point-to-point links between named domains.
+
+    The two-partition co-simulation is the degenerate topology
+    ``{SW->HW, HW->SW}``; an N-domain fabric registers one link per
+    (producer domain, consumer domain) pair that its synchronizer cut
+    actually uses.  Each link is an independent serialised resource (its own
+    :class:`ChannelDirection`), so traffic between one pair of domains never
+    occupies another pair's bus -- the property that makes sharding
+    independent partition groups sound.
+
+    Links iterate in registration order, which the simulator relies on for
+    deterministic delivery sweeps.
+    """
+
+    def __init__(self):
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._directions: Dict[Tuple[str, str], ChannelDirection] = {}
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        params: ChannelParams,
+        burst: bool = True,
+        name: Optional[str] = None,
+    ) -> ChannelDirection:
+        """Register a unidirectional ``src -> dst`` link; returns its direction."""
+        key = (src, dst)
+        if key in self._links:
+            raise ValueError(f"topology already has a link {src}->{dst}")
+        link = Link(src, dst, params, burst)
+        self._links[key] = link
+        direction = ChannelDirection(params, name or link.name, burst)
+        self._directions[key] = direction
+        return direction
+
+    def add_duplex(
+        self, a: str, b: str, params: ChannelParams, burst: bool = True
+    ) -> Tuple[ChannelDirection, ChannelDirection]:
+        """Register both directions between ``a`` and ``b``."""
+        return (
+            self.add_link(a, b, params, burst),
+            self.add_link(b, a, params, burst),
+        )
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._links
+
+    def link(self, src: str, dst: str) -> Link:
+        return self._links[(src, dst)]
+
+    def direction(self, src: str, dst: str) -> ChannelDirection:
+        """The serialised resource carrying ``src -> dst`` traffic."""
+        try:
+            return self._directions[(src, dst)]
+        except KeyError:
+            raise KeyError(
+                f"topology has no link {src}->{dst}; registered: "
+                f"{sorted(self._links)}"
+            ) from None
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    @property
+    def directions(self) -> List[ChannelDirection]:
+        return list(self._directions.values())
+
+    def __iter__(self) -> Iterator[ChannelDirection]:
+        return iter(self._directions.values())
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def next_delivery_time(self) -> Optional[float]:
+        best: Optional[float] = None
+        for direction in self._directions.values():
+            in_flight = direction.in_flight
+            if in_flight and (best is None or in_flight[0].delivered_at < best):
+                best = in_flight[0].delivered_at
+        return best
+
+    @property
+    def total_messages(self) -> int:
+        return sum(d.stats.messages for d in self._directions.values())
+
+    @property
+    def total_words(self) -> int:
+        return sum(d.stats.words for d in self._directions.values())
+
+    @property
+    def total_busy_cycles(self) -> float:
+        return sum(d.stats.busy_cycles for d in self._directions.values())
+
+    @classmethod
+    def for_routes(
+        cls,
+        routes: Iterable[Tuple[str, str]],
+        default_params: ChannelParams,
+        burst: bool = True,
+        link_params: Optional[Dict[Tuple[str, str], ChannelParams]] = None,
+    ) -> "Topology":
+        """Build a topology with one link per (src, dst) route.
+
+        ``link_params`` overrides the channel parameters of individual links
+        (latency/width asymmetry between domain pairs); every other route
+        uses ``default_params``.  Duplicate routes are collapsed.
+        """
+        topo = cls()
+        overrides = link_params or {}
+        for src, dst in routes:
+            if not topo.has_link(src, dst):
+                topo.add_link(src, dst, overrides.get((src, dst), default_params), burst)
+        return topo

@@ -91,19 +91,36 @@ class VirtualChannel:
 class VirtualChannelTable:
     """Assignment of virtual-channel ids to the synchronizers of a partitioned design."""
 
-    def __init__(self, syncs: List[SyncFifo], word_bits: int = 32):
+    def __init__(
+        self,
+        syncs: List[SyncFifo],
+        word_bits: int = 32,
+        word_bits_by_sync: Optional[Dict[SyncFifo, int]] = None,
+    ):
+        """``word_bits_by_sync`` overrides the word width per synchronizer --
+        in an N-domain topology each sync is marshalled for the width of the
+        particular link its route is mapped onto."""
         self.channels: Dict[SyncFifo, VirtualChannel] = {}
+        self._by_id: Dict[int, VirtualChannel] = {}
+        overrides = word_bits_by_sync or {}
         for vc_id, sync in enumerate(syncs):
-            self.channels[sync] = VirtualChannel(vc_id, sync, word_bits)
+            vc = VirtualChannel(vc_id, sync, overrides.get(sync, word_bits))
+            self.channels[sync] = vc
+            self._by_id[vc_id] = vc
 
     def channel_for(self, sync: SyncFifo) -> VirtualChannel:
         return self.channels[sync]
 
     def by_id(self, vc_id: int) -> VirtualChannel:
-        for vc in self.channels.values():
-            if vc.vc_id == vc_id:
-                return vc
-        raise KeyError(f"no virtual channel with id {vc_id}")
+        try:
+            return self._by_id[vc_id]
+        except KeyError:
+            raise KeyError(f"no virtual channel with id {vc_id}") from None
+
+    @property
+    def id_table(self) -> Dict[int, VirtualChannel]:
+        """The vc_id -> channel mapping (used by compiled delivery closures)."""
+        return self._by_id
 
     def __iter__(self):
         return iter(self.channels.values())

@@ -19,8 +19,9 @@ use for its reported results (higher bandwidth, higher latency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.platform.channel import ChannelParams
+from repro.platform.channel import ChannelParams, Topology
 from repro.sim.costmodel import SwCostParams
 
 
@@ -89,3 +90,18 @@ class Platform:
     def with_sw_costs(self, **overrides) -> "Platform":
         """A copy of this platform with some software cost parameters replaced."""
         return replace(self, sw_costs=replace(self.sw_costs, **overrides))
+
+    def topology_for(
+        self,
+        routes: Iterable[Tuple[str, str]],
+        burst: bool = True,
+        link_params: Optional[Dict[Tuple[str, str], ChannelParams]] = None,
+    ) -> Topology:
+        """A link topology for the given (producer, consumer) domain routes.
+
+        Every route gets its own serialised link using this platform's
+        channel parameters unless ``link_params`` overrides a specific
+        (src, dst) pair -- which is how a fabric models, say, a fast
+        on-board path next to a slower chip-to-chip lane.
+        """
+        return Topology.for_routes(routes, self.channel, burst, link_params)

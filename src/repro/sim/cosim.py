@@ -1,28 +1,44 @@
-"""Co-simulation of a partitioned design over a physical channel.
+"""Co-simulation of a partitioned design over a routed channel topology.
 
-This is the executable counterpart of the full compiler flow in Figure 6:
-the design is split by domain, the software partition runs on the
-cost-modelled sequential engine (:class:`~repro.sim.swsim.SwEngine`), the
-hardware partition runs on the cycle-level engine
-(:class:`~repro.sim.hwsim.HwEngine`), and every cross-domain synchronizer is
-mapped onto a virtual channel of the duplex physical channel with
-credit-based flow control and marshaling-derived transfer sizes.
+This is the executable counterpart of the full compiler flow in Figure 6,
+generalised from the paper's fixed HW/SW split to an arbitrary set of
+*domain partitions*: the design is split by domain
+(:mod:`repro.core.partition`), each partition runs on its own engine (the
+cycle-level :class:`~repro.sim.hwsim.HwEngine` or the cost-modelled
+sequential :class:`~repro.sim.swsim.SwEngine`), and every cross-domain
+synchronizer is mapped onto a virtual channel of the point-to-point link
+its (producer domain, consumer domain) route uses in the
+:class:`~repro.platform.channel.Topology`.  Synchronizer placement -- not a
+fixed two-way split -- defines the partitioning, which is the paper's whole
+point; :class:`CosimFabric` is the N-domain event loop and
+:class:`Cosimulator` the two-partition view the original API exposed,
+kept bitwise-compatible (same `CosimResult`, same cycle accounting).
 
-Time is measured in FPGA cycles.  The main loop advances one cycle at a time
-while anything is happening and skips directly to the next scheduled event
-(a channel delivery, the end of a software rule, a multi-cycle hardware
+Time is measured in FPGA cycles.  The main loop advances one cycle at a
+time while anything is happening and skips directly to the next scheduled
+event (a link delivery, the end of a software rule, a multi-cycle hardware
 kernel completing) whenever the system is otherwise idle, so designs that
-spend most of their time waiting on the bus (e.g. the ray tracer's partition
-B) simulate in time proportional to their event count, not their cycle
-count.
+spend most of their time waiting on the bus (e.g. the ray tracer's
+partition B) simulate in time proportional to their event count, not their
+cycle count.
+
+Transport is two-backend, like rule execution: ``transport="interp"`` is
+the per-synchronizer reference bookkeeping; ``transport="compiled"`` lowers
+each route to a closure at elaboration
+(:func:`~repro.core.compile.compile_transport_pump` /
+:func:`~repro.core.compile.compile_transport_delivery`: pre-resolved
+endpoint stores, pre-computed credit arithmetic, prebuilt delivery
+callbacks, batch FIFO draining).  By default the transport backend follows
+the rule-execution backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.core.domains import HW, SW, Domain
+from repro.core.compile import compile_transport_delivery, compile_transport_pump
+from repro.core.domains import HW, SW, Domain, effective_module_domain
 from repro.core.errors import SimulationError
 from repro.core.module import Design, Register
 from repro.core.optimize import OptimizationConfig
@@ -30,16 +46,38 @@ from repro.core.partition import Partitioning, partition_design
 from repro.core.primitives import Fifo
 from repro.core.semantics import Store
 from repro.core.synchronizers import SyncFifo
-from repro.platform.channel import DuplexChannel
+from repro.platform.channel import DuplexChannel, Message, Topology
 from repro.platform.libdn import VirtualChannelTable
 from repro.platform.platform import Platform
 from repro.sim.hwsim import HwEngine
 from repro.sim.swsim import SwEngine
 
+#: Engine kinds a domain can be mapped onto.
+ENGINE_KINDS = ("hw", "sw")
+
+
+def default_engine_kinds(domains) -> Dict[str, str]:
+    """The default domain-name -> engine-kind mapping.
+
+    Domains whose name starts with ``HW`` run on the cycle-level hardware
+    engine; everything else runs on the cost-modelled software engine.  The
+    multi-domain workloads (e.g. ``HW_IMDCT``/``HW_WIN``) follow this
+    convention; anything else should pass ``engine_kinds`` explicitly.
+    """
+    return {
+        d.name: ("hw" if d.name.upper().startswith("HW") else "sw") for d in domains
+    }
+
 
 @dataclass
 class CosimResult:
-    """Outcome of one co-simulation run (all times in FPGA cycles)."""
+    """Outcome of one co-simulation run (all times in FPGA cycles).
+
+    The ``sw_*``/``hw_*`` fields aggregate over every software/hardware
+    engine in the fabric (in the two-partition case there is exactly one of
+    each, so they read as before); ``domain_stats`` holds the per-domain
+    breakdown.
+    """
 
     design_name: str
     fpga_cycles: float
@@ -57,6 +95,7 @@ class CosimResult:
     channel_busy_cycles: float
     fire_counts: Dict[str, int] = field(default_factory=dict)
     vc_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    domain_stats: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         status = "ok" if self.completed else "INCOMPLETE"
@@ -67,121 +106,253 @@ class CosimResult:
         )
 
 
-class Cosimulator:
-    """Builds and runs the HW/SW co-simulation of one partitioned design."""
+class CosimFabric:
+    """N-domain co-simulation: a topology of engines joined by routed links.
+
+    Builds one engine per domain partition of ``design``, a point-to-point
+    link per (producer, consumer) domain route on the synchronizer cut, and
+    runs the whole fabric under one event loop.  ``engine_kinds`` maps
+    domain (or domain name) to ``"hw"``/``"sw"``; unmapped domains follow
+    :func:`default_engine_kinds`.  A prebuilt ``topology`` may be supplied
+    (e.g. with asymmetric per-link parameters); otherwise one link per used
+    route is created from the platform's channel parameters
+    (``link_params`` overrides individual routes).
+    """
 
     def __init__(
         self,
         design: Design,
         platform: Optional[Platform] = None,
         config: Optional[OptimizationConfig] = None,
-        hw_domain: Domain = HW,
-        sw_domain: Domain = SW,
+        engine_kinds: Optional[Dict[Union[Domain, str], str]] = None,
         default_domain: Optional[Domain] = None,
         burst: bool = True,
         max_loop_iterations: int = 1_000_000,
         backend: str = "interp",
+        transport: Optional[str] = None,
+        topology: Optional[Topology] = None,
+        link_params=None,
+        required_domains: Optional[List[Domain]] = None,
     ):
+        if transport is None:
+            transport = backend
+        if transport not in ("interp", "compiled"):
+            raise ValueError(f"unknown transport backend {transport!r}")
         self.design = design
         self.platform = platform or Platform.ml507()
         self.config = config or OptimizationConfig.all()
-        self.hw_domain = hw_domain
-        self.sw_domain = sw_domain
         self.burst = burst
         self.backend = backend
+        self.transport = transport
 
         self.partitioning: Partitioning = partition_design(
-            design, default_domain if default_domain is not None else sw_domain
+            design, default_domain if default_domain is not None else SW
         )
 
-        hw_rules = (
-            self.partitioning.programs[hw_domain].rules
-            if hw_domain in self.partitioning.programs
-            else []
+        # -- engines: one per domain, hardware engines stepped first --------
+        domains: Dict[str, Domain] = {d.name: d for d in self.partitioning.programs}
+        for dom in required_domains or ():
+            domains.setdefault(dom.name, dom)
+        kinds = default_engine_kinds(domains.values())
+        for key, kind in (engine_kinds or {}).items():
+            if kind not in ENGINE_KINDS:
+                raise ValueError(f"unknown engine kind {kind!r} (expected 'hw'/'sw')")
+            name = key.name if isinstance(key, Domain) else key
+            if name not in domains:
+                raise ValueError(
+                    f"engine_kinds names domain {name!r} but the design partitions "
+                    f"into {sorted(domains)}"
+                )
+            kinds[name] = kind
+        self.engine_kinds: Dict[str, str] = {name: kinds[name] for name in domains}
+        ordered = sorted(
+            domains.values(), key=lambda d: (self.engine_kinds[d.name] != "hw", d.name)
         )
-        sw_rules = (
-            self.partitioning.programs[sw_domain].rules
-            if sw_domain in self.partitioning.programs
-            else []
-        )
+        self.domains: List[Domain] = ordered
+        self.engines: Dict[Domain, Any] = {}
+        self._hw_engines: List[HwEngine] = []
+        self._sw_engines: List[SwEngine] = []
+        programs = self.partitioning.programs
+        for dom in ordered:
+            rules = programs[dom].rules if dom in programs else []
+            if self.engine_kinds[dom.name] == "hw":
+                engine = HwEngine(
+                    rules, design.initial_store(), name=dom.name, backend=backend
+                )
+                self._hw_engines.append(engine)
+            else:
+                engine = SwEngine(
+                    rules,
+                    design.initial_store(),
+                    self.platform,
+                    self.config,
+                    design.all_registers(),
+                    name=dom.name,
+                    max_loop_iterations=max_loop_iterations,
+                    backend=backend,
+                )
+                self._sw_engines.append(engine)
+            # The engines wrap their stores for dirty-set write tracking;
+            # always address the wrapped store (``engine.store``) so
+            # transport-layer writes wake the rules they affect.
+            self.engines[dom] = engine
 
-        self.hw = HwEngine(hw_rules, design.initial_store(), backend=backend)
-        self.sw = SwEngine(
-            sw_rules,
-            design.initial_store(),
-            self.platform,
-            self.config,
-            design.all_registers(),
-            max_loop_iterations=max_loop_iterations,
-            backend=backend,
-        )
-        # The engines wrap their stores for dirty-set write tracking; use the
-        # wrapped stores so transport-layer writes wake the rules they affect.
-        self.store_hw: Store = self.hw.store
-        self.store_sw: Store = self.sw.store
-        #: register -> owning store, resolved lazily (domain resolution per
-        #: read sat on the termination predicate's per-cycle path).
-        self._owning_store: Dict[Register, Store] = {}
+        # -- topology: one serialised link per used route -------------------
+        if topology is None:
+            topology = self.platform.topology_for(
+                self.partitioning.route_pairs(), burst=burst, link_params=link_params
+            )
+        self.topology = topology
 
-        self.channel = DuplexChannel(self.platform.channel, burst=burst)
+        cut = self.partitioning.cut
+        word_bits_by_sync = {
+            sync: topology.link(sync.domain_enq.name, sync.domain_deq.name).params.word_bits
+            for sync in cut
+        }
         self.vcs = VirtualChannelTable(
-            self.partitioning.cut, word_bits=self.platform.channel.word_bits
+            cut,
+            word_bits=self.platform.channel.word_bits,
+            word_bits_by_sync=word_bits_by_sync,
         )
-        # Precomputed per-synchronizer transport routing (the engines, stores
-        # and channel direction for a sync never change during a run; resolving
-        # them per pump call dominated the main loop's idle cost).
-        self._routes = []
-        for sync in self.partitioning.cut:
+
+        # -- transport dataplane --------------------------------------------
+        # Producer-side routes (the engines, stores and link for a sync
+        # never change during a run) and consumer-side delivery sweeps, in
+        # deterministic order: routes in cut order, deliveries in topology
+        # registration order.
+        self._routes: List[tuple] = []
+        for sync in cut:
             vc = self.vcs.channel_for(sync)
-            producer_engine, producer_store = self._engine_for(sync.domain_enq)
-            _, consumer_store = self._engine_for(sync.domain_deq)
-            towards_hw = sync.domain_deq == self.hw_domain
+            producer_engine = self.engines[domains[sync.domain_enq.name]]
+            consumer_engine = self.engines[domains[sync.domain_deq.name]]
+            direction = topology.direction(sync.domain_enq.name, sync.domain_deq.name)
             self._routes.append(
                 (
                     sync,
                     vc,
                     producer_engine,
-                    producer_store,
-                    consumer_store,
-                    self.channel.direction(towards_hw),
+                    producer_engine.store,
+                    consumer_engine.store,
+                    direction,
+                    isinstance(producer_engine, SwEngine),
                 )
             )
+        self._delivery_routes: List[tuple] = []
+        for link in topology.links:
+            dst = domains.get(link.dst)
+            if dst is None:
+                continue
+            target = self.engines[dst]
+            self._delivery_routes.append(
+                (
+                    topology.direction(link.src, link.dst),
+                    target,
+                    isinstance(target, SwEngine),
+                )
+            )
+
+        if transport == "compiled":
+            self._pump_fns = [
+                compile_transport_pump(
+                    sync.data,
+                    sync.depth,
+                    producer_store,
+                    consumer_store,
+                    vc,
+                    direction,
+                    Message,
+                    producer_engine.locked_registers,
+                    producer_engine.charge_driver if sw_producer else None,
+                )
+                for sync, vc, producer_engine, producer_store, consumer_store, direction, sw_producer in self._routes
+            ]
+            vc_by_id = self.vcs.id_table
+            self._deliver_fns = [
+                compile_transport_delivery(
+                    direction,
+                    vc_by_id,
+                    target.deliver,
+                    deliver_batch=None if sw_target else target.deliver_batch,
+                    charge_driver=target.charge_driver if sw_target else None,
+                )
+                for direction, target, sw_target in self._delivery_routes
+            ]
+        else:
+            self._pump_fns = None
+            self._deliver_fns = None
+
+        # -- register ownership ---------------------------------------------
+        # register -> authoritative store, resolved from the partitioning
+        # (not a binary "hw else sw" guess): a partition's state lives in its
+        # own engine's store; a synchronizer's consumer side is
+        # authoritative for reads performed by tests (its contents are what
+        # the consumer still has to process).
+        owner: Dict[Register, Store] = {}
+        for dom, prog in programs.items():
+            store = self.engines[dom].store
+            for reg in prog.registers:
+                owner[reg] = store
+        for sync in cut:
+            store = self.engines[domains[sync.domain_deq.name]].store
+            for reg in sync.registers:
+                owner[reg] = store
+        self._owner_store = owner
+        if self._sw_engines:
+            self._default_store: Store = self._sw_engines[0].store
+        elif ordered:
+            self._default_store = self.engines[ordered[0]].store
+        else:
+            self._default_store = {}
+
         self.now: float = 0.0
 
-    # -- store access helpers ----------------------------------------------------
+    # -- store access helpers ----------------------------------------------
 
-    def _engine_for(self, domain: Domain) -> Tuple[Any, Store]:
-        if domain == self.hw_domain:
-            return self.hw, self.store_hw
-        return self.sw, self.store_sw
+    def engine(self, domain: Union[Domain, str]) -> Any:
+        """The engine simulating ``domain``'s partition."""
+        name = domain.name if isinstance(domain, Domain) else domain
+        for dom, engine in self.engines.items():
+            if dom.name == name:
+                return engine
+        raise KeyError(f"fabric has no engine for domain {name!r}")
 
-    def read_sw(self, reg: Register) -> Any:
-        """Read a register as seen by the software partition."""
-        return self.store_sw[reg]
-
-    def read_hw(self, reg: Register) -> Any:
-        """Read a register as seen by the hardware partition."""
-        return self.store_hw[reg]
+    def _resolve_owner(self, reg: Register) -> Store:
+        parent = reg.parent
+        if isinstance(parent, SyncFifo):
+            dom = parent.domain_deq
+        else:
+            dom = effective_module_domain(parent)
+        if dom is not None and not dom.is_variable:
+            for d, engine in self.engines.items():
+                if d == dom:
+                    return engine.store
+        return self._default_store
 
     def read(self, reg: Register) -> Any:
         """Read a register from whichever partition owns it."""
-        store = self._owning_store.get(reg)
+        store = self._owner_store.get(reg)
         if store is None:
-            owner_domain = _owning_domain(reg, self.hw_domain, self.sw_domain)
-            store = self.store_hw if owner_domain == self.hw_domain else self.store_sw
-            self._owning_store[reg] = store
+            store = self._owner_store[reg] = self._resolve_owner(reg)
         return store[reg]
 
     def fifo_contents(self, fifo: Fifo) -> Tuple[Any, ...]:
         """Contents of a FIFO in the partition that owns it."""
         return tuple(self.read(fifo.data))
 
-    # -- transport ----------------------------------------------------------------
+    # -- transport ----------------------------------------------------------
 
     def _pump_transport(self, now: float) -> bool:
         """Launch transfers from producer-side endpoints whenever credits allow."""
+        pumps = self._pump_fns
+        if pumps is not None:
+            progress = False
+            for pump in pumps:
+                progress |= pump(now)
+            return progress
+        # Reference (interpreted) transport: per-synchronizer bookkeeping,
+        # draining one element at a time.
         progress = False
-        for sync, vc, producer_engine, producer_store, consumer_store, direction in self._routes:
+        for sync, vc, producer_engine, producer_store, consumer_store, direction, sw_producer in self._routes:
             if not producer_store[sync.data]:
                 continue
             if sync.data in producer_engine.locked_registers():
@@ -198,40 +369,47 @@ class Cosimulator:
                 producer_store[sync.data] = tuple(producer_store[sync.data][1:])
                 direction.send(vc.vc_id, item, vc.words_per_element, now)
                 vc.on_send()
-                if producer_engine is self.sw:
+                if sw_producer:
                     # The processor spends time marshaling and driving the DMA.
-                    self.sw.charge_driver(vc.words_per_element, now)
+                    producer_engine.charge_driver(vc.words_per_element, now)
                 progress = True
         return progress
 
     def _deliver_due(self, now: float) -> bool:
+        delivers = self._deliver_fns
+        if delivers is not None:
+            progress = False
+            for deliver_due in delivers:
+                progress |= deliver_due(now)
+            return progress
         progress = False
-        for towards_hw in (True, False):
-            direction = self.channel.direction(towards_hw)
+        by_id = self.vcs.by_id
+        for direction, target, sw_target in self._delivery_routes:
             if not direction.in_flight:
                 continue
-            target = self.hw if towards_hw else self.sw
             for message in direction.deliveries_due(now):
-                vc = self.vcs.by_id(message.vc_id)
+                vc = by_id(message.vc_id)
                 target.deliver(vc.sync.data, message.payload, now)
                 vc.on_deliver()
-                if target is self.sw:
+                if sw_target:
                     # Demarshaling / copy out of the DMA buffer costs CPU time.
-                    self.sw.charge_driver(vc.words_per_element, now)
+                    target.charge_driver(vc.words_per_element, now)
                 progress = True
         return progress
 
-    # -- main loop ------------------------------------------------------------------
+    # -- main loop ------------------------------------------------------------
 
     def run(
         self,
-        done: Callable[["Cosimulator"], bool],
+        done: Callable[["CosimFabric"], bool],
         max_cycles: float = 100_000_000.0,
         max_iterations: int = 5_000_000,
     ) -> CosimResult:
         """Run until ``done(self)`` or until no further progress is possible."""
         completed = False
         iterations = 0
+        hw_engines = self._hw_engines
+        sw_engines = self._sw_engines
         while self.now <= max_cycles and iterations < max_iterations:
             iterations += 1
             if done(self):
@@ -240,8 +418,10 @@ class Cosimulator:
 
             progress = False
             progress |= self._deliver_due(self.now)
-            progress |= self.hw.step_cycle(self.now)
-            progress |= self.sw.step(self.now)
+            for engine in hw_engines:
+                progress |= engine.step_cycle(self.now)
+            for engine in sw_engines:
+                progress |= engine.step(self.now)
             progress |= self._pump_transport(self.now)
 
             if progress:
@@ -251,9 +431,9 @@ class Cosimulator:
             next_times = [
                 t
                 for t in (
-                    self.channel.next_delivery_time(),
-                    self.hw.next_completion_time(),
-                    self.sw.next_event_time(self.now),
+                    self.topology.next_delivery_time(),
+                    *(engine.next_completion_time() for engine in hw_engines),
+                    *(engine.next_event_time(self.now) for engine in sw_engines),
                 )
                 if t is not None
             ]
@@ -272,12 +452,14 @@ class Cosimulator:
             completed = done(self)
         return self._result(completed)
 
-    # -- result assembly ---------------------------------------------------------------
+    # -- result assembly -----------------------------------------------------
 
     def _result(self, completed: bool) -> CosimResult:
         fire_counts: Dict[str, int] = {}
-        fire_counts.update(self.hw.fire_counts)
-        fire_counts.update(self.sw.fire_counts)
+        for engine in self._hw_engines:
+            fire_counts.update(engine.fire_counts)
+        for engine in self._sw_engines:
+            fire_counts.update(engine.fire_counts)
         vc_stats = {
             vc.sync.name: {
                 "messages": vc.stats.messages_sent,
@@ -286,40 +468,106 @@ class Cosimulator:
             }
             for vc in self.vcs
         }
+        domain_stats: Dict[str, Dict[str, Any]] = {}
+        for dom in self.domains:
+            engine = self.engines[dom]
+            if isinstance(engine, HwEngine):
+                domain_stats[dom.name] = {
+                    "kind": "hw",
+                    "firings": engine.total_firings,
+                    "active_cycles": engine.cycles_active,
+                }
+            else:
+                domain_stats[dom.name] = {
+                    "kind": "sw",
+                    "firings": engine.total_firings,
+                    "busy_fpga_cycles": engine.busy_fpga_cycles,
+                    "cpu_cycles": engine.cpu_cycles_total,
+                    "guard_failures": engine.guard_failures,
+                }
+        sw = self._sw_engines
+        hw = self._hw_engines
         return CosimResult(
             design_name=self.design.name,
             fpga_cycles=self.now,
             completed=completed,
-            sw_busy_fpga_cycles=self.sw.busy_fpga_cycles,
-            sw_cpu_cycles=self.sw.cpu_cycles_total,
-            sw_cpu_cycles_wasted=self.sw.cpu_cycles_wasted,
-            sw_cpu_cycles_driver=self.sw.cpu_cycles_driver,
-            sw_firings=self.sw.total_firings,
-            sw_guard_failures=self.sw.guard_failures,
-            hw_firings=self.hw.total_firings,
-            hw_active_cycles=self.hw.cycles_active,
-            channel_messages=self.channel.total_messages,
-            channel_words=self.channel.total_words,
-            channel_busy_cycles=self.channel.to_hw.stats.busy_cycles
-            + self.channel.to_sw.stats.busy_cycles,
+            sw_busy_fpga_cycles=sum(e.busy_fpga_cycles for e in sw),
+            sw_cpu_cycles=sum(e.cpu_cycles_total for e in sw),
+            sw_cpu_cycles_wasted=sum(e.cpu_cycles_wasted for e in sw),
+            sw_cpu_cycles_driver=sum(e.cpu_cycles_driver for e in sw),
+            sw_firings=sum(e.total_firings for e in sw),
+            sw_guard_failures=sum(e.guard_failures for e in sw),
+            hw_firings=sum(e.total_firings for e in hw),
+            hw_active_cycles=sum(e.cycles_active for e in hw),
+            channel_messages=self.topology.total_messages,
+            channel_words=self.topology.total_words,
+            channel_busy_cycles=self.topology.total_busy_cycles,
             fire_counts=fire_counts,
             vc_stats=vc_stats,
+            domain_stats=domain_stats,
         )
 
 
-def _owning_domain(reg: Register, hw_domain: Domain, sw_domain: Domain) -> Domain:
-    """Which partition's store holds the authoritative value of ``reg``.
+class Cosimulator(CosimFabric):
+    """The classic two-partition HW/SW co-simulation view.
 
-    For synchronizer endpoints the consumer side is authoritative for reads
-    performed by tests (its contents are what the consumer still has to
-    process); for ordinary registers the owning module's domain decides.
+    A thin compatibility wrapper over :class:`CosimFabric`: exactly one
+    hardware and one software engine, joined by a full-duplex channel whose
+    two directions are the fabric links ``sw -> hw`` (``to_hw``) and
+    ``hw -> sw`` (``to_sw``).  Results are bitwise identical to the
+    pre-fabric two-partition implementation (pinned by
+    ``tests/golden/fig13_cosim.json``).
     """
-    from repro.core.domains import effective_module_domain
 
-    owner = reg.parent
-    if isinstance(owner, SyncFifo):
-        return owner.domain_deq if not owner.domain_deq.is_variable else sw_domain
-    domain = effective_module_domain(owner)
-    if domain == hw_domain:
-        return hw_domain
-    return sw_domain
+    def __init__(
+        self,
+        design: Design,
+        platform: Optional[Platform] = None,
+        config: Optional[OptimizationConfig] = None,
+        hw_domain: Domain = HW,
+        sw_domain: Domain = SW,
+        default_domain: Optional[Domain] = None,
+        burst: bool = True,
+        max_loop_iterations: int = 1_000_000,
+        backend: str = "interp",
+        transport: Optional[str] = None,
+    ):
+        platform = platform or Platform.ml507()
+        # Both directions always exist (the physical channel is full duplex
+        # whether or not traffic uses both senses), registered to_hw first --
+        # delivery sweeps visit them in that order.
+        topology = Topology()
+        to_hw = topology.add_link(
+            sw_domain.name, hw_domain.name, platform.channel, burst, name="to_hw"
+        )
+        to_sw = topology.add_link(
+            hw_domain.name, sw_domain.name, platform.channel, burst, name="to_sw"
+        )
+        super().__init__(
+            design,
+            platform=platform,
+            config=config,
+            engine_kinds={hw_domain.name: "hw", sw_domain.name: "sw"},
+            default_domain=default_domain if default_domain is not None else sw_domain,
+            burst=burst,
+            max_loop_iterations=max_loop_iterations,
+            backend=backend,
+            transport=transport,
+            topology=topology,
+            required_domains=[hw_domain, sw_domain],
+        )
+        self.hw_domain = hw_domain
+        self.sw_domain = sw_domain
+        self.hw: HwEngine = self.engine(hw_domain)
+        self.sw: SwEngine = self.engine(sw_domain)
+        self.store_hw: Store = self.hw.store
+        self.store_sw: Store = self.sw.store
+        self.channel = DuplexChannel.from_directions(to_hw, to_sw)
+
+    def read_sw(self, reg: Register) -> Any:
+        """Read a register as seen by the software partition."""
+        return self.store_sw[reg]
+
+    def read_hw(self, reg: Register) -> Any:
+        """Read a register as seen by the hardware partition."""
+        return self.store_hw[reg]

@@ -1,0 +1,190 @@
+"""Multiprocess sharding of co-simulation sweeps.
+
+A partitioning study (Figure 13: every placement letter of every
+application) is embarrassingly parallel: each point elaborates its own
+design and runs its own fabric, sharing nothing.  This module fans such a
+sweep across worker processes and merges the :class:`~repro.sim.cosim.CosimResult`s.
+
+Designs are *not* shipped between processes -- elaborated designs hold
+foreign kernels (closures) that do not pickle, and shipping them would
+also serialise the elaboration we want parallelised.  Instead a
+:class:`SweepTask` names a module-level *builder* (picklable by qualified
+name) plus its arguments; each worker elaborates the workload itself, runs
+it, and returns only the plain-data result.  This is the compile-once /
+run-anywhere model the paper's flow implies, applied to the simulator.
+
+Independent partition *groups* of one design
+(:meth:`~repro.core.partition.Partitioning.independent_groups`) shard the
+same way: each group is a closed sub-design (no synchronizer leaves it),
+so a task per group runs it as its own fabric.
+
+Process-pool results are deterministic: tasks are dispatched in order and
+results are reassembled by task name, so a sharded sweep returns exactly
+the same per-task ``CosimResult``s as a serial one
+(``tests/test_fabric.py`` verifies this bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.cosim import CosimFabric, CosimResult, Cosimulator
+
+
+@dataclass
+class SweepTask:
+    """One point of a sweep: how a worker builds and runs a workload.
+
+    ``builder(*args, **kwargs)`` must be picklable (a module-level
+    callable) and return a workload object exposing ``.design`` and a
+    ``cosim_done`` termination predicate.  ``engine_kinds`` (domain name ->
+    ``"hw"``/``"sw"``) selects the N-domain fabric; when ``None`` the
+    classic two-partition :class:`~repro.sim.cosim.Cosimulator` runs it.
+    """
+
+    name: str
+    builder: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    backend: str = "compiled"
+    transport: Optional[str] = None
+    engine_kinds: Optional[Dict[str, str]] = None
+    max_cycles: float = 500_000_000.0
+
+
+@dataclass
+class SweepOutcome:
+    """Per-task outcome: the simulation result plus worker-side wall time."""
+
+    name: str
+    result: CosimResult
+    wall_seconds: float
+    pid: int
+
+
+@dataclass
+class SweepReport:
+    """A completed sweep: per-task outcomes plus aggregate accounting."""
+
+    outcomes: Dict[str, SweepOutcome]
+    wall_seconds: float
+    processes: int
+
+    @property
+    def results(self) -> Dict[str, CosimResult]:
+        return {name: o.result for name, o in self.outcomes.items()}
+
+    @property
+    def worker_seconds(self) -> float:
+        """Total compute across workers (serial-equivalent wall time)."""
+        return sum(o.wall_seconds for o in self.outcomes.values())
+
+    @property
+    def speedup(self) -> float:
+        """Parallel efficiency proxy: worker compute over sweep wall time."""
+        return self.worker_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+    def table(self) -> str:
+        lines = [f"{'task':<18} {'fpga cycles':>12} {'wall (s)':>9} {'pid':>7}"]
+        for name, o in self.outcomes.items():
+            lines.append(
+                f"{name:<18} {o.result.fpga_cycles:>12.0f} {o.wall_seconds:>9.3f} {o.pid:>7}"
+            )
+        lines.append(
+            f"{len(self.outcomes)} tasks on {self.processes} processes: "
+            f"{self.wall_seconds:.3f}s wall, {self.worker_seconds:.3f}s compute "
+            f"({self.speedup:.2f}x)"
+        )
+        return "\n".join(lines)
+
+
+def run_task(task: SweepTask) -> SweepOutcome:
+    """Elaborate and run one sweep task in the current process."""
+    t0 = time.perf_counter()
+    workload = task.builder(*task.args, **task.kwargs)
+    if task.engine_kinds is None:
+        sim = Cosimulator(workload.design, backend=task.backend, transport=task.transport)
+    else:
+        sim = CosimFabric(
+            workload.design,
+            backend=task.backend,
+            transport=task.transport,
+            engine_kinds=dict(task.engine_kinds),
+        )
+    result = sim.run(workload.cosim_done, max_cycles=task.max_cycles)
+    return SweepOutcome(
+        name=task.name,
+        result=result,
+        wall_seconds=time.perf_counter() - t0,
+        pid=os.getpid(),
+    )
+
+
+def run_sweep(
+    tasks: List[SweepTask],
+    processes: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> SweepReport:
+    """Run a sweep, fanning tasks across ``processes`` worker processes.
+
+    ``processes=None`` uses one worker per CPU (capped at the task count);
+    ``processes<=1`` runs serially in this process -- same code path, no
+    pool -- which is also the automatic fallback when the platform cannot
+    fork.  ``mp_context`` picks the multiprocessing start method
+    (``"fork"`` is preferred: workloads built from closures elaborate
+    identically in forked children).
+    """
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"sweep task names must be unique, got {names}")
+    if processes is None:
+        processes = min(len(tasks), os.cpu_count() or 1)
+    processes = max(1, min(processes, len(tasks))) if tasks else 1
+
+    t0 = time.perf_counter()
+    if processes <= 1 or len(tasks) <= 1:
+        outcomes = [run_task(task) for task in tasks]
+        return SweepReport(
+            outcomes={o.name: o for o in outcomes},
+            wall_seconds=time.perf_counter() - t0,
+            processes=1,
+        )
+
+    if mp_context is None:
+        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    ctx = multiprocessing.get_context(mp_context)
+    try:
+        with ctx.Pool(processes) as pool:
+            outcomes = pool.map(run_task, tasks)
+    except (OSError, multiprocessing.ProcessError):
+        # Pool creation can fail in constrained sandboxes; degrade to serial.
+        outcomes = [run_task(task) for task in tasks]
+        processes = 1
+    return SweepReport(
+        outcomes={o.name: o for o in outcomes},
+        wall_seconds=time.perf_counter() - t0,
+        processes=processes,
+    )
+
+
+def merge_results(results: Dict[str, CosimResult]) -> Dict[str, Any]:
+    """Aggregate statistics across a sweep's per-task results.
+
+    Used when the tasks are *shards of one study* (e.g. the independent
+    partition groups of a design, or the points of a placement sweep) and a
+    single roll-up row is wanted next to the per-task rows.
+    """
+    return {
+        "tasks": len(results),
+        "completed": sum(1 for r in results.values() if r.completed),
+        "fpga_cycles_max": max((r.fpga_cycles for r in results.values()), default=0.0),
+        "fpga_cycles_sum": sum(r.fpga_cycles for r in results.values()),
+        "sw_firings": sum(r.sw_firings for r in results.values()),
+        "hw_firings": sum(r.hw_firings for r in results.values()),
+        "channel_messages": sum(r.channel_messages for r in results.values()),
+        "channel_words": sum(r.channel_words for r in results.values()),
+    }
