@@ -14,7 +14,13 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.vorbis.params import VorbisParams
-from repro.apps.vorbis.partitions import PARTITIONS, PARTITION_ORDER, build_partition
+from repro.apps.vorbis.partitions import (
+    MULTI_PARTITION_ORDER,
+    PARTITIONS,
+    PARTITION_ORDER,
+    build_multi_partition,
+    build_partition,
+)
 from repro.codegen.interface import build_interface_spec
 from repro.core.domains import HW, SW
 from repro.core.partition import partition_design
@@ -27,6 +33,15 @@ def partitionings():
     result = {}
     for letter in PARTITION_ORDER:
         backend = build_partition(letter, PARAMS)
+        result[letter] = (backend, partition_design(backend.design, SW))
+    return result
+
+
+@pytest.fixture(scope="module")
+def multi_partitionings():
+    result = {}
+    for letter in MULTI_PARTITION_ORDER:
+        backend = build_multi_partition(letter, PARAMS)
         result[letter] = (backend, partition_design(backend.design, SW))
     return result
 
@@ -81,3 +96,38 @@ def test_rules_assigned_to_one_domain_each(partitionings):
         assigned = [r for prog in partitioning.programs.values() for r in prog.rules]
         assert len(assigned) == len(all_rules)
         assert set(assigned) == all_rules
+
+
+# -- multi-domain partitions (G, H): link-granular structure -----------------
+
+
+def test_fig12_multidomain_structure_table(multi_partitionings, benchmark):
+    print("\n=== Figure 12 (extended): multi-domain Vorbis partitions (route-keyed) ===")
+    for letter in MULTI_PARTITION_ORDER:
+        backend, partitioning = multi_partitionings[letter]
+        spec = build_interface_spec(partitioning)
+        domains = "+".join(d.name for d in partitioning.domains)
+        print(f"  partition {letter}: domains = {domains}")
+        for line in spec.link_report().splitlines()[1:]:
+            print("  " + line)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_multidomain_link_counts(multi_partitionings):
+    """G cuts the back-end into 3 domains (3 routes), H into 4 (5 routes)."""
+    expected_routes = {"G": 3, "H": 5}
+    for letter, expected in expected_routes.items():
+        _, partitioning = multi_partitionings[letter]
+        spec = build_interface_spec(partitioning)
+        assert len(spec.links) == expected, letter
+        assert len(spec.links) == len(partitioning.route_pairs())
+
+
+def test_multidomain_transactor_pairs_cover_every_route(multi_partitionings):
+    for letter in MULTI_PARTITION_ORDER:
+        _, partitioning = multi_partitionings[letter]
+        spec = build_interface_spec(partitioning)
+        pairs = spec.transactor_pairs()
+        assert list(pairs) == [f"{s}->{d}" for s, d in partitioning.route_pairs()]
+        names = [n for pair in pairs.values() for n in pair]
+        assert len(set(names)) == len(names)

@@ -32,13 +32,15 @@ def main():
     out_dir.mkdir(parents=True, exist_ok=True)
 
     outputs = {
-        "sw_partition.cpp": generate_sw_partition(backend.design, partitioning.program(SW)),
+        "sw_partition.cpp": generate_sw_partition(
+            backend.design, partitioning.program(SW), spec=spec
+        ),
         "interface.h": generate_sw_header(spec),
         "hw_interface.bsv": generate_hw_arbiter(spec),
     }
     if HW in partitioning.programs:
         outputs["hw_partition.bsv"] = generate_hw_partition(
-            backend.design, partitioning.program(HW)
+            backend.design, partitioning.program(HW), spec=spec
         )
         outputs["hw_partition.v"] = generate_verilog(backend.design, partitioning.program(HW))
 

@@ -32,6 +32,7 @@ from repro.apps.vorbis.partitions import (
     multi_partition_domains,
 )
 from repro.apps.vorbis.reference import expected_checksum
+from repro.core.partition import default_engine_kind
 from repro.sim.cosim import CosimFabric
 from repro.sim.shard import SweepTask, run_sweep
 
@@ -72,7 +73,7 @@ def main():
             name=f"vorbis_{letter}_fabric",
             builder=build_multi_partition,
             args=(letter, params),
-            engine_kinds={d.name: ("hw" if d.name.startswith("HW") else "sw")
+            engine_kinds={d.name: default_engine_kind(d)
                           for d in multi_partition_domains(letter)},
         )
         for letter in MULTI_PARTITION_ORDER

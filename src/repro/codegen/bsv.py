@@ -11,7 +11,9 @@ they must be.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import re
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.action import (
     Action,
@@ -42,13 +44,23 @@ from repro.core.expr import (
     WhenE,
 )
 from repro.core.guards import is_true_const, lift_rule
-from repro.core.module import Design, Module, Rule
+from repro.core.module import Design, Module, Register, Rule
 from repro.core.partition import PartitionedProgram
 from repro.core.primitives import Fifo
 from repro.core.synchronizers import SyncFifo
 
+#: Rename map threaded through the renderers: generated identifier of a
+#: register or module instance.  Anything absent keeps its bare name.
+NameMap = Dict[Union[Register, Module], str]
 
-def _bsv_expr(expr: Expr) -> str:
+
+def _name_of(obj: Union[Register, Module], names: Optional[NameMap]) -> str:
+    if names is None:
+        return obj.name
+    return names.get(obj, obj.name)
+
+
+def _bsv_expr(expr: Expr, names: Optional[NameMap] = None) -> str:
     if isinstance(expr, Const):
         if isinstance(expr.value, bool):
             return "True" if expr.value else "False"
@@ -56,53 +68,59 @@ def _bsv_expr(expr: Expr) -> str:
     if isinstance(expr, Var):
         return expr.name.replace("$", "_")
     if isinstance(expr, RegRead):
-        return expr.reg.name
+        return _name_of(expr.reg, names)
     if isinstance(expr, UnOp):
-        return f"({expr.op}{_bsv_expr(expr.operand)})"
+        return f"({expr.op}{_bsv_expr(expr.operand, names)})"
     if isinstance(expr, BinOp):
-        return f"({_bsv_expr(expr.left)} {expr.op} {_bsv_expr(expr.right)})"
+        return f"({_bsv_expr(expr.left, names)} {expr.op} {_bsv_expr(expr.right, names)})"
     if isinstance(expr, Mux):
-        return f"({_bsv_expr(expr.cond)} ? {_bsv_expr(expr.then)} : {_bsv_expr(expr.orelse)})"
+        return (
+            f"({_bsv_expr(expr.cond, names)} ? {_bsv_expr(expr.then, names)} : "
+            f"{_bsv_expr(expr.orelse, names)})"
+        )
     if isinstance(expr, WhenE):
-        return f"when({_bsv_expr(expr.guard)}, {_bsv_expr(expr.body)})"
+        return f"when({_bsv_expr(expr.guard, names)}, {_bsv_expr(expr.body, names)})"
     if isinstance(expr, LetE):
-        return f"(let {expr.name.replace('$', '_')} = {_bsv_expr(expr.value)} in {_bsv_expr(expr.body)})"
+        return (
+            f"(let {expr.name.replace('$', '_')} = {_bsv_expr(expr.value, names)} "
+            f"in {_bsv_expr(expr.body, names)})"
+        )
     if isinstance(expr, FieldSelect):
         if isinstance(expr.field, int):
-            return f"{_bsv_expr(expr.operand)}[{expr.field}]"
-        return f"{_bsv_expr(expr.operand)}.{expr.field}"
+            return f"{_bsv_expr(expr.operand, names)}[{expr.field}]"
+        return f"{_bsv_expr(expr.operand, names)}.{expr.field}"
     if isinstance(expr, KernelCall):
-        args = ", ".join(_bsv_expr(a) for a in expr.args)
+        args = ", ".join(_bsv_expr(a, names) for a in expr.args)
         return f"{expr.name}({args})"
     if isinstance(expr, MethodCallE):
-        args = ", ".join(_bsv_expr(a) for a in expr.args)
-        return f"{expr.instance.name}.{expr.method}({args})"
+        args = ", ".join(_bsv_expr(a, names) for a in expr.args)
+        return f"{_name_of(expr.instance, names)}.{expr.method}({args})"
     raise TypeError(f"cannot render expression {expr!r} as BSV")
 
 
-def _bsv_action(action: Action, indent: str) -> List[str]:
+def _bsv_action(action: Action, indent: str, names: Optional[NameMap] = None) -> List[str]:
     lines: List[str] = []
     if isinstance(action, NoAction):
         lines.append(f"{indent}noAction;")
         return lines
     if isinstance(action, RegWrite):
-        lines.append(f"{indent}{action.reg.name} <= {_bsv_expr(action.value)};")
+        lines.append(f"{indent}{_name_of(action.reg, names)} <= {_bsv_expr(action.value, names)};")
         return lines
     if isinstance(action, IfA):
-        lines.append(f"{indent}if ({_bsv_expr(action.cond)}) begin")
-        lines.extend(_bsv_action(action.then, indent + "  "))
+        lines.append(f"{indent}if ({_bsv_expr(action.cond, names)}) begin")
+        lines.extend(_bsv_action(action.then, indent + "  ", names))
         if action.orelse is not None:
             lines.append(f"{indent}end else begin")
-            lines.extend(_bsv_action(action.orelse, indent + "  "))
+            lines.extend(_bsv_action(action.orelse, indent + "  ", names))
         lines.append(f"{indent}end")
         return lines
     if isinstance(action, WhenA):
-        lines.append(f"{indent}// when ({_bsv_expr(action.guard)})")
-        lines.extend(_bsv_action(action.body, indent))
+        lines.append(f"{indent}// when ({_bsv_expr(action.guard, names)})")
+        lines.extend(_bsv_action(action.body, indent, names))
         return lines
     if isinstance(action, Par):
         for sub in action.actions:
-            lines.extend(_bsv_action(sub, indent))
+            lines.extend(_bsv_action(sub, indent, names))
         return lines
     if isinstance(action, Seq):
         raise ElaborationError(
@@ -110,8 +128,10 @@ def _bsv_action(action: Action, indent: str) -> List[str]:
             "(Section 6.4); restructure the rule or keep it in the software partition"
         )
     if isinstance(action, LetA):
-        lines.append(f"{indent}let {action.name.replace('$', '_')} = {_bsv_expr(action.value)};")
-        lines.extend(_bsv_action(action.body, indent))
+        lines.append(
+            f"{indent}let {action.name.replace('$', '_')} = {_bsv_expr(action.value, names)};"
+        )
+        lines.extend(_bsv_action(action.body, indent, names))
         return lines
     if isinstance(action, Loop):
         raise ElaborationError(
@@ -120,36 +140,130 @@ def _bsv_action(action: Action, indent: str) -> List[str]:
         )
     if isinstance(action, LocalGuard):
         lines.append(f"{indent}// localGuard")
-        lines.extend(_bsv_action(action.body, indent))
+        lines.extend(_bsv_action(action.body, indent, names))
         return lines
     if isinstance(action, MethodCallA):
-        args = ", ".join(_bsv_expr(a) for a in action.args)
-        lines.append(f"{indent}{action.instance.name}.{action.method}({args});")
+        args = ", ".join(_bsv_expr(a, names) for a in action.args)
+        lines.append(f"{indent}{_name_of(action.instance, names)}.{action.method}({args});")
         return lines
     raise TypeError(f"cannot render action {action!r} as BSV")
 
 
-def generate_rule(rule: Rule) -> str:
+def generate_rule(rule: Rule, names: Optional[NameMap] = None) -> str:
     """Generate one BSV ``rule`` with its lifted guard as the rule condition."""
     body, guard = lift_rule(rule)
-    condition = "" if is_true_const(guard) else f" ({_bsv_expr(guard)})"
+    condition = "" if is_true_const(guard) else f" ({_bsv_expr(guard, names)})"
     lines = [f"rule {rule.name}{condition};"]
-    lines.extend(_bsv_action(body, "  "))
+    lines.extend(_bsv_action(body, "  ", names))
     lines.append("endrule")
     return "\n".join(lines)
 
 
+def _ident(text: str) -> str:
+    """Sanitize ``text`` into a BSV identifier (deterministically)."""
+    out = re.sub(r"[^0-9A-Za-z_]", "_", text)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _partition_name_map(
+    modules: List[Module], endpoints: Sequence[Module] = ()
+) -> NameMap:
+    """Collision-free identifiers for a partition's flat module scope.
+
+    A BSV partition module declares every register and FIFO of every BCL
+    module -- plus the partition's synchronizer endpoint FIFOs
+    (``endpoints``) -- at one flat scope, so two declarations sharing a
+    (sanitized) name would emit duplicate ``Reg#``/``FIFO#`` identifiers.
+    Names that are unique keep their bare form; colliding names are
+    qualified by their owning module (falling back to the full
+    dotted-path-as-identifier, then a numeric suffix -- deterministically).
+    """
+    names: NameMap = {}
+    used: Dict[str, int] = {}
+    regs = [(m, r) for m in modules for r in m.registers]
+    fifos = [m for m in modules if isinstance(m, Fifo)] + list(endpoints)
+    bare = Counter([_ident(r.name) for _, r in regs] + [_ident(m.name) for m in fifos])
+
+    def allocate(obj: Union[Register, Module], owner_qualified: str) -> None:
+        candidates = [_ident(obj.name)] if bare[_ident(obj.name)] == 1 else []
+        candidates += [_ident(owner_qualified), _ident(obj.full_name.replace(".", "_"))]
+        for cand in candidates:
+            if cand not in used:
+                used[cand] = 1
+                names[obj] = cand
+                return
+        stem = candidates[-1]
+        used[stem] += 1
+        names[obj] = f"{stem}_{used[stem]}"
+
+    for module, reg in regs:
+        allocate(reg, f"{module.name}_{reg.name}")
+    for module in fifos:
+        parent = module.parent.name if module.parent is not None else module.name
+        allocate(module, f"{parent}_{module.name}")
+    return names
+
+
+def _endpoint_lines(program: PartitionedProgram, spec, names: NameMap) -> List[str]:
+    """Synchronizer endpoint declarations, resolved against the link-granular spec.
+
+    For every synchronizer endpoint the partition owns, name the
+    point-to-point link its route is mapped onto and the channel's slot in
+    that link's own virtual-channel numbering -- the contract the link's
+    transactor pair implements
+    (:meth:`~repro.codegen.interface.InterfaceSpec.endpoint_annotation`).
+    Declared identifiers come from the partition's collision map, so an
+    endpoint can never shadow a register or FIFO of the same name.
+    """
+    lines: List[str] = []
+    endpoints = [(s, "send", "out") for s in program.produces_to] + [
+        (s, "recv", "in") for s in program.consumes_from
+    ]
+    for sync, role, sense in endpoints:
+        annotation = spec.endpoint_annotation(sync.name, role)
+        if annotation is None:
+            continue
+        lines.append(f"  // {sense}-endpoint {sync.name}: {annotation}")
+        lines.append(
+            f"  FIFO#({sync.ty!r}) {_name_of(sync, names)} <- mkSizedFIFO({sync.depth});"
+        )
+    return lines
+
+
 def generate_hw_partition(
-    design: Design, program: Optional[PartitionedProgram] = None
+    design: Design,
+    program: Optional[PartitionedProgram] = None,
+    spec=None,
+    partitioning=None,
+    domain=None,
 ) -> str:
-    """Generate the BSV module for a hardware partition (whole design if ``program`` is None)."""
+    """Generate the BSV module for one hardware partition.
+
+    ``program`` selects the domain slice (whole design when ``None``);
+    alternatively pass ``partitioning`` and a ``domain`` to resolve the
+    slice here.  With an :class:`~repro.codegen.interface.InterfaceSpec` in
+    ``spec`` the partition's synchronizer endpoints are declared against the
+    link-granular interface (which link, which per-link virtual channel,
+    which transactor).  Register and FIFO declarations share one flat module
+    scope, so colliding names are qualified by their owning module
+    (:func:`_partition_name_map`) -- consistently in declarations and rule
+    bodies.
+    """
+    if program is None and partitioning is not None and domain is not None:
+        program = partitioning.program(domain)
     rules = program.rules if program is not None else design.all_rules()
     modules = (
         program.modules
         if program is not None and program.modules
         else [m for m in design.all_modules()]
     )
-    module_set = set(modules)
+    endpoints: List[Module] = []
+    if spec is not None and program is not None:
+        endpoints = list(program.produces_to) + list(program.consumes_from)
+    names = _partition_name_map(modules, endpoints)
+    partition_label = f"{design.name}_{program.name}" if program is not None else design.name
 
     lines = [
         "// Generated by the BCL hardware compiler (BSV backend)",
@@ -157,18 +271,20 @@ def generate_hw_partition(
         "import FIFO::*;",
         "import Vector::*;",
         "",
-        f"module mk{design.name.title().replace('_', '')}HwPartition (Empty);",
+        f"module mk{partition_label.title().replace('_', '')}HwPartition (Empty);",
     ]
     for module in modules:
         for reg in module.registers:
-            lines.append(f"  Reg#({reg.ty!r}) {reg.name} <- mkReg(?);")
-        if isinstance(module, SyncFifo):
+            lines.append(f"  Reg#({reg.ty!r}) {names[reg]} <- mkReg(?);")
+        if isinstance(module, SyncFifo) and module.is_cross_domain:
             lines.append(f"  // synchronizer endpoint {module.name} (mapped by the interface generator)")
         elif isinstance(module, Fifo):
-            lines.append(f"  FIFO#({module.ty!r}) {module.name} <- mkSizedFIFO({module.depth});")
+            lines.append(f"  FIFO#({module.ty!r}) {names[module]} <- mkSizedFIFO({module.depth});")
+    if spec is not None and program is not None:
+        lines.extend(_endpoint_lines(program, spec, names))
     lines.append("")
     for rule in rules:
-        rule_text = generate_rule(rule)
+        rule_text = generate_rule(rule, names)
         lines.extend("  " + line for line in rule_text.splitlines())
         lines.append("")
     lines.append("endmodule")

@@ -206,16 +206,51 @@ def generate_module_class(module: Module, compiled: Dict[Rule, CompiledRule]) ->
     return "\n".join(lines)
 
 
+def _endpoint_lines(program: PartitionedProgram, spec) -> List[str]:
+    """Synchronizer endpoint stubs, resolved against the link-granular spec.
+
+    One send stub per out-endpoint and one receive stub per in-endpoint,
+    each annotated with the point-to-point link its route is mapped onto,
+    the channel's slot in that link's own virtual-channel numbering and the
+    transactor implementing it (declared in the per-domain C header).
+    """
+    lines: List[str] = []
+    endpoints = [(s, "send") for s in program.produces_to] + [
+        (s, "recv") for s in program.consumes_from
+    ]
+    for sync, verb in endpoints:
+        ch = spec.channel(sync.name)
+        annotation = spec.endpoint_annotation(sync.name, verb)
+        if ch is None or annotation is None:
+            continue
+        if not lines:
+            lines.append("// Synchronizer endpoints (link-granular interface):")
+        lines.append(f"//   bcl_{verb}_{ch.macro}: {annotation}")
+    if lines:
+        lines.append("")
+    return lines
+
+
 def generate_sw_partition(
     design: Design,
     program: Optional[PartitionedProgram] = None,
     config: Optional[OptimizationConfig] = None,
+    spec=None,
+    partitioning=None,
+    domain=None,
 ) -> str:
-    """Generate the complete C++ translation unit for a software partition.
+    """Generate the complete C++ translation unit for one software partition.
 
     When ``program`` is ``None`` the whole design is treated as software
-    (the paper's full-software use case).
+    (the paper's full-software use case); alternatively pass
+    ``partitioning`` and a ``domain`` to resolve the slice here.  With an
+    :class:`~repro.codegen.interface.InterfaceSpec` in ``spec`` the
+    partition's synchronizer endpoints are documented against the
+    link-granular interface (which link, which per-link virtual channel,
+    which transactor).
     """
+    if program is None and partitioning is not None and domain is not None:
+        program = partitioning.program(domain)
     config = config or OptimizationConfig.all()
     compiled = compile_design_rules(design, config)
     rules = program.rules if program is not None else design.all_rules()
@@ -234,6 +269,8 @@ def generate_sw_partition(
         "",
     ]
     body: List[str] = []
+    if spec is not None and program is not None:
+        body.extend(_endpoint_lines(program, spec))
     for module in modules:
         module_compiled = {r: c for r, c in compiled.items() if r in rule_set and r.module is module}
         if module.rules:

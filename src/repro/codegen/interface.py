@@ -1,37 +1,103 @@
 """Interface (transactor) generation: the compiler's third output (Figure 6).
 
-For every synchronizer on the HW/SW cut the compiler must produce the glue
-that implements its two endpoints over the physical channel: a virtual
-channel id, marshaling/demarshaling code sized by the element type's
-canonical bit layout, and an arbiter entry that multiplexes all virtual
-channels onto the one physical link.  This module derives that information
-from a partitioning (:class:`InterfaceSpec`) and renders it in three forms:
+For every synchronizer on a domain cut the compiler must produce the glue
+that implements its two endpoints over a physical link: a virtual channel
+id, marshaling/demarshaling code sized by the element type's canonical bit
+layout, and an arbiter entry that multiplexes all virtual channels sharing
+one physical link.  This module derives that information from a
+partitioning and renders it in several forms:
 
-* a software-side C header (virtual-channel table + send/receive helpers),
-* a hardware-side BSV arbiter/marshaler skeleton, and
-* a human-readable report used by the examples and the Figure 12/14
+* a software-side C header per software domain (virtual-channel table +
+  send/receive helpers for every link that domain touches),
+* a hardware-side BSV arbiter/marshaler skeleton per hardware domain (one
+  arbitration group per outbound link),
+* a transactor pair per point-to-point link (producer-side marshaler,
+  consumer-side demarshaler, each rendered for the engine kind of the
+  domain it runs on), and
+* human-readable reports used by the examples and the Figure 12/14
   structure benchmarks.
 
+The model is *route-keyed*: an :class:`InterfaceSpec` holds one
+:class:`LinkSpec` per (producer domain, consumer domain) pair of
+:meth:`~repro.core.partition.Partitioning.route_pairs`, mirroring the
+N-domain co-simulation fabric's topology.  Virtual-channel ids are assigned
+globally in cut order (they identify a message on the wire, exactly as the
+simulator's :class:`~repro.platform.libdn.VirtualChannelTable` does) and
+each link additionally numbers its own channels from zero -- the
+numbering its arbitration group and transactor pair are generated against.
+Hardware-ness of a domain is resolved through the partitioning's
+engine-kind mapping (:func:`repro.core.partition.default_engine_kind` plus
+explicit overrides), never by matching a literal domain name.
+
+The classic two-partition HW/SW interface is the degenerate case (two
+links, one hardware and one software domain); its ``report()``, C header
+and BSV arbiter render byte-identically to the historical two-sided
+generator, pinned by ``tests/golden/fig13_interface.json``.
+
 Because the spec is derived purely from the cut, the paper's "Interface
-Only" methodology falls out for free: a team can implement either side by
-hand against this contract.
+Only" methodology falls out for free: a team can implement either side of
+any link by hand against this contract.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.domains import Domain
+from repro.core.errors import CodegenError
 from repro.core.partition import Partitioning
-from repro.core.synchronizers import SyncFifo
 from repro.core.types import words_for
+from repro.platform.channel import ChannelParams
 from repro.platform.marshal import message_words
+
+
+def _identifier(text: str) -> str:
+    """Sanitize ``text`` into a C/BSV identifier (deterministically)."""
+    out = re.sub(r"[^0-9A-Za-z_]", "_", text)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _camel(text: str) -> str:
+    """``HW_IMDCT`` -> ``HwImdct`` (for generated BSV module names)."""
+    return "".join(part.title() for part in _identifier(text).split("_") if part)
+
+
+def _c_word_type(word_bits: int) -> str:
+    """The C container type holding one link word (payload arrays are counted
+    in link words, so the buffer contract must match the link width)."""
+    for bits in (8, 16, 32, 64):
+        if word_bits <= bits:
+            return f"uint{bits}_t"
+    raise CodegenError(
+        f"link word width {word_bits} exceeds 64 bits; no C integer type holds one word"
+    )
+
+
+class _IdentTable:
+    """Collision-checked identifier allocation for one generated artifact."""
+
+    def __init__(self, artifact: str):
+        self.artifact = artifact
+        self._owners: Dict[str, str] = {}
+
+    def claim(self, ident: str, source: str) -> str:
+        owner = self._owners.get(ident)
+        if owner is not None and owner != source:
+            raise CodegenError(
+                f"{self.artifact}: generated identifier {ident!r} collides between "
+                f"{owner!r} and {source!r}; rename one of them"
+            )
+        self._owners[ident] = source
+        return ident
 
 
 @dataclass(frozen=True)
 class ChannelSpec:
-    """One synchronizer's mapping onto the physical channel."""
+    """One synchronizer's mapping onto its route's physical link."""
 
     vc_id: int
     name: str
@@ -41,29 +107,144 @@ class ChannelSpec:
     payload_words: int
     message_words: int
     depth: int
+    #: This channel's slot within its link's own virtual-channel numbering.
+    link_vc: int = 0
+    #: Word width of the link this channel is marshalled for.
+    word_bits: int = 32
 
     @property
     def direction(self) -> str:
         return f"{self.producer}->{self.consumer}"
 
+    @property
+    def macro(self) -> str:
+        """The sanitized identifier stem used for C macros and BSV names."""
+        return _identifier(self.name)
+
 
 @dataclass
-class InterfaceSpec:
-    """The complete HW/SW interface of one partitioned design."""
+class LinkSpec:
+    """One point-to-point link: every channel routed over one (src, dst) pair.
 
-    design_name: str
+    Channels carry their link-local ``link_vc`` numbering (0..n-1 in cut
+    order); ``params`` are the physical parameters the fabric's
+    ``link_params`` assigned to this route (``None`` means the platform
+    default).  Each link owns one transactor pair: a producer-side
+    marshaler/arbiter and a consumer-side demarshaler/dispatcher.
+    """
+
+    producer: str
+    consumer: str
     channels: List[ChannelSpec]
     word_bits: int = 32
+    params: Optional[ChannelParams] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.producer}->{self.consumer}"
 
     @property
     def n_channels(self) -> int:
         return len(self.channels)
 
+    @property
+    def tx_name(self) -> str:
+        """Identifier of the producer-side (marshaling) transactor."""
+        return f"tx_{_identifier(self.producer)}_to_{_identifier(self.consumer)}"
+
+    @property
+    def rx_name(self) -> str:
+        """Identifier of the consumer-side (demarshaling) transactor."""
+        return f"rx_{_identifier(self.producer)}_to_{_identifier(self.consumer)}"
+
+
+@dataclass
+class InterfaceSpec:
+    """The complete inter-domain interface of one partitioned design.
+
+    ``channels`` is the flat cut-ordered view (global vc ids, the wire
+    numbering); ``links`` is the route-keyed view (one :class:`LinkSpec`
+    per (producer, consumer) pair, in ``route_pairs()`` order).
+    ``hw_domains``/``sw_domains`` record the engine-kind classification the
+    spec was generated against.
+    """
+
+    design_name: str
+    channels: List[ChannelSpec]
+    word_bits: int = 32
+    links: List[LinkSpec] = field(default_factory=list)
+    hw_domains: List[str] = field(default_factory=list)
+    sw_domains: List[str] = field(default_factory=list)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted(set(self.hw_domains) | set(self.sw_domains))
+
     def channels_towards(self, consumer_domain: str) -> List[ChannelSpec]:
         return [c for c in self.channels if c.consumer == consumer_domain]
 
+    def channels_of(self, domain: str) -> List[ChannelSpec]:
+        """Every channel the domain touches (as producer or consumer), cut order."""
+        return [c for c in self.channels if domain in (c.producer, c.consumer)]
+
+    def link(self, producer: str, consumer: str) -> LinkSpec:
+        for link in self.links:
+            if link.producer == producer and link.consumer == consumer:
+                return link
+        raise KeyError(
+            f"interface of {self.design_name} has no link {producer}->{consumer}; "
+            f"routes: {[l.name for l in self.links]}"
+        )
+
+    def links_from(self, domain: str) -> List[LinkSpec]:
+        return [l for l in self.links if l.producer == domain]
+
+    def links_to(self, domain: str) -> List[LinkSpec]:
+        return [l for l in self.links if l.consumer == domain]
+
+    def links_of(self, domain: str) -> List[LinkSpec]:
+        return [l for l in self.links if domain in (l.producer, l.consumer)]
+
+    def is_hw(self, domain: str) -> bool:
+        return domain in self.hw_domains
+
+    def transactor_pairs(self) -> Dict[str, Tuple[str, str]]:
+        """Link name -> (producer transactor, consumer transactor), route order."""
+        return {l.name: (l.tx_name, l.rx_name) for l in self.links}
+
+    def channel(self, name: str) -> Optional[ChannelSpec]:
+        for ch in self.channels:
+            if ch.name == name:
+                return ch
+        return None
+
+    def endpoint_annotation(self, channel_name: str, role: str) -> Optional[str]:
+        """The link-granular contract of one synchronizer endpoint.
+
+        ``role`` is ``"send"`` (producer side) or ``"recv"`` (consumer
+        side).  Both partition generators annotate their endpoint
+        declarations with this one string, so the C and BSV outputs can
+        never disagree about which link, per-link virtual channel and
+        transactor implement an endpoint.  Returns ``None`` for a channel
+        not on the cut.
+        """
+        ch = self.channel(channel_name)
+        if ch is None:
+            return None
+        link = self.link(ch.producer, ch.consumer)
+        transactor = link.tx_name if role == "send" else link.rx_name
+        return (
+            f"link {link.name} vc {ch.link_vc} (wire vc {ch.vc_id}, "
+            f"{ch.message_words}x{ch.word_bits}-bit words/message, "
+            f"transactor {transactor})"
+        )
+
     def report(self) -> str:
-        """Human-readable summary of the generated interface."""
+        """Human-readable summary of the generated interface (flat wire view)."""
         lines = [f"HW/SW interface for {self.design_name}: {self.n_channels} virtual channel(s)"]
         for ch in self.channels:
             lines.append(
@@ -72,28 +253,139 @@ class InterfaceSpec:
             )
         return "\n".join(lines)
 
-
-def build_interface_spec(partitioning: Partitioning, word_bits: int = 32) -> InterfaceSpec:
-    """Derive the interface specification from a partitioned design's cut set."""
-    channels: List[ChannelSpec] = []
-    for vc_id, sync in enumerate(partitioning.cut):
-        channels.append(
-            ChannelSpec(
-                vc_id=vc_id,
-                name=sync.name,
-                producer=sync.domain_enq.name,
-                consumer=sync.domain_deq.name,
-                element_type=repr(sync.ty),
-                payload_words=words_for(sync.ty, word_bits),
-                message_words=message_words(sync.ty, word_bits),
-                depth=sync.depth,
+    def link_report(self) -> str:
+        """Human-readable summary of the route-keyed view (one section per link)."""
+        lines = [
+            f"Interface for {self.design_name}: {len(self.links)} link(s), "
+            f"{self.n_channels} virtual channel(s)"
+        ]
+        for link in self.links:
+            lines.append(
+                f"  link {link.name} ({link.word_bits}-bit words): "
+                f"{link.n_channels} vc(s), transactors {link.tx_name} / {link.rx_name}"
             )
+            for ch in link.channels:
+                lines.append(
+                    f"    link vc{ch.link_vc} (wire vc{ch.vc_id}) {ch.name:<14} depth={ch.depth} "
+                    f"{ch.payload_words:>4} payload words ({ch.message_words} with header)"
+                )
+        if not self.links:
+            lines.append("  (empty cut: single-domain design)")
+        return "\n".join(lines)
+
+
+def build_interface_spec(
+    partitioning: Partitioning,
+    word_bits: int = 32,
+    engine_kinds: Optional[Dict[Union[Domain, str], str]] = None,
+    link_params: Optional[Dict[Tuple[str, str], ChannelParams]] = None,
+) -> InterfaceSpec:
+    """Derive the route-keyed interface specification from a partitioned design.
+
+    One :class:`LinkSpec` is produced per (producer, consumer) domain pair of
+    ``partitioning.route_pairs()``; ``link_params`` overrides the physical
+    parameters (and hence the marshaling word width) of individual routes,
+    exactly as the co-simulation fabric's ``link_params`` does.  Domains are
+    classified hardware/software through ``partitioning.engine_kinds`` --
+    the same defaults-plus-overrides mapping the fabric simulates with -- so
+    the generated transactors always agree with the simulation about which
+    side of a link is a processor.
+    """
+    kinds = partitioning.engine_kinds(engine_kinds)
+    overrides = link_params or {}
+
+    routes = partitioning.route_pairs()
+    link_word_bits = {
+        route: (overrides[route].word_bits if route in overrides else word_bits)
+        for route in routes
+    }
+    per_link_counts: Dict[Tuple[str, str], int] = {route: 0 for route in routes}
+
+    channels: List[ChannelSpec] = []
+    by_route: Dict[Tuple[str, str], List[ChannelSpec]] = {route: [] for route in routes}
+    for vc_id, sync in enumerate(partitioning.cut):
+        route = (sync.domain_enq.name, sync.domain_deq.name)
+        bits = link_word_bits[route]
+        spec = ChannelSpec(
+            vc_id=vc_id,
+            name=sync.name,
+            producer=route[0],
+            consumer=route[1],
+            element_type=repr(sync.ty),
+            payload_words=words_for(sync.ty, bits),
+            message_words=message_words(sync.ty, bits),
+            depth=sync.depth,
+            link_vc=per_link_counts[route],
+            word_bits=bits,
         )
-    return InterfaceSpec(design_name=partitioning.design.name, channels=channels, word_bits=word_bits)
+        per_link_counts[route] += 1
+        channels.append(spec)
+        by_route[route].append(spec)
+
+    links = [
+        LinkSpec(
+            producer=src,
+            consumer=dst,
+            channels=by_route[(src, dst)],
+            word_bits=link_word_bits[(src, dst)],
+            params=overrides.get((src, dst)),
+        )
+        for src, dst in routes
+    ]
+    return InterfaceSpec(
+        design_name=partitioning.design.name,
+        channels=channels,
+        word_bits=word_bits,
+        links=links,
+        hw_domains=sorted(name for name, kind in kinds.items() if kind == "hw"),
+        sw_domains=sorted(name for name, kind in kinds.items() if kind == "sw"),
+    )
 
 
-def generate_sw_header(spec: InterfaceSpec) -> str:
-    """Generate the software-side C header describing the virtual-channel table."""
+def _resolve_domain(
+    spec: InterfaceSpec, domain: Optional[Union[Domain, str]], want_kind: str
+) -> str:
+    """Resolve the target domain of a per-domain generator call.
+
+    ``None`` selects the unique domain of the wanted kind (the historical
+    one-header / one-arbiter API); with several candidates the caller must
+    name one.
+    """
+    candidates = spec.sw_domains if want_kind == "sw" else spec.hw_domains
+    if domain is None:
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates and want_kind == "hw":
+            # Full-software design: the hardware side of the interface is
+            # empty but the historical generator still renders its skeleton.
+            return "HW"
+        raise CodegenError(
+            f"design {spec.design_name} has {len(candidates)} {want_kind} domain(s) "
+            f"{candidates}; pass the domain to generate for explicitly"
+        )
+    name = domain.name if isinstance(domain, Domain) else domain
+    if name not in candidates:
+        raise CodegenError(
+            f"domain {name!r} is not a {want_kind} domain of {spec.design_name} "
+            f"(engine kinds classify {candidates} as {want_kind!r})"
+        )
+    return name
+
+
+def generate_sw_header(
+    spec: InterfaceSpec, domain: Optional[Union[Domain, str]] = None
+) -> str:
+    """Generate the C header of one software domain's transactors.
+
+    The header covers every link the domain touches: a virtual-channel table
+    (wire vc ids), a send helper per channel the domain produces and a
+    receive helper per channel it consumes.  ``domain=None`` selects the
+    design's unique software domain (the classic two-partition call).
+    """
+    dom = _resolve_domain(spec, domain, "sw")
+    channels = spec.channels_of(dom)
+    idents = _IdentTable(f"sw header for domain {dom} of {spec.design_name}")
+
     lines = [
         "/* Generated HW/SW interface header -- do not edit by hand. */",
         f"/* design: {spec.design_name} */",
@@ -101,56 +393,212 @@ def generate_sw_header(spec: InterfaceSpec) -> str:
         "#include <stdint.h>",
         "",
         f"#define BCL_CHANNEL_WORD_BITS {spec.word_bits}",
+        # The wire vc-id space is global (cut order), so a dispatch table
+        # sized by this macro is indexable by every BCL_VC_* defined below
+        # even when this domain touches only a subset of the channels.
         f"#define BCL_NUM_VIRTUAL_CHANNELS {spec.n_channels}",
-        "",
     ]
-    for ch in spec.channels:
-        macro = ch.name.upper()
+    if len(channels) != spec.n_channels:
+        lines.append(f"#define BCL_NUM_LOCAL_CHANNELS {len(channels)}")
+    lines.append("")
+    for ch in channels:
+        macro = idents.claim(ch.macro.upper(), ch.name)
         lines.append(f"#define BCL_VC_{macro} {ch.vc_id}")
         lines.append(f"#define BCL_VC_{macro}_PAYLOAD_WORDS {ch.payload_words}")
         lines.append(f"#define BCL_VC_{macro}_DEPTH {ch.depth}")
+        if ch.word_bits != spec.word_bits:
+            lines.append(f"#define BCL_VC_{macro}_WORD_BITS {ch.word_bits}")
     lines.append("")
     lines.append("typedef struct { uint8_t vc; uint16_t len; } bcl_msg_header_t;")
     lines.append("")
-    for ch in spec.channels:
-        if ch.consumer == "HW":
+    for ch in channels:
+        name = ch.macro
+        word_ty = _c_word_type(ch.word_bits)
+        if ch.producer == dom:
+            idents.claim(f"bcl_send_{name}", ch.name)
             lines.append(
-                f"int bcl_send_{ch.name}(const uint32_t payload[{ch.payload_words}]); /* SW -> HW */"
+                f"int bcl_send_{name}(const {word_ty} payload[{ch.payload_words}]); "
+                f"/* {ch.producer} -> {ch.consumer} */"
             )
-        if ch.producer == "HW":
+        if ch.consumer == dom:
+            idents.claim(f"bcl_recv_{name}", ch.name)
             lines.append(
-                f"int bcl_recv_{ch.name}(uint32_t payload[{ch.payload_words}]);      /* HW -> SW */"
+                f"int bcl_recv_{name}({word_ty} payload[{ch.payload_words}]);      "
+                f"/* {ch.producer} -> {ch.consumer} */"
             )
     return "\n".join(lines) + "\n"
 
 
-def generate_hw_arbiter(spec: InterfaceSpec) -> str:
-    """Generate the hardware-side BSV arbiter/marshaling skeleton."""
+def generate_hw_arbiter(
+    spec: InterfaceSpec, domain: Optional[Union[Domain, str]] = None
+) -> str:
+    """Generate the BSV arbiter/marshaling skeleton of one hardware domain.
+
+    One marshaler FIFO per channel the domain produces, one demarshaler per
+    channel it consumes, and one round-robin arbitration group per outbound
+    link (each link is its own serialised physical resource, so its virtual
+    channels arbitrate only among themselves).  ``domain=None`` selects the
+    design's unique hardware domain (the classic two-partition call).
+    """
+    dom = _resolve_domain(spec, domain, "hw")
+    channels = spec.channels_of(dom)
+    idents = _IdentTable(f"hw arbiter for domain {dom} of {spec.design_name}")
+
+    # The historical single-hardware-domain interface keeps its historical
+    # module name; with several hardware domains each arbiter is named
+    # after its domain so the generated modules can coexist.
+    if len(spec.hw_domains) <= 1:
+        module_name = "mkHwSwInterface"
+    else:
+        module_name = f"mk{_camel(dom)}Interface"
+
     lines = [
         "// Generated HW/SW interface (hardware side): arbitration + (de)marshaling",
         f"// design: {spec.design_name}",
         "import FIFO::*;",
         "",
-        "module mkHwSwInterface (Empty);",
+        f"module {module_name} (Empty);",
         "  // One marshaling engine per outbound virtual channel, one demarshaler per inbound.",
     ]
-    for ch in spec.channels:
-        if ch.producer == "HW":
+    for ch in channels:
+        if ch.producer == dom:
             lines.append(
                 f"  // vc {ch.vc_id}: marshal {ch.name} ({ch.payload_words} words) onto the link"
             )
-            lines.append(f"  FIFO#(Bit#({spec.word_bits})) {ch.name}_out <- mkSizedFIFO({ch.depth});")
+            fifo = idents.claim(f"{ch.macro}_out", ch.name)
+            lines.append(f"  FIFO#(Bit#({ch.word_bits})) {fifo} <- mkSizedFIFO({ch.depth});")
         else:
             lines.append(
                 f"  // vc {ch.vc_id}: demarshal {ch.name} ({ch.payload_words} words) from the link"
             )
-            lines.append(f"  FIFO#(Bit#({spec.word_bits})) {ch.name}_in <- mkSizedFIFO({ch.depth});")
+            fifo = idents.claim(f"{ch.macro}_in", ch.name)
+            lines.append(f"  FIFO#(Bit#({ch.word_bits})) {fifo} <- mkSizedFIFO({ch.depth});")
     lines.append("")
-    lines.append("  // Round-robin arbitration of outbound virtual channels onto the physical link.")
-    outbound = [ch for ch in spec.channels if ch.producer == "HW"]
-    for ch in outbound:
-        lines.append(f"  rule arbitrate_{ch.name};")
-        lines.append(f"    // grant vc {ch.vc_id} when its turn comes and it has a full message")
-        lines.append("  endrule")
+
+    outbound_links = spec.links_from(dom)
+    if len(outbound_links) <= 1:
+        # Single outbound link: the arbitration group is the whole outbound
+        # set (the historical two-partition layout).
+        lines.append(
+            "  // Round-robin arbitration of outbound virtual channels onto the physical link."
+        )
+        for ch in (outbound_links[0].channels if outbound_links else []):
+            rule = idents.claim(f"arbitrate_{ch.macro}", ch.name)
+            lines.append(f"  rule {rule};")
+            lines.append(f"    // grant vc {ch.vc_id} when its turn comes and it has a full message")
+            lines.append("  endrule")
+    else:
+        for i, link in enumerate(outbound_links):
+            if i:
+                lines.append("")
+            lines.append(
+                f"  // Round-robin arbitration of outbound virtual channels onto link {link.name}."
+            )
+            for ch in link.channels:
+                rule = idents.claim(f"arbitrate_{ch.macro}", ch.name)
+                lines.append(f"  rule {rule};")
+                lines.append(
+                    f"    // grant link vc {ch.link_vc} (wire vc {ch.vc_id}) "
+                    "when its turn comes and it has a full message"
+                )
+                lines.append("  endrule")
     lines.append("endmodule")
     return "\n".join(lines) + "\n"
+
+
+def generate_link_transactor(spec: InterfaceSpec, link: LinkSpec, side: str) -> str:
+    """Generate one endpoint of a link's transactor pair.
+
+    ``side`` is ``"tx"`` (producer endpoint: marshal + arbitrate onto the
+    link) or ``"rx"`` (consumer endpoint: demarshal + dispatch by virtual
+    channel).  The endpoint renders as BSV when the domain it runs on is a
+    hardware domain and as a C header otherwise -- the per-engine-kind shape
+    the co-simulation fabric executes.
+    """
+    if side not in ("tx", "rx"):
+        raise CodegenError(f"transactor side must be 'tx' or 'rx', got {side!r}")
+    domain = link.producer if side == "tx" else link.consumer
+    name = link.tx_name if side == "tx" else link.rx_name
+    role = (
+        f"producer endpoint of link {link.name} (marshal + arbitrate)"
+        if side == "tx"
+        else f"consumer endpoint of link {link.name} (demarshal + dispatch)"
+    )
+    idents = _IdentTable(f"transactor {name} of {spec.design_name}")
+    idents.claim(name, link.name)
+
+    if spec.is_hw(domain):
+        lines = [
+            f"// Transactor {name}: {role}",
+            f"// design: {spec.design_name}   domain: {domain} (hw)",
+            "import FIFO::*;",
+            "",
+            f"module mk{_camel(name)} (Empty);",
+        ]
+        for ch in link.channels:
+            verb = "marshal" if side == "tx" else "demarshal"
+            suffix = "_out" if side == "tx" else "_in"
+            fifo = idents.claim(f"{ch.macro}{suffix}", ch.name)
+            lines.append(
+                f"  // link vc {ch.link_vc} (wire vc {ch.vc_id}): {verb} {ch.name} "
+                f"({ch.payload_words} words, depth {ch.depth})"
+            )
+            lines.append(f"  FIFO#(Bit#({link.word_bits})) {fifo} <- mkSizedFIFO({ch.depth});")
+        if side == "tx":
+            for ch in link.channels:
+                rule = idents.claim(f"arbitrate_{ch.macro}", ch.name)
+                lines.append(f"  rule {rule};")
+                lines.append(f"    // grant link vc {ch.link_vc} when its turn comes")
+                lines.append("  endrule")
+        else:
+            rule = idents.claim("dispatch_by_vc", link.name)
+            lines.append(f"  rule {rule};")
+            lines.append("    // route each delivered message header to its channel FIFO")
+            lines.append("  endrule")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"
+
+    lines = [
+        f"/* Transactor {name}: {role} */",
+        f"/* design: {spec.design_name}   domain: {domain} (sw) */",
+        "#pragma once",
+        "#include <stdint.h>",
+        "",
+        f"#define {name.upper()}_NUM_VCS {link.n_channels}",
+        f"#define {name.upper()}_WORD_BITS {link.word_bits}",
+        "",
+    ]
+    word_ty = _c_word_type(link.word_bits)
+    for ch in link.channels:
+        if side == "tx":
+            fn = idents.claim(f"{name}_send_{ch.macro}", ch.name)
+            lines.append(
+                f"int {fn}(const {word_ty} payload[{ch.payload_words}]); "
+                f"/* link vc {ch.link_vc}, wire vc {ch.vc_id} */"
+            )
+        else:
+            fn = idents.claim(f"{name}_recv_{ch.macro}", ch.name)
+            lines.append(
+                f"int {fn}({word_ty} payload[{ch.payload_words}]); "
+                f"/* link vc {ch.link_vc}, wire vc {ch.vc_id} */"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def generate_transactors(spec: InterfaceSpec) -> Dict[str, Dict[str, str]]:
+    """Generate the complete transactor set: one tx/rx pair per link.
+
+    Returns ``{link name: {"tx": text, "rx": text}}`` in route order and
+    verifies the pair names are globally collision-free (the acceptance
+    property the multi-domain workloads are tested against).
+    """
+    idents = _IdentTable(f"transactor set of {spec.design_name}")
+    out: Dict[str, Dict[str, str]] = {}
+    for link in spec.links:
+        idents.claim(link.tx_name, link.name)
+        idents.claim(link.rx_name, link.name)
+        out[link.name] = {
+            "tx": generate_link_transactor(spec, link, "tx"),
+            "rx": generate_link_transactor(spec, link, "rx"),
+        }
+    return out

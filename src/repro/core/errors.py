@@ -53,3 +53,7 @@ class PartitionError(BCLError):
 
 class SimulationError(BCLError):
     """The co-simulator reached an inconsistent configuration."""
+
+
+class CodegenError(BCLError):
+    """Code generation would emit invalid or colliding identifiers."""

@@ -16,7 +16,7 @@ domain type check should have failed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
 from repro.core.analysis import modules_touched, rule_read_set, rule_write_set
 from repro.core.domains import (
@@ -55,6 +55,21 @@ class PartitionedProgram:
         )
 
 
+def default_engine_kind(domain: Union[Domain, str]) -> str:
+    """The default engine kind (``"hw"``/``"sw"``) a domain simulates on.
+
+    Domains whose name starts with ``HW`` -- case-insensitively, so
+    ``hw_accel`` behaves like ``HW_ACCEL`` -- run on the cycle-level hardware
+    engine; everything else runs on the cost-modelled software engine.  This
+    is the *single* source of that convention: the co-simulation fabric, the
+    sweep examples and the interface generator must all consult it (or an
+    explicit ``engine_kinds`` override) so a domain never simulates as
+    hardware in one layer and generates software transactors in another.
+    """
+    name = domain.name if isinstance(domain, Domain) else domain
+    return "hw" if name.upper().startswith("HW") else "sw"
+
+
 @dataclass
 class Partitioning:
     """The result of partitioning a design: per-domain programs plus the cut."""
@@ -89,6 +104,48 @@ class Partitioning:
                 seen.add(pair)
                 pairs.append(pair)
         return pairs
+
+    def engine_kinds(
+        self, overrides: Optional[Dict[Union[Domain, str], str]] = None
+    ) -> Dict[str, str]:
+        """Domain-name -> engine-kind (``"hw"``/``"sw"``) mapping for this design.
+
+        Starts from :func:`default_engine_kind` for every partitioned domain
+        and applies ``overrides`` (keyed by :class:`Domain` or name) on top.
+        An override naming a domain the design does not partition into is an
+        error -- it would silently configure nothing.
+        """
+        kinds = {d.name: default_engine_kind(d) for d in self.programs}
+        for key, kind in (overrides or {}).items():
+            if kind not in ("hw", "sw"):
+                raise PartitionError(f"unknown engine kind {kind!r} (expected 'hw'/'sw')")
+            name = key.name if isinstance(key, Domain) else key
+            if name not in kinds:
+                raise PartitionError(
+                    f"engine_kinds names domain {name!r} but the design partitions "
+                    f"into {sorted(kinds)}"
+                )
+            kinds[name] = kind
+        return kinds
+
+    def engine_kind(
+        self,
+        domain: Union[Domain, str],
+        overrides: Optional[Dict[Union[Domain, str], str]] = None,
+    ) -> str:
+        """The engine kind one domain simulates on (overrides, else the default).
+
+        Same validation as :meth:`engine_kinds` (it is a lookup into it), so
+        a typo'd domain or an invalid override kind raises instead of
+        silently falling back to a default.
+        """
+        name = domain.name if isinstance(domain, Domain) else domain
+        kinds = self.engine_kinds(overrides)
+        if name not in kinds:
+            raise PartitionError(
+                f"design has no partition for domain {name!r}; partitions: {sorted(kinds)}"
+            )
+        return kinds[name]
 
     def independent_groups(self) -> List[List[Domain]]:
         """Connected components of the domain graph induced by the cut.
@@ -189,7 +246,14 @@ def _assign_state(
     for module in design.all_modules():
         if module in cut_set:
             continue  # split between both sides; handled by the interface generator
-        domain = effective_module_domain(module)
+        if isinstance(module, SyncFifo) and not module.is_cross_domain:
+            # A specialised (same-domain) synchronizer is a plain FIFO whose
+            # owner is its endpoint domain -- which lives on its *methods*,
+            # not on the module, so the generic lookup below would misfile
+            # it under the default domain.
+            domain = module.domain_enq
+        else:
+            domain = effective_module_domain(module)
         if domain is None:
             domain = default_domain
         if domain is None or domain not in programs:

@@ -42,7 +42,7 @@ from repro.core.domains import HW, SW, Domain, effective_module_domain
 from repro.core.errors import SimulationError
 from repro.core.module import Design, Register
 from repro.core.optimize import OptimizationConfig
-from repro.core.partition import Partitioning, partition_design
+from repro.core.partition import Partitioning, default_engine_kind, partition_design
 from repro.core.primitives import Fifo
 from repro.core.semantics import Store
 from repro.core.synchronizers import SyncFifo
@@ -59,14 +59,14 @@ ENGINE_KINDS = ("hw", "sw")
 def default_engine_kinds(domains) -> Dict[str, str]:
     """The default domain-name -> engine-kind mapping.
 
-    Domains whose name starts with ``HW`` run on the cycle-level hardware
-    engine; everything else runs on the cost-modelled software engine.  The
-    multi-domain workloads (e.g. ``HW_IMDCT``/``HW_WIN``) follow this
-    convention; anything else should pass ``engine_kinds`` explicitly.
+    Delegates per domain to
+    :func:`repro.core.partition.default_engine_kind` -- the single source of
+    the "names starting with ``HW`` are hardware" convention shared with the
+    interface generator and the sweep examples.  The multi-domain workloads
+    (e.g. ``HW_IMDCT``/``HW_WIN``) follow it; anything else should pass
+    ``engine_kinds`` explicitly.
     """
-    return {
-        d.name: ("hw" if d.name.upper().startswith("HW") else "sw") for d in domains
-    }
+    return {d.name: default_engine_kind(d) for d in domains}
 
 
 @dataclass

@@ -1,0 +1,64 @@
+"""Regenerate tests/golden/fig13_interface.json.
+
+The golden file pins the interface generator's text output -- ``report()``,
+the software C header and the hardware BSV arbiter -- for every two-partition
+fig13 workload (Vorbis A-F, ray tracer A-D).  The link-granular N-domain
+refactor of :mod:`repro.codegen.interface` is required to reproduce these
+strings byte-for-byte on the classic two-partition path; the snapshot in the
+repository was captured at commit 542eba1 (the last pre-refactor generator).
+
+Only rerun this script if the *semantics* of the two-partition interface
+deliberately change; a diff in the regenerated JSON is otherwise a
+regression.
+
+Run with:  PYTHONPATH=src python tests/golden/regen_fig13_interface.py
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.apps.raytracer.params import RayTracerParams
+from repro.apps.raytracer.partitions import (
+    PARTITION_ORDER as RAY_ORDER,
+    build_partition as build_ray_partition,
+)
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.partitions import (
+    PARTITION_ORDER as VORBIS_ORDER,
+    build_partition as build_vorbis_partition,
+)
+from repro.codegen.interface import build_interface_spec, generate_hw_arbiter, generate_sw_header
+from repro.core.domains import SW
+from repro.core.partition import partition_design
+
+VORBIS_PARAMS = VorbisParams(n_frames=2)
+RAY_PARAMS = RayTracerParams(n_triangles=32, image_width=3, image_height=3)
+
+
+def capture():
+    snapshot = {}
+    workloads = [(f"vorbis_{l}", build_vorbis_partition, l, VORBIS_PARAMS) for l in VORBIS_ORDER]
+    workloads += [(f"raytracer_{l}", build_ray_partition, l, RAY_PARAMS) for l in RAY_ORDER]
+    for name, builder, letter, params in workloads:
+        workload = builder(letter, params)
+        partitioning = partition_design(workload.design, SW)
+        spec = build_interface_spec(partitioning)
+        snapshot[name] = {
+            "report": spec.report(),
+            "sw_header": generate_sw_header(spec),
+            "hw_arbiter": generate_hw_arbiter(spec),
+        }
+    return snapshot
+
+
+def main():
+    out = pathlib.Path(__file__).parent / "fig13_interface.json"
+    out.write_text(json.dumps(capture(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

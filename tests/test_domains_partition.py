@@ -18,7 +18,7 @@ from repro.core.domains import (
 from repro.core.errors import PartitionError
 from repro.core.expr import BinOp, Const, RegRead
 from repro.core.module import Design, Module
-from repro.core.partition import partition_design
+from repro.core.partition import default_engine_kind, partition_design
 from repro.core.synchronizers import (
     SyncFifo,
     all_synchronizers,
@@ -186,3 +186,82 @@ class TestPartitioner:
         design, *_ = build_two_domain_design()
         text = partition_design(design, SW).summary()
         assert "produce" in text and "consume" in text and "x_q" in text
+
+
+class TestEngineKinds:
+    """One engine-kind convention, shared by every layer (regression for the
+    historical split where the fabric matched ``HW`` case-insensitively but
+    the sweep example matched case-sensitively)."""
+
+    def test_default_engine_kind_is_case_insensitive(self):
+        assert default_engine_kind("HW") == "hw"
+        assert default_engine_kind("hw_accel") == "hw"
+        assert default_engine_kind("Hw_Imdct") == "hw"
+        assert default_engine_kind(Domain("HW_WIN")) == "hw"
+        assert default_engine_kind("SW") == "sw"
+        assert default_engine_kind("dsp") == "sw"
+
+    def test_fabric_defaults_agree_with_the_partition_helper(self):
+        from repro.sim.cosim import default_engine_kinds
+
+        domains = [Domain("hw_accel"), Domain("HW"), Domain("SW"), Domain("dsp")]
+        fabric_kinds = default_engine_kinds(domains)
+        assert fabric_kinds == {d.name: default_engine_kind(d) for d in domains}
+        assert fabric_kinds["hw_accel"] == "hw"
+
+    def test_partitioning_engine_kinds_with_overrides(self):
+        design, *_ = build_two_domain_design()
+        partitioning = partition_design(design, SW)
+        assert partitioning.engine_kinds() == {"HW": "hw", "SW": "sw"}
+        assert partitioning.engine_kinds({"HW": "sw"}) == {"HW": "sw", "SW": "sw"}
+        assert partitioning.engine_kind(HW) == "hw"
+        assert partitioning.engine_kind("HW", {"HW": "sw"}) == "sw"
+
+    def test_unknown_override_domain_rejected(self):
+        design, *_ = build_two_domain_design()
+        partitioning = partition_design(design, SW)
+        with pytest.raises(PartitionError):
+            partitioning.engine_kinds({"DSP": "hw"})
+        with pytest.raises(PartitionError):
+            partitioning.engine_kinds({"HW": "fpga"})
+        # engine_kind is a lookup into engine_kinds: same validation, no
+        # silent fallback for typo'd domains or invalid overrides.
+        with pytest.raises(PartitionError):
+            partitioning.engine_kind("TYPO_DOMAIN")
+        with pytest.raises(PartitionError):
+            partitioning.engine_kind("HW", {"BOGUS": "hw"})
+
+    def test_lowercase_hw_domain_simulates_as_hardware(self):
+        """A domain named ``hw_accel`` must get the hardware engine -- the
+        case-sensitive example-side check historically made it software."""
+        from repro.sim.cosim import CosimFabric
+
+        design, *_ = build_two_domain_design(consumer_domain=Domain("hw_accel"))
+        fabric = CosimFabric(design)
+        assert fabric.engine_kinds == {"SW": "sw", "hw_accel": "hw"}
+        from repro.sim.hwsim import HwEngine
+
+        assert isinstance(fabric.engine("hw_accel"), HwEngine)
+
+    def test_same_domain_synchronizer_owned_by_its_endpoint_domain(self):
+        """A specialised (same-domain) synchronizer's state belongs to its
+        endpoint domain, not to the partitioner's default domain."""
+        top = Module("top")
+        producer = top.add_submodule(Module("producer", domain=Domain("HW_A")))
+        consumer = top.add_submodule(Module("consumer", domain=Domain("HW_A")))
+        sync = top.add_submodule(SyncFifo("q", UIntT(32), Domain("HW_A"), Domain("HW_A")))
+        cnt = producer.add_register("cnt", UIntT(32), 0)
+        acc = consumer.add_register("acc", UIntT(32), 0)
+        producer.add_rule(
+            "produce",
+            par(sync.call("enq", RegRead(cnt)), cnt.write(BinOp("+", RegRead(cnt), Const(1))))
+            .when(BinOp("<", RegRead(cnt), Const(2))),
+        )
+        consumer.add_rule(
+            "consume", par(acc.write(sync.value("first")), sync.call("deq"))
+        )
+        partitioning = partition_design(Design(top, "samedom"), SW)
+        assert partitioning.cut == []
+        prog = partitioning.program(Domain("HW_A"))
+        assert sync in prog.modules
+        assert all(sync not in p.modules for d, p in partitioning.programs.items() if d.name != "HW_A")
