@@ -5,21 +5,28 @@ the third -- interface generation -- over the N-domain Vorbis partitions
 (G = 3 domains, H = 4 domains) and writes the complete per-domain /
 per-link artifact set into ``generated/vorbis_<letter>_multidomain/``:
 
-* one C header and one C++ translation unit per *software* domain,
+* one C header, one C marshaling implementation (real pack/unpack loops
+  rendered from each channel's canonical ``MessageLayout``) and one C++
+  translation unit per *software* domain,
 * one BSV arbiter (an arbitration group per outbound link) and one BSV
   partition module per *hardware* domain, and
-* one transactor pair (producer-side marshaler, consumer-side demarshaler)
-  per point-to-point link of ``Partitioning.route_pairs()``.
+* one transactor pair (producer-side marshaler, consumer-side demarshaler,
+  with real marshal/demarshal rules) per point-to-point link of
+  ``Partitioning.route_pairs()``.
 
 It then checks the acceptance properties of the route-keyed generator:
 exactly one transactor pair per route, link-local virtual channels numbered
-from zero on every link, and no identifier collisions anywhere in the set
-(the generators raise ``CodegenError`` on collision).
+from zero on every link, no identifier collisions anywhere in the set
+(the generators raise ``CodegenError`` on collision), and -- when a C
+compiler is on PATH -- that every generated C artifact passes
+``cc -fsyntax-only`` (skipped gracefully otherwise).
 
 Run with:  python examples/generate_multidomain_interfaces.py [letters]
 """
 
 import pathlib
+import shutil
+import subprocess
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
@@ -32,10 +39,24 @@ from repro.codegen.interface import (
     build_interface_spec,
     generate_hw_arbiter,
     generate_sw_header,
+    generate_sw_marshal_source,
     generate_transactors,
 )
 from repro.core.domains import SW
 from repro.core.partition import partition_design
+
+
+def syntax_check_c(paths) -> None:
+    """``cc -fsyntax-only`` every generated C artifact (skip without a compiler)."""
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        print("no C compiler on PATH; skipping cc -fsyntax-only check")
+        return
+    for path in paths:
+        subprocess.run(
+            [cc, "-fsyntax-only", "-x", "c", str(path)], check=True
+        )
+        print(f"cc -fsyntax-only OK: {path}")
 
 
 def generate_for(letter: str, params: VorbisParams) -> None:
@@ -49,6 +70,7 @@ def generate_for(letter: str, params: VorbisParams) -> None:
     outputs = {}
     for name in spec.sw_domains:
         outputs[f"interface_{name}.h"] = generate_sw_header(spec, name)
+        outputs[f"marshal_{name}.c"] = generate_sw_marshal_source(spec, name)
         outputs[f"sw_partition_{name}.cpp"] = generate_sw_partition(
             workload.design, spec=spec, partitioning=partitioning,
             domain=next(d for d in partitioning.domains if d.name == name),
@@ -71,6 +93,10 @@ def generate_for(letter: str, params: VorbisParams) -> None:
     for name, text in outputs.items():
         (out_dir / name).write_text(text)
         print(f"wrote {out_dir / name}  ({len(text.splitlines())} lines)")
+
+    syntax_check_c(
+        out_dir / name for name in outputs if name.endswith((".c", ".h"))
+    )
 
     # -- acceptance checks: codegen agrees with the fabric's topology -------
     routes = partitioning.route_pairs()

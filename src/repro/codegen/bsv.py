@@ -48,6 +48,7 @@ from repro.core.module import Design, Module, Register, Rule
 from repro.core.partition import PartitionedProgram
 from repro.core.primitives import Fifo
 from repro.core.synchronizers import SyncFifo
+from repro.platform.marshal import LENGTH_BITS, VC_ID_BITS, wire_header
 
 #: Rename map threaded through the renderers: generated identifier of a
 #: register or module instance.  Anything absent keeps its bare name.
@@ -204,6 +205,117 @@ def _partition_name_map(
         parent = module.parent.name if module.parent is not None else module.name
         allocate(module, f"{parent}_{module.name}")
     return names
+
+
+# --------------------------------------------------------------------------
+# BSV marshaling rules (rendered from the canonical MessageLayout)
+# --------------------------------------------------------------------------
+
+
+def generate_marshal_rules(ch, elem_fifo: str, link_fifo: str, idents) -> List[str]:
+    """The BSV pack rules of one outbound channel.
+
+    Two rules per channel: the header rule loads one element from the
+    endpoint FIFO into a shift register and emits the (constant) header
+    word -- the same :func:`~repro.platform.marshal.wire_header` value the
+    simulator stamps -- and the word rule streams the payload onto the link
+    least-significant word first, shifting as it goes.  This is the real
+    marshaling loop of Section 4.4, not a structural stub.
+    """
+    wb = ch.word_bits
+    payload_bits = ch.payload_words * wb
+    header = wire_header(ch.vc_id, ch.payload_words)
+    shift = idents.claim(f"{ch.macro}_mshift", ch.name)
+    left = idents.claim(f"{ch.macro}_mleft", ch.name)
+    hdr_rule = idents.claim(f"marshal_{ch.macro}_header", ch.name)
+    word_rule = idents.claim(f"marshal_{ch.macro}_word", ch.name)
+    return [
+        f"  Reg#(Bit#({payload_bits})) {shift} <- mkReg(0);",
+        f"  Reg#(Bit#({LENGTH_BITS})) {left} <- mkReg(0);",
+        f"  rule {hdr_rule} ({left} == 0);",
+        f"    {link_fifo}.enq({wb}'h{header:X});"
+        f"  // header: wire vc {ch.vc_id}, length {ch.payload_words}",
+        f"    {shift} <= pack({elem_fifo}.first);",
+        f"    {elem_fifo}.deq;",
+        f"    {left} <= {ch.payload_words};",
+        "  endrule",
+        f"  rule {word_rule} ({left} != 0);",
+        f"    {link_fifo}.enq(truncate({shift}));  // least significant word first",
+        f"    {shift} <= {shift} >> {wb};",
+        f"    {left} <= {left} - 1;",
+        "  endrule",
+    ]
+
+
+def generate_demarshal_rules(channels: Sequence, link_fifo: str, idents) -> List[str]:
+    """The BSV unpack rules of one inbound link.
+
+    A shared header decoder splits each arriving header word into its vc id
+    and length fields (the shift/mask geometry of the canonical layout),
+    the accumulate rule rebuilds the payload bit vector word by word, and
+    one dispatch rule per channel moves a completed message into that
+    channel's endpoint FIFO -- checking the expected header, so a
+    misrouted or misformatted message can never be reinterpreted as
+    another channel's type.  A completed message whose (vc, length) pair
+    matches no channel is dropped by an explicit error rule that counts it
+    (the loud-failure counterpart of the C side's ``return -1``) instead of
+    wedging the link forever with ``rx_valid`` stuck high.
+    """
+    if not channels:
+        return []
+    wb = channels[0].word_bits
+    max_payload_bits = max(ch.payload_words * wb for ch in channels)
+    rx_vc = idents.claim("rx_vc", "link rx")
+    rx_left = idents.claim("rx_left", "link rx")
+    rx_valid = idents.claim("rx_valid", "link rx")
+    rx_shift = idents.claim("rx_shift", "link rx")
+    rx_fill = idents.claim("rx_fill", "link rx")
+    header_rule = idents.claim("demarshal_header", "link rx")
+    word_rule = idents.claim("demarshal_word", "link rx")
+    lines = [
+        f"  Reg#(Bit#({VC_ID_BITS})) {rx_vc} <- mkReg(0);",
+        f"  Reg#(Bit#({LENGTH_BITS})) {rx_left} <- mkReg(0);",
+        f"  Reg#(Bool) {rx_valid} <- mkReg(False);",
+        f"  Reg#(Bit#({max_payload_bits})) {rx_shift} <- mkReg(0);",
+        f"  Reg#(Bit#({LENGTH_BITS})) {rx_fill} <- mkReg(0);",
+        f"  rule {header_rule} ({rx_left} == 0 && !{rx_valid});",
+        f"    let hdr = {link_fifo}.first; {link_fifo}.deq;",
+        f"    {rx_vc} <= hdr[{LENGTH_BITS + VC_ID_BITS - 1}:{LENGTH_BITS}];"
+        "  // header vc field",
+        f"    {rx_left} <= hdr[{LENGTH_BITS - 1}:0];  // header length field",
+        f"    {rx_shift} <= 0; {rx_fill} <= 0;",
+        "  endrule",
+        f"  rule {word_rule} ({rx_left} != 0);",
+        f"    let w = {link_fifo}.first; {link_fifo}.deq;",
+        f"    {rx_shift} <= {rx_shift} | (zeroExtend(w) << ({rx_fill} * {wb}));",
+        f"    {rx_fill} <= {rx_fill} + 1;",
+        f"    {rx_left} <= {rx_left} - 1;",
+        f"    if ({rx_left} == 1) {rx_valid} <= True;",
+        "  endrule",
+    ]
+    known = []
+    for ch in channels:
+        fifo = idents.claim(f"{ch.macro}_in", ch.name)
+        rule = idents.claim(f"dispatch_{ch.macro}", ch.name)
+        guard = f"{rx_vc} == {ch.vc_id} && {rx_fill} == {ch.payload_words}"
+        known.append(f"({guard})")
+        lines.append(f"  rule {rule} ({rx_valid} && {guard});")
+        lines.append(
+            f"    {fifo}.enq(unpack(truncate({rx_shift})));"
+            f"  // wire vc {ch.vc_id}: {ch.name}"
+        )
+        lines.append(f"    {rx_valid} <= False;")
+        lines.append("  endrule")
+    # No dispatch guard matched: unknown vc or wrong length.  Count and drop
+    # the message so one corrupt header cannot park the whole link.
+    errors = idents.claim("rx_header_errors", "link rx")
+    drop_rule = idents.claim("drop_bad_header", "link rx")
+    lines.insert(5, f"  Reg#(Bit#(32)) {errors} <- mkReg(0);")
+    lines.append(f"  rule {drop_rule} ({rx_valid} && !({' || '.join(known)}));")
+    lines.append(f"    {errors} <= {errors} + 1;  // unknown vc or bad length: drop")
+    lines.append(f"    {rx_valid} <= False;")
+    lines.append("  endrule")
+    return lines
 
 
 def _endpoint_lines(program: PartitionedProgram, spec, names: NameMap) -> List[str]:

@@ -52,6 +52,7 @@ from repro.core.guards import is_true_const
 from repro.core.module import Design, Module, Rule
 from repro.core.optimize import CompiledRule, OptimizationConfig, compile_design_rules
 from repro.core.partition import PartitionedProgram
+from repro.platform.marshal import layout_for, wire_header
 
 
 def _cxx_expr(expr: Expr) -> str:
@@ -204,6 +205,100 @@ def generate_module_class(module: Module, compiled: Dict[Rule, CompiledRule]) ->
             lines.append("")
     lines.append("};")
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# C marshaling loops (rendered from the canonical MessageLayout)
+# --------------------------------------------------------------------------
+
+
+def _c_hex(value: int, word_bits: int) -> str:
+    """A fixed-width unsigned hex literal for one link word."""
+    digits = (word_bits + 3) // 4
+    suffix = "u" if word_bits <= 32 else "ull"
+    return f"0x{value:0{digits}X}{suffix}"
+
+
+def generate_field_macros(ch, macro_prefix: str = "BCL") -> List[str]:
+    """Per-field position macros of one channel's payload packing.
+
+    Rendered from the channel type's :class:`~repro.platform.marshal.MessageLayout`:
+    for every leaf field its LSB offset and width within the payload bit
+    vector, plus the element stride of repeated (vector) fields -- the
+    constants a hand-written C implementation needs to address packed
+    fields without re-deriving the layout.  Scalar fields that land inside
+    one payload word additionally get ``_WORD``/``_SHIFT`` macros (from the
+    layout's :meth:`~repro.platform.marshal.MessageLayout.word_spans`), so
+    ``(payload[WORD] >> SHIFT) & mask`` reads them directly.  Channels
+    without a concrete type (synthetic specs) render nothing.
+    """
+    if getattr(ch, "ty", None) is None:
+        return []
+    layout = layout_for(ch.ty, ch.word_bits)
+    spans = {}
+    for span in layout.word_spans(max_instances=1):
+        spans.setdefault(span.path, []).append(span)
+    lines: List[str] = []
+    stem = f"{macro_prefix}_{ch.macro.upper()}"
+    for leaf in layout.fields:
+        field = leaf.path.replace("[*]", "").replace(".", "_").replace("[", "_").replace("]", "")
+        field = field.strip("_").upper() or "VALUE"
+        lines.append(f"#define {stem}_{field}_LSB {leaf.bit_offset}")
+        lines.append(f"#define {stem}_{field}_BITS {leaf.bit_width}")
+        if leaf.count > 1:
+            lines.append(f"#define {stem}_{field}_COUNT {leaf.count}")
+            lines.append(f"#define {stem}_{field}_STRIDE {leaf.stride}")
+        elif len(spans.get(leaf.path, ())) == 1:
+            span = spans[leaf.path][0]
+            lines.append(f"#define {stem}_{field}_WORD {span.word}")
+            lines.append(f"#define {stem}_{field}_SHIFT {span.shift}")
+    return lines
+
+
+def generate_pack_function(ch, word_ty: str, fn_prefix: str) -> List[str]:
+    """The C pack loop of one channel: frame a payload into a wire message.
+
+    The header word is a compile-time constant (a channel's payload length
+    is fixed by its type), taken from the same
+    :func:`~repro.platform.marshal.wire_header` formula the simulator's
+    dataplane stamps on every message -- the two layers cannot disagree.
+    """
+    header = _c_hex(wire_header(ch.vc_id, ch.payload_words), ch.word_bits)
+    n, m = ch.payload_words, ch.message_words
+    return [
+        f"/* marshal one {ch.name} element: header + {n} payload word(s) */",
+        f"static inline void {fn_prefix}_pack_{ch.macro}({word_ty} msg[{m}], "
+        f"const {word_ty} payload[{n}]) {{",
+        f"  msg[0] = {header};  /* wire vc {ch.vc_id}, length {n} */",
+        f"  for (unsigned i = 0; i < {n}u; ++i) {{",
+        "    msg[1u + i] = payload[i];",
+        "  }",
+        "}",
+    ]
+
+
+def generate_unpack_function(ch, word_ty: str, fn_prefix: str) -> List[str]:
+    """The C unpack loop of one channel: validate the header, copy the payload.
+
+    A header mismatch (wrong vc or length) returns ``-1`` without touching
+    the output buffer -- the loud failure Section 2.3 argues for instead of
+    silently reinterpreting bytes.
+    """
+    header = _c_hex(wire_header(ch.vc_id, ch.payload_words), ch.word_bits)
+    n, m = ch.payload_words, ch.message_words
+    return [
+        f"/* demarshal one {ch.name} message; returns 0, or -1 on a header mismatch */",
+        f"static inline int {fn_prefix}_unpack_{ch.macro}(const {word_ty} msg[{m}], "
+        f"{word_ty} payload[{n}]) {{",
+        f"  if (msg[0] != {header}) {{",
+        "    return -1;  /* wrong vc or length: reject, do not reinterpret */",
+        "  }",
+        f"  for (unsigned i = 0; i < {n}u; ++i) {{",
+        "    payload[i] = msg[1u + i];",
+        "  }",
+        "  return 0;",
+        "}",
+    ]
 
 
 def _endpoint_lines(program: PartitionedProgram, spec) -> List[str]:

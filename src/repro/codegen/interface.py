@@ -43,14 +43,20 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.codegen.bsv import generate_demarshal_rules, generate_marshal_rules
+from repro.codegen.cxx import (
+    generate_field_macros,
+    generate_pack_function,
+    generate_unpack_function,
+)
 from repro.core.domains import Domain
 from repro.core.errors import CodegenError
 from repro.core.partition import Partitioning
 from repro.core.types import words_for
 from repro.platform.channel import ChannelParams
-from repro.platform.marshal import message_words
+from repro.platform.marshal import message_words, validate_wire_format
 
 
 def _identifier(text: str) -> str:
@@ -111,6 +117,10 @@ class ChannelSpec:
     link_vc: int = 0
     #: Word width of the link this channel is marshalled for.
     word_bits: int = 32
+    #: The element's :class:`~repro.core.types.BCLType` (``None`` for
+    #: synthetic specs); with it, the generators render this channel's real
+    #: marshaling code from its canonical :class:`~repro.platform.marshal.MessageLayout`.
+    ty: Any = None
 
     @property
     def direction(self) -> str:
@@ -303,20 +313,33 @@ def build_interface_spec(
 
     channels: List[ChannelSpec] = []
     by_route: Dict[Tuple[str, str], List[ChannelSpec]] = {route: [] for route in routes}
+    n_channels = len(partitioning.cut)
     for vc_id, sync in enumerate(partitioning.cut):
         route = (sync.domain_enq.name, sync.domain_deq.name)
         bits = link_word_bits[route]
+        payload_words = words_for(sync.ty, bits)
+        # Fail at spec-build time if the wire format cannot carry this
+        # channel (vc-id space, length field, header width) -- the same
+        # check the simulator's VirtualChannelTable performs, so a bad
+        # link_params configuration cannot generate corrupt headers.
+        validate_wire_format(
+            n_channels,
+            payload_words,
+            bits,
+            context=f"channel {sync.name} on link {route[0]}->{route[1]}",
+        )
         spec = ChannelSpec(
             vc_id=vc_id,
             name=sync.name,
             producer=route[0],
             consumer=route[1],
             element_type=repr(sync.ty),
-            payload_words=words_for(sync.ty, bits),
+            payload_words=payload_words,
             message_words=message_words(sync.ty, bits),
             depth=sync.depth,
             link_vc=per_link_counts[route],
             word_bits=bits,
+            ty=sync.ty,
         )
         per_link_counts[route] += 1
         channels.append(spec)
@@ -534,27 +557,33 @@ def generate_link_transactor(spec: InterfaceSpec, link: LinkSpec, side: str) -> 
             "import FIFO::*;",
             "",
             f"module mk{_camel(name)} (Empty);",
+            f"  // Link word stream ({link.word_bits}-bit words, header first).",
         ]
+        link_fifo = idents.claim("link_words", link.name)
+        lines.append(f"  FIFO#(Bit#({link.word_bits})) {link_fifo} <- mkSizedFIFO(4);")
         for ch in link.channels:
             verb = "marshal" if side == "tx" else "demarshal"
             suffix = "_out" if side == "tx" else "_in"
             fifo = idents.claim(f"{ch.macro}{suffix}", ch.name)
+            payload_bits = ch.payload_words * ch.word_bits
             lines.append(
                 f"  // link vc {ch.link_vc} (wire vc {ch.vc_id}): {verb} {ch.name} "
                 f"({ch.payload_words} words, depth {ch.depth})"
             )
-            lines.append(f"  FIFO#(Bit#({link.word_bits})) {fifo} <- mkSizedFIFO({ch.depth});")
+            lines.append(f"  FIFO#(Bit#({payload_bits})) {fifo} <- mkSizedFIFO({ch.depth});")
         if side == "tx":
+            # Real pack rules: the implicit conditions of the shared
+            # link-word FIFO serialise the channels; each header/word rule
+            # pair streams one message least-significant word first.
             for ch in link.channels:
-                rule = idents.claim(f"arbitrate_{ch.macro}", ch.name)
-                lines.append(f"  rule {rule};")
-                lines.append(f"    // grant link vc {ch.link_vc} when its turn comes")
-                lines.append("  endrule")
+                lines.extend(
+                    generate_marshal_rules(ch, f"{ch.macro}_out", link_fifo, idents)
+                )
         else:
-            rule = idents.claim("dispatch_by_vc", link.name)
-            lines.append(f"  rule {rule};")
-            lines.append("    // route each delivered message header to its channel FIFO")
-            lines.append("  endrule")
+            # Real unpack rules: shared header decode (vc/length fields of
+            # the canonical header layout), payload accumulation, and one
+            # header-checked dispatch rule per channel.
+            lines.extend(generate_demarshal_rules(link.channels, link_fifo, idents))
         lines.append("endmodule")
         return "\n".join(lines) + "\n"
 
@@ -569,20 +598,111 @@ def generate_link_transactor(spec: InterfaceSpec, link: LinkSpec, side: str) -> 
         "",
     ]
     word_ty = _c_word_type(link.word_bits)
+    lines.append("/* Physical word stream of this link (provided by the platform). */")
+    if side == "tx":
+        lines.append(f"int {name}_write_words(const {word_ty} *words, unsigned n);")
+    else:
+        lines.append(f"int {name}_read_words({word_ty} *words, unsigned n);")
+    lines.append("")
     for ch in link.channels:
         if side == "tx":
+            pack_fn = f"{name}_pack_{ch.macro}"
+            idents.claim(pack_fn, ch.name)
+            lines.extend(generate_pack_function(ch, word_ty, name))
             fn = idents.claim(f"{name}_send_{ch.macro}", ch.name)
             lines.append(
-                f"int {fn}(const {word_ty} payload[{ch.payload_words}]); "
-                f"/* link vc {ch.link_vc}, wire vc {ch.vc_id} */"
+                f"static inline int {fn}(const {word_ty} payload[{ch.payload_words}]) "
+                f"{{ /* link vc {ch.link_vc}, wire vc {ch.vc_id} */"
             )
+            lines.append(f"  {word_ty} msg[{ch.message_words}];")
+            lines.append(f"  {pack_fn}(msg, payload);")
+            lines.append(f"  return {name}_write_words(msg, {ch.message_words}u);")
+            lines.append("}")
         else:
+            unpack_fn = f"{name}_unpack_{ch.macro}"
+            idents.claim(unpack_fn, ch.name)
+            lines.extend(generate_unpack_function(ch, word_ty, name))
             fn = idents.claim(f"{name}_recv_{ch.macro}", ch.name)
             lines.append(
-                f"int {fn}({word_ty} payload[{ch.payload_words}]); "
-                f"/* link vc {ch.link_vc}, wire vc {ch.vc_id} */"
+                f"static inline int {fn}({word_ty} payload[{ch.payload_words}]) "
+                f"{{ /* link vc {ch.link_vc}, wire vc {ch.vc_id} */"
             )
-    return "\n".join(lines) + "\n"
+            lines.append(f"  {word_ty} msg[{ch.message_words}];")
+            lines.append(
+                f"  if ({name}_read_words(msg, {ch.message_words}u) != 0) {{ return -1; }}"
+            )
+            lines.append(f"  return {unpack_fn}(msg, payload);")
+            lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def generate_sw_marshal_source(
+    spec: InterfaceSpec, domain: Optional[Union[Domain, str]] = None
+) -> str:
+    """Generate the C marshaling implementation of one software domain.
+
+    Implements every ``bcl_send_*``/``bcl_recv_*`` helper the domain's
+    generated header declares: pack the payload behind the channel's
+    constant header word, hand the framed message to the platform's word
+    stream (two extern hooks -- the only thing a porter supplies), and on
+    receive validate the header before copying a single payload word out.
+    All constants come from the channel's canonical
+    :class:`~repro.platform.marshal.MessageLayout`, the same one the
+    simulator's dataplane packs with, which is what makes the paper's
+    "Interface Only" artifact self-contained: this translation unit plus
+    the header compile as-is.
+    """
+    dom = _resolve_domain(spec, domain, "sw")
+    channels = spec.channels_of(dom)
+    idents = _IdentTable(f"sw marshal source for domain {dom} of {spec.design_name}")
+
+    lines = [
+        "/* Generated HW/SW marshaling implementation -- do not edit by hand. */",
+        f"/* design: {spec.design_name}   domain: {dom} (sw) */",
+        "#include <stdint.h>",
+        "",
+        "/* Platform word-stream hooks (the only port-specific code). */",
+        "int bcl_platform_write_words(const void *words, unsigned n_words, unsigned word_bytes);",
+        "int bcl_platform_read_words(void *words, unsigned n_words, unsigned word_bytes);",
+        "",
+    ]
+    for ch in channels:
+        word_ty = _c_word_type(ch.word_bits)
+        field_macros = generate_field_macros(ch)
+        if field_macros:
+            lines.append(f"/* Packed-field positions of {ch.name} ({ch.element_type}): */")
+            lines.extend(field_macros)
+        idents.claim(f"bcl_pack_{ch.macro}", ch.name)
+        idents.claim(f"bcl_unpack_{ch.macro}", ch.name)
+        if ch.producer == dom:
+            lines.extend(generate_pack_function(ch, word_ty, "bcl"))
+            fn = idents.claim(f"bcl_send_{ch.macro}", ch.name)
+            lines.append(f"int {fn}(const {word_ty} payload[{ch.payload_words}]) {{")
+            lines.append(f"  {word_ty} msg[{ch.message_words}];")
+            lines.append(f"  bcl_pack_{ch.macro}(msg, payload);")
+            lines.append(
+                f"  return bcl_platform_write_words(msg, {ch.message_words}u, "
+                f"sizeof({word_ty}));"
+            )
+            lines.append("}")
+        if ch.consumer == dom:
+            lines.extend(generate_unpack_function(ch, word_ty, "bcl"))
+            fn = idents.claim(f"bcl_recv_{ch.macro}", ch.name)
+            lines.append(f"int {fn}({word_ty} payload[{ch.payload_words}]) {{")
+            lines.append(f"  {word_ty} msg[{ch.message_words}];")
+            lines.append(
+                f"  if (bcl_platform_read_words(msg, {ch.message_words}u, "
+                f"sizeof({word_ty})) != 0) {{"
+            )
+            lines.append("    return -1;")
+            lines.append("  }")
+            lines.append(f"  return bcl_unpack_{ch.macro}(msg, payload);")
+            lines.append("}")
+        lines.append("")
+    if not channels:
+        lines.append("/* empty cut: this domain touches no link */")
+    return "\n".join(lines).rstrip("\n") + "\n"
 
 
 def generate_transactors(spec: InterfaceSpec) -> Dict[str, Dict[str, str]]:

@@ -1305,7 +1305,6 @@ def compile_transport_pump(
     consumer_store: Any,
     vc: Any,
     direction: Any,
-    make_message: Callable[..., Any],
     locked: Callable[[], Any],
     charge_driver: Optional[Callable[[int, float], None]] = None,
 ) -> Callable[[float], bool]:
@@ -1318,24 +1317,39 @@ def compile_transport_pump(
     drained prefix is committed with a single tuple re-slice, and the
     channel send is inlined with the route's *pre-computed* constants --
     per-message occupancy and propagation latency never change for a fixed
-    route, so the per-element work is building the
-    :class:`~repro.platform.channel.Message` and advancing ``busy_until``.
-    Counter updates (channel/vc statistics, credits, in-flight counts) are
-    committed once per batch; ``busy_cycles`` is accumulated per element so
-    floating-point results stay bitwise identical to the reference
-    transport.  Observable behaviour (message order/timing, credit
-    accounting, stall counts, driver charges) is identical to draining one
-    element at a time through ``ChannelDirection.send``.
+    route, so the per-element work is packing the element into wire words
+    (the virtual channel's layout-compiled ``encode``) and appending them
+    to the link's slotted :class:`~repro.platform.channel.MessagePool`
+    rings -- no per-message object is constructed.  Counter updates
+    (channel/vc statistics, credits, in-flight counts) are committed once
+    per batch; ``busy_cycles`` is accumulated per element so floating-point
+    results stay bitwise identical to the reference transport.  Observable
+    behaviour (message order/timing, wire words, credit accounting, stall
+    counts, driver charges) is identical to marshaling and sending one
+    element at a time through ``ChannelDirection.send_words``.
 
     Returns ``pump(now) -> bool`` (whether any element was launched).
     """
     vc_id = vc.vc_id
     words = vc.words_per_element
+    encode_batch = vc.encode_batch
     note_stall = vc.note_credit_stall
     vc_stats = vc.stats
     stats = direction.stats
     per_vc = stats.per_vc_messages
-    in_flight_append = direction.in_flight.append
+    # Pool rings, pre-bound: list identities are stable (compaction trims
+    # in place).  A route's message length is fixed by its channel type, so
+    # the word/vc/bound rings fill with three C-level extends per batch; the
+    # only per-element Python work left is packing the value and the float
+    # accumulation of busy time (iterated, not closed-form, so the results
+    # stay bitwise identical to the reference transport's per-element adds).
+    pool = direction.pool
+    pool_words = pool.words
+    words_extend = pool_words.extend
+    vc_extend = pool.vc_ids.extend
+    bounds_extend = pool.bounds.extend
+    due_append = pool.due.append
+    compact = pool.compact
     # Route constants: one message's channel occupancy and one-way latency.
     occupancy = direction.params.occupancy_cycles(words, direction.burst)
     latency = direction.params.one_way_latency_cycles
@@ -1355,14 +1369,25 @@ def compile_transport_pump(
         n = len(queue)
         if window < n:
             n = window
+        compact()
+        words_extend(encode_batch(queue[:n]))
+        end = len(pool_words)
+        bounds_extend(range(end - (n - 1) * words, end + 1, words))
+        vc_extend([vc_id] * n)
         busy = direction.busy_until
         busy_cycles = stats.busy_cycles
-        for item in queue[:n]:
-            start = busy if busy > now else now
-            busy = start + occupancy
-            in_flight_append(make_message(vc_id, item, words, now, start, busy + latency))
-            busy_cycles += occupancy
-            if charge_driver is not None:
+        if charge_driver is None:
+            for _ in range(n):
+                start = busy if busy > now else now
+                busy = start + occupancy
+                due_append(busy + latency)
+                busy_cycles += occupancy
+        else:
+            for _ in range(n):
+                start = busy if busy > now else now
+                busy = start + occupancy
+                due_append(busy + latency)
+                busy_cycles += occupancy
                 # The processor spends time marshaling and driving the DMA.
                 charge_driver(words, now)
         direction.busy_until = busy
@@ -1395,13 +1420,19 @@ def compile_transport_delivery(
     vc_id -> virtual-channel table, the target engine's delivery entry
     points and (for software consumers) the driver-cost charge.
 
+    The due prefix is read straight out of the link's slotted
+    :class:`~repro.platform.channel.MessagePool`: per message the closure
+    advances two head cursors and decodes the payload *in place* from the
+    flat word ring (the virtual channel's layout-compiled ``decode`` with a
+    start index -- zero-copy, no per-message object, no slicing).
+
     When the target supplies ``deliver_batch`` (hardware engines -- their
     parking condition cannot change mid-sweep), consecutive due messages of
     the same virtual channel land as one batched endpoint append instead of
-    growing the endpoint tuple one element at a time.  Software consumers
-    deliver per element: each delivery's driver charge makes the engine
-    busy, which parks the *next* delivery -- batching would change credit
-    timing.
+    growing the endpoint tuple one element at a time, and the vc
+    credit/stat updates commit once per run.  Software consumers deliver
+    per element: each delivery's driver charge makes the engine busy, which
+    parks the *next* delivery -- batching would change credit timing.
 
     Returns ``deliver_due(now) -> bool`` (whether any message landed).
     """
@@ -1411,47 +1442,71 @@ def compile_transport_delivery(
             "charges make the consumer busy mid-sweep, so charged targets "
             "must deliver per element"
         )
-    deliveries_due = direction.deliveries_due
+    pool = direction.pool
+    # Ring identities are stable (compaction trims in place): pre-bind them,
+    # along with each virtual channel's endpoint register and compiled
+    # decoders, so the per-message work is cursor arithmetic plus one decode.
+    pool_words = pool.words
+    vc_ids = pool.vc_ids
+    bounds = pool.bounds
+    due_ring = pool.due
+    info_by_vc = {
+        vc_id: (vc, vc.decode, vc.decode_run, vc.sync.data, vc.words_per_element)
+        for vc_id, vc in vc_by_id.items()
+    }
 
     if deliver_batch is None:
 
         def deliver_due(now: float) -> bool:
-            messages = deliveries_due(now)
-            if not messages:
+            i = pool.head
+            total = len(due_ring)
+            if i >= total or due_ring[i] > now:
                 return False
-            for message in messages:
-                vc = vc_by_id[message.vc_id]
-                deliver(vc.sync.data, message.payload, now)
+            start = pool.word_head
+            while i < total and due_ring[i] <= now:
+                vc, decode, _, data_reg, n_words = info_by_vc[vc_ids[i]]
+                # Skip the header word; decode the payload in place.
+                deliver(data_reg, decode(pool_words, start + 1), now)
                 vc.on_deliver()
                 if charge_driver is not None:
                     # Demarshaling / copy out of the DMA buffer costs CPU time.
-                    charge_driver(vc.words_per_element, now)
+                    charge_driver(n_words, now)
+                start = bounds[i]
+                i += 1
+            pool.head = i
+            pool.word_head = start
             return True
 
         return deliver_due
 
     def deliver_due_batched(now: float) -> bool:
-        messages = deliveries_due(now)
-        if not messages:
+        i = pool.head
+        total = len(due_ring)
+        if i >= total or due_ring[i] > now:
             return False
-        total = len(messages)
-        i = 0
-        while i < total:
-            message = messages[i]
-            vc_id = message.vc_id
+        cut = i + 1
+        while cut < total and due_ring[cut] <= now:
+            cut += 1
+        start = pool.word_head
+        while i < cut:
+            vc_id = vc_ids[i]
             j = i + 1
-            while j < total and messages[j].vc_id == vc_id:
+            while j < cut and vc_ids[j] == vc_id:
                 j += 1
-            vc = vc_by_id[vc_id]
-            if j - i == 1:
-                items: tuple = (message.payload,)
-            else:
-                items = tuple(m.payload for m in messages[i:j])
-            deliver_batch(vc.sync.data, items, now)
+            vc, decode, decode_run, data_reg, _ = info_by_vc[vc_id]
             k = j - i
+            if k == 1:
+                items: tuple = (decode(pool_words, start + 1),)
+            else:
+                # Same-vc run: fixed message stride, decoded in one call.
+                items = tuple(decode_run(pool_words, start, k))
+            start = bounds[j - 1]
+            deliver_batch(data_reg, items, now)
             vc.in_flight -= k
             vc.stats.messages_delivered += k
             i = j
+        pool.head = cut
+        pool.word_head = start
         return True
 
     return deliver_due_batched

@@ -55,5 +55,16 @@ class SimulationError(BCLError):
     """The co-simulator reached an inconsistent configuration."""
 
 
+class WireFormatError(SimulationError):
+    """A channel configuration cannot be represented in the wire format.
+
+    Raised at spec/topology *build* time -- when a virtual-channel id would
+    not fit ``VC_ID_BITS``, a payload length would not fit ``LENGTH_BITS``,
+    or the header word would not fit the configured link word width --
+    instead of letting a later ``frame_message`` silently corrupt headers.
+    Subclasses :class:`SimulationError` so existing handlers keep working.
+    """
+
+
 class CodegenError(BCLError):
     """Code generation would emit invalid or colliding identifiers."""

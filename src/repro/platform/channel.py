@@ -23,7 +23,7 @@ they would on a real bus.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -64,15 +64,21 @@ class ChannelParams:
         return (self.word_bits / 8) / self.cycles_per_word
 
 
-@dataclass
+@dataclass(frozen=True)
 class Message:
-    """One in-flight message on a channel direction."""
+    """An inspection view of one in-flight message on a channel direction.
+
+    The dataplane itself keeps messages in a :class:`MessagePool` (flat
+    rings of primitives -- no per-message object); ``Message`` objects are
+    only materialised by the compatibility accessors (:meth:`ChannelDirection.send`'s
+    return value, :meth:`ChannelDirection.deliveries_due`) for tests and
+    reporting.  ``words`` is the framed wire content: the header word
+    followed by the packed payload words.
+    """
 
     vc_id: int
-    payload: Any
+    words: Tuple[int, ...]
     n_words: int
-    enqueued_at: float
-    starts_at: float
     delivered_at: float
 
 
@@ -92,56 +98,184 @@ class ChannelStats:
         self.per_vc_messages[vc_id] = self.per_vc_messages.get(vc_id, 0) + 1
 
 
+class MessagePool:
+    """Slotted in-flight message storage: flat rings of primitives.
+
+    Messages on a serialised channel direction are delivered strictly in
+    send order, so the in-flight set is a queue.  Instead of a list of
+    per-message objects, the pool keeps four parallel rings -- one flat
+    ring of ints carrying the packed wire words of every queued message
+    back to back, and three per-slot rings (vc id, end-of-message word
+    index, delivery time).  Sending appends a handful of primitives;
+    delivering advances two head cursors; neither allocates a message
+    object, which was the per-message floor the dataplane microbenchmark
+    identified.
+
+    The list objects' identities are stable for the life of the pool
+    (compaction trims them in place), so compiled transport closures may
+    pre-bind their bound methods.
+    """
+
+    __slots__ = ("words", "vc_ids", "bounds", "due", "head", "word_head")
+
+    #: Compact the ring prefix once this many delivered slots accumulate.
+    COMPACT_THRESHOLD = 1024
+
+    def __init__(self):
+        #: Flat ring of packed wire words (header + payload per message).
+        self.words: List[int] = []
+        #: Per-slot virtual-channel id.
+        self.vc_ids: List[int] = []
+        #: Per-slot end index into ``words`` (a slot starts at its
+        #: predecessor's end; the first live slot starts at ``word_head``).
+        self.bounds: List[int] = []
+        #: Per-slot delivery time (non-decreasing: the channel serialises).
+        self.due: List[float] = []
+        #: Index of the first undelivered slot.
+        self.head: int = 0
+        #: Index of the first undelivered word.
+        self.word_head: int = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self.due) - self.head
+
+    def next_due(self) -> Optional[float]:
+        head = self.head
+        if head >= len(self.due):
+            return None
+        return self.due[head]
+
+    def compact(self) -> None:
+        """Reclaim the delivered prefix of the rings (in place, amortised O(1)).
+
+        Safe only between transport phases: callers holding word indices
+        into a partially drained pool must not interleave with it.  List
+        identities are preserved so pre-bound methods stay valid.
+        """
+        head = self.head
+        if not head:
+            return
+        if head == len(self.due):
+            del self.words[:]
+            del self.vc_ids[:]
+            del self.bounds[:]
+            del self.due[:]
+            self.head = 0
+            self.word_head = 0
+        elif head >= self.COMPACT_THRESHOLD and head * 2 >= len(self.due):
+            word_head = self.word_head
+            del self.words[:word_head]
+            del self.vc_ids[:head]
+            del self.due[:head]
+            del self.bounds[:head]
+            for i in range(len(self.bounds)):
+                self.bounds[i] -= word_head
+            self.head = 0
+            self.word_head = 0
+
+    def push(self, vc_id: int, words: Iterable[int], due: float) -> None:
+        """Append one framed message (header + payload words) to the rings."""
+        self.compact()
+        self.words.extend(words)
+        self.vc_ids.append(vc_id)
+        self.bounds.append(len(self.words))
+        self.due.append(due)
+
+    def pop_due(self, now: float) -> Optional[Tuple[int, List[int], float]]:
+        """Remove and return the next due message as ``(vc_id, words, due)``.
+
+        Reference-path API: the words are copied out (the compiled closures
+        instead decode in place from :attr:`words`).  Returns ``None`` when
+        the head message is not due (or nothing is in flight).
+        """
+        head = self.head
+        due = self.due
+        if head >= len(due) or due[head] > now:
+            return None
+        start, end = self.word_head, self.bounds[head]
+        message = (self.vc_ids[head], self.words[start:end], due[head])
+        self.head = head + 1
+        self.word_head = end
+        return message
+
+
 class ChannelDirection:
-    """One direction of the physical channel: a shared, serialised resource."""
+    """One direction of the physical channel: a shared, serialised resource.
+
+    In-flight traffic lives in the direction's :class:`MessagePool`; what
+    crosses the link is the packed wire words of each message (header +
+    payload), exactly the byte stream the generated interfaces move.
+    """
 
     def __init__(self, params: ChannelParams, name: str, burst: bool = True):
         self.params = params
         self.name = name
         self.burst = burst
         self.busy_until: float = 0.0
-        self.in_flight: List[Message] = []
+        self.pool = MessagePool()
         self.stats = ChannelStats()
 
-    def send(self, vc_id: int, payload: Any, n_words: int, now: float) -> Message:
-        """Enqueue a message at time ``now``; returns the scheduled delivery."""
+    def send_words(
+        self,
+        vc_id: int,
+        words: Sequence[int],
+        now: float,
+        n_words: Optional[int] = None,
+    ) -> float:
+        """Enqueue one framed message at ``now``; returns its delivery time.
+
+        ``n_words`` defaults to ``len(words)`` (the wire charge of the
+        message); passing a different count is allowed for tests modelling
+        oversized transfers.
+        """
+        if n_words is None:
+            n_words = len(words)
         start = max(now, self.busy_until)
         occupancy = self.params.occupancy_cycles(n_words, self.burst)
         delivered = start + occupancy + self.params.one_way_latency_cycles
         self.busy_until = start + occupancy
-        message = Message(vc_id, payload, n_words, now, start, delivered)
-        self.in_flight.append(message)
+        self.pool.push(vc_id, words, delivered)
         self.stats.record(vc_id, n_words, occupancy)
-        return message
+        return delivered
+
+    def send(
+        self,
+        vc_id: int,
+        words: Sequence[int],
+        n_words: Optional[int] = None,
+        now: float = 0.0,
+    ) -> Message:
+        """Compatibility send: enqueue framed ``words`` and return a view."""
+        if n_words is None:
+            n_words = len(words)
+        delivered = self.send_words(vc_id, words, now, n_words)
+        return Message(vc_id, tuple(words), n_words, delivered)
 
     def deliveries_due(self, now: float) -> List[Message]:
         """Remove and return every message whose delivery time has arrived.
 
-        The direction serialises transfers (each send starts no earlier than
-        ``busy_until``), so ``in_flight`` is already ordered by delivery
-        time and the due messages are a prefix -- no filtering or sorting.
+        The direction serialises transfers (each send starts no earlier
+        than ``busy_until``), so the pool is ordered by delivery time and
+        the due messages are a prefix.  Compatibility API: materialises
+        :class:`Message` views; the transport dataplane reads the pool
+        rings directly instead.
         """
-        in_flight = self.in_flight
-        if not in_flight or in_flight[0].delivered_at > now:
-            return []
-        cut = 1
-        n = len(in_flight)
-        while cut < n and in_flight[cut].delivered_at <= now:
-            cut += 1
-        due = in_flight[:cut]
-        # Trim in place: the list object's identity is stable, so compiled
-        # transport closures may pre-bind ``in_flight.append``.
-        del in_flight[:cut]
-        return due
+        due: List[Message] = []
+        pool = self.pool
+        while True:
+            slot = pool.pop_due(now)
+            if slot is None:
+                return due
+            vc_id, words, delivered_at = slot
+            due.append(Message(vc_id, tuple(words), len(words), delivered_at))
 
     def next_delivery_time(self) -> Optional[float]:
-        if not self.in_flight:
-            return None
-        return self.in_flight[0].delivered_at
+        return self.pool.next_due()
 
     @property
     def pending(self) -> int:
-        return len(self.in_flight)
+        return self.pool.pending
 
 
 class DuplexChannel:
@@ -232,6 +366,8 @@ class Topology:
     def __init__(self):
         self._links: Dict[Tuple[str, str], Link] = {}
         self._directions: Dict[Tuple[str, str], ChannelDirection] = {}
+        #: Cached pool list for the next-delivery sweep (rebuilt on add_link).
+        self._pools: Optional[List[MessagePool]] = None
 
     def add_link(
         self,
@@ -249,6 +385,7 @@ class Topology:
         self._links[key] = link
         direction = ChannelDirection(params, name or link.name, burst)
         self._directions[key] = direction
+        self._pools = None
         return direction
 
     def add_duplex(
@@ -291,11 +428,15 @@ class Topology:
         return len(self._links)
 
     def next_delivery_time(self) -> Optional[float]:
+        pools = self._pools
+        if pools is None:
+            pools = self._pools = [d.pool for d in self._directions.values()]
         best: Optional[float] = None
-        for direction in self._directions.values():
-            in_flight = direction.in_flight
-            if in_flight and (best is None or in_flight[0].delivered_at < best):
-                best = in_flight[0].delivered_at
+        for pool in pools:
+            head = pool.head
+            due = pool.due
+            if head < len(due) and (best is None or due[head] < best):
+                best = due[head]
         return best
 
     @property

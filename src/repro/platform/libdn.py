@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.synchronizers import SyncFifo
 from repro.core.types import BCLType
-from repro.platform.marshal import message_words
+from repro.platform.marshal import MessageLayout, layout_for, validate_wire_format
 
 
 @dataclass
@@ -47,10 +47,19 @@ class VirtualChannel:
         #: Messages launched but not yet delivered (consume a credit each).
         self.in_flight = 0
         self.stats = VirtualChannelStats()
+        #: The compiled wire format of this channel's element type -- the
+        #: single layout the transport dataplane and the generated
+        #: interfaces both derive their packing from.
+        self.layout: MessageLayout = layout_for(sync.ty, word_bits)
         #: Channel words per transferred element, including the message header
         #: (fixed by the element type; computed once, it sits on the per-message
         #: hot path of the transport loop).
-        self.words_per_element = message_words(sync.ty, word_bits)
+        self.words_per_element = self.layout.message_words
+        #: Compiled framed-message encoders/decoders (hot transport path).
+        self.encode = self.layout.encoder(vc_id)
+        self.encode_batch = self.layout.batch_encoder(vc_id)
+        self.decode = self.layout.decoder()
+        self.decode_run = self.layout.run_decoder()
 
     @property
     def element_type(self) -> BCLType:
@@ -99,12 +108,24 @@ class VirtualChannelTable:
     ):
         """``word_bits_by_sync`` overrides the word width per synchronizer --
         in an N-domain topology each sync is marshalled for the width of the
-        particular link its route is mapped onto."""
+        particular link its route is mapped onto.
+
+        The assignment is validated against the wire format up front: the
+        global vc-id space must fit ``VC_ID_BITS`` and every channel's
+        payload length and header must fit its link's word width, otherwise
+        a :class:`~repro.core.errors.WireFormatError` is raised here -- at
+        build time -- rather than corrupting headers mid-simulation."""
         self.channels: Dict[SyncFifo, VirtualChannel] = {}
         self._by_id: Dict[int, VirtualChannel] = {}
         overrides = word_bits_by_sync or {}
         for vc_id, sync in enumerate(syncs):
             vc = VirtualChannel(vc_id, sync, overrides.get(sync, word_bits))
+            validate_wire_format(
+                len(syncs),
+                vc.layout.payload_words,
+                vc.word_bits,
+                context=f"synchronizer {sync.name}",
+            )
             self.channels[sync] = vc
             self._by_id[vc_id] = vc
 

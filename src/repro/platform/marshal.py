@@ -10,19 +10,86 @@ cannot arise.
 A marshaled message is a list of unsigned integers: one header word carrying
 the virtual-channel id and the payload length, followed by the payload words
 (least significant word first).
+
+The module is a small **layout compiler**: :func:`layout_for` derives, once
+per ``(element type, word width)`` pair, a :class:`MessageLayout` -- the
+header field shifts/masks, the per-field bit slices of the payload, the
+total word count, and compiled encode/decode closures.  That one layout is
+the single source of truth for three layers at once: the simulator's
+transport dataplane packs and unpacks link words through it
+(:mod:`repro.platform.libdn` / :mod:`repro.sim.cosim`), the interface
+generator renders its C and BSV marshaling loops from it
+(:mod:`repro.codegen.interface`), and the cross-layer differential tests
+re-execute it to prove the two agree byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.errors import SimulationError
-from repro.core.types import BCLType, words_for
+from repro.core.errors import SimulationError, WireFormatError
+from repro.core.types import (
+    BCLType,
+    BitT,
+    ComplexT,
+    StructT,
+    UIntT,
+    VectorT,
+    words_for,
+)
 
 #: Number of header bits reserved for the virtual-channel id.
 VC_ID_BITS = 8
 #: Number of header bits reserved for the payload word count.
 LENGTH_BITS = 16
+
+
+def wire_header(vc_id: int, payload_words: int) -> int:
+    """The canonical header word for one message of a virtual channel.
+
+    This formula is the *only* definition of the header layout: the
+    simulator's dataplane, the generated C pack/unpack helpers and the
+    generated BSV marshal rules all embed its result, so they cannot
+    disagree about where the vc id and length live.
+    """
+    return (vc_id << LENGTH_BITS) | payload_words
+
+
+def unframe_header(header: int) -> Tuple[int, int]:
+    """Split a header word into ``(vc_id, payload_length)``."""
+    return (header >> LENGTH_BITS) & ((1 << VC_ID_BITS) - 1), header & (
+        (1 << LENGTH_BITS) - 1
+    )
+
+
+def validate_wire_format(
+    n_channels: int, payload_words: int, word_bits: int, context: str = ""
+) -> None:
+    """Check that a channel configuration is representable on the wire.
+
+    Raises :class:`~repro.core.errors.WireFormatError` when the global
+    vc-id space does not fit ``VC_ID_BITS``, the payload length does not
+    fit ``LENGTH_BITS``, or the header does not fit one ``word_bits`` link
+    word.  Called at topology/spec *build* time so a misconfigured
+    ``link_params`` fails loudly instead of silently corrupting headers.
+    """
+    where = f" ({context})" if context else ""
+    if n_channels > (1 << VC_ID_BITS):
+        raise WireFormatError(
+            f"{n_channels} virtual channels exceed the {VC_ID_BITS}-bit wire "
+            f"vc-id space ({1 << VC_ID_BITS} ids){where}"
+        )
+    if payload_words >= (1 << LENGTH_BITS):
+        raise WireFormatError(
+            f"payload of {payload_words} words does not fit the {LENGTH_BITS}-bit "
+            f"header length field{where}"
+        )
+    if VC_ID_BITS + LENGTH_BITS > word_bits:
+        raise WireFormatError(
+            f"message header needs {VC_ID_BITS + LENGTH_BITS} bits but the link "
+            f"word width is {word_bits}{where}"
+        )
 
 
 def marshal_value(ty: BCLType, value: Any, word_bits: int = 32) -> List[int]:
@@ -33,18 +100,35 @@ def marshal_value(ty: BCLType, value: Any, word_bits: int = 32) -> List[int]:
     return [(bits >> (i * word_bits)) & mask for i in range(n_words)]
 
 
-def demarshal_value(ty: BCLType, words: Sequence[int], word_bits: int = 32) -> Any:
-    """Reassemble a typed value from its payload words."""
+def demarshal_value(
+    ty: BCLType,
+    words: Sequence[int],
+    word_bits: int = 32,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> Any:
+    """Reassemble a typed value from its payload words.
+
+    ``start``/``end`` select a slice of ``words`` *by index* so callers on
+    the per-message hot path (the transport dataplane draining a shared
+    word ring) never copy the payload out first.
+    """
+    if end is None:
+        end = len(words)
     expected = words_for(ty, word_bits)
-    if len(words) != expected:
+    if end - start != expected:
         raise SimulationError(
-            f"demarshal: expected {expected} words for {ty!r}, got {len(words)}"
+            f"demarshal: expected {expected} words for {ty!r}, got {end - start}"
         )
     bits = 0
-    for i, word in enumerate(words):
-        if word < 0 or word >= (1 << word_bits):
-            raise SimulationError(f"demarshal: word {i} out of range for {word_bits}-bit channel")
-        bits |= word << (i * word_bits)
+    limit = 1 << word_bits
+    for i in range(start, end):
+        word = words[i]
+        if word < 0 or word >= limit:
+            raise SimulationError(
+                f"demarshal: word {i - start} out of range for {word_bits}-bit channel"
+            )
+        bits |= word << ((i - start) * word_bits)
     return ty.unpack(bits)
 
 
@@ -56,23 +140,24 @@ def frame_message(vc_id: int, payload: Sequence[int], word_bits: int = 32) -> Li
         raise SimulationError(f"payload of {len(payload)} words does not fit in the length field")
     if VC_ID_BITS + LENGTH_BITS > word_bits:
         raise SimulationError("header does not fit in one channel word")
-    header = (vc_id << LENGTH_BITS) | len(payload)
-    return [header] + list(payload)
+    return [wire_header(vc_id, len(payload))] + list(payload)
 
 
 def unframe_message(words: Sequence[int], word_bits: int = 32) -> Tuple[int, List[int]]:
-    """Split a framed message back into ``(vc_id, payload_words)``."""
+    """Split a framed message back into ``(vc_id, payload_words)``.
+
+    The returned payload is a fresh list (the historical API); hot-path
+    callers should use :func:`demarshal_message`'s index-based decoding
+    instead, which never copies the payload.
+    """
     if not words:
         raise SimulationError("cannot unframe an empty message")
-    header = words[0]
-    length = header & ((1 << LENGTH_BITS) - 1)
-    vc_id = (header >> LENGTH_BITS) & ((1 << VC_ID_BITS) - 1)
-    payload = list(words[1:])
-    if len(payload) != length:
+    vc_id, length = unframe_header(words[0])
+    if len(words) - 1 != length:
         raise SimulationError(
-            f"unframe: header declares {length} payload words but {len(payload)} were received"
+            f"unframe: header declares {length} payload words but {len(words) - 1} were received"
         )
-    return vc_id, payload
+    return vc_id, list(words[1:])
 
 
 def marshal_message(vc_id: int, ty: BCLType, value: Any, word_bits: int = 32) -> List[int]:
@@ -80,12 +165,373 @@ def marshal_message(vc_id: int, ty: BCLType, value: Any, word_bits: int = 32) ->
     return frame_message(vc_id, marshal_value(ty, value, word_bits), word_bits)
 
 
-def demarshal_message(ty: BCLType, words: Sequence[int], word_bits: int = 32) -> Tuple[int, Any]:
-    """Unframe and decode a message; returns ``(vc_id, value)``."""
-    vc_id, payload = unframe_message(words, word_bits)
-    return vc_id, demarshal_value(ty, payload, word_bits)
+def demarshal_message(
+    ty: BCLType,
+    words: Sequence[int],
+    word_bits: int = 32,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> Tuple[int, Any]:
+    """Unframe and decode a message; returns ``(vc_id, value)``.
+
+    Index-based: ``words[start:end]`` is the framed message, but no slice is
+    materialised -- the header is read in place and the payload is decoded
+    through :func:`demarshal_value`'s ``start``/``end`` window.
+    """
+    if end is None:
+        end = len(words)
+    if end <= start:
+        raise SimulationError("cannot unframe an empty message")
+    vc_id, length = unframe_header(words[start])
+    if end - start - 1 != length:
+        raise SimulationError(
+            f"unframe: header declares {length} payload words but "
+            f"{end - start - 1} were received"
+        )
+    return vc_id, demarshal_value(ty, words, word_bits, start + 1, end)
 
 
 def message_words(ty: BCLType, word_bits: int = 32) -> int:
     """Total channel words for one value of ``ty`` including the header word."""
     return 1 + words_for(ty, word_bits)
+
+
+# --------------------------------------------------------------------------
+# The layout compiler
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldSlice:
+    """One leaf field's position within the payload bit vector (LSB-first).
+
+    Uniform repetitions (vector elements) are collapsed: ``count`` instances
+    of the field live at ``bit_offset + k * stride`` for ``k`` in
+    ``range(count)`` -- which is exactly the shape a generated C or BSV
+    marshaling *loop* iterates over.  A scalar field has ``count == 1``.
+    """
+
+    path: str
+    bit_offset: int
+    bit_width: int
+    count: int = 1
+    stride: int = 0
+
+
+@dataclass(frozen=True)
+class WordSpan:
+    """Where (part of) one field instance lands in the payload word array."""
+
+    path: str
+    word: int  #: payload word index (header not counted)
+    shift: int  #: bit position within that word
+    width: int  #: bits of the field stored in this span
+    field_lsb: int  #: offset of those bits within the field's own value
+
+
+def _collect_leaves(ty: BCLType, path: str, offset: int, out: List[FieldSlice]) -> None:
+    if isinstance(ty, StructT):
+        # The first declared field occupies the most significant bits, so
+        # LSB-first offsets walk the declaration order in reverse.
+        off = offset
+        for fname, fty in reversed(ty.fields):
+            _collect_leaves(fty, f"{path}.{fname}" if path else fname, off, out)
+            off += fty.bit_width()
+    elif isinstance(ty, ComplexT):
+        w = ty.elem.bit_width()
+        _collect_leaves(ty.elem, f"{path}.im" if path else "im", offset, out)
+        _collect_leaves(ty.elem, f"{path}.re" if path else "re", offset + w, out)
+    elif isinstance(ty, VectorT):
+        sub: List[FieldSlice] = []
+        _collect_leaves(ty.elem, "", 0, sub)
+        stride = ty.elem.bit_width()
+        if any(leaf.count != 1 for leaf in sub):
+            # The element itself repeats (nested vectors): expand the outer
+            # indices so every slice keeps a single stride.
+            for i in range(ty.n):
+                for leaf in sub:
+                    out.append(
+                        FieldSlice(
+                            f"{path}[{i}]{leaf.path}",
+                            offset + i * stride + leaf.bit_offset,
+                            leaf.bit_width,
+                            leaf.count,
+                            leaf.stride,
+                        )
+                    )
+        else:
+            for leaf in sub:
+                out.append(
+                    FieldSlice(
+                        f"{path}[*]{leaf.path}",
+                        offset + leaf.bit_offset,
+                        leaf.bit_width,
+                        ty.n,
+                        stride,
+                    )
+                )
+    else:
+        out.append(FieldSlice(path, offset, ty.bit_width()))
+
+
+def _compile_pack(ty: BCLType) -> Callable[[Any], int]:
+    """Specialise ``ty.pack`` for the per-message transport hot path.
+
+    For raw unsigned word types the canonical packing is the value itself,
+    so the compiled packer folds the range check into one closure; any
+    value failing the fast predicate falls back to ``ty.pack`` so the
+    error behaviour (message text, exception type) is exactly the
+    reference's.
+    """
+    if isinstance(ty, (UIntT, BitT)):
+        hi = (1 << ty.n) - 1
+        slow = ty.pack
+
+        def pack(value: Any) -> int:
+            if value.__class__ is int and 0 <= value <= hi:
+                return value
+            return slow(value)
+
+        return pack
+    return ty.pack
+
+
+class MessageLayout:
+    """The compiled wire format of one channel element type.
+
+    Everything every layer needs is derived here, once: header field
+    shifts/masks, payload/message word counts, the per-field bit slices of
+    the canonical packing, and closure-compiled encoders/decoders for the
+    simulation dataplane.  One ``MessageLayout`` per ``(type, word width)``
+    pair -- the invariant that makes the generated interfaces trustworthy.
+    """
+
+    __slots__ = (
+        "ty",
+        "word_bits",
+        "payload_bits",
+        "payload_words",
+        "message_words",
+        "fields",
+        "_decoder",
+    )
+
+    #: Header field geometry (class-level: the header layout is global).
+    VC_SHIFT = LENGTH_BITS
+    VC_MASK = (1 << VC_ID_BITS) - 1
+    LENGTH_MASK = (1 << LENGTH_BITS) - 1
+
+    def __init__(self, ty: BCLType, word_bits: int = 32):
+        self.ty = ty
+        self.word_bits = word_bits
+        self.payload_bits = ty.bit_width()
+        self.payload_words = words_for(ty, word_bits)
+        self.message_words = self.payload_words + 1
+        validate_wire_format(1, self.payload_words, word_bits, context=repr(ty))
+        leaves: List[FieldSlice] = []
+        _collect_leaves(ty, "", 0, leaves)
+        self.fields: Tuple[FieldSlice, ...] = tuple(
+            sorted(leaves, key=lambda f: f.bit_offset)
+        )
+        self._decoder: Optional[Callable[[Sequence[int], int], Any]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageLayout({self.ty!r}, word_bits={self.word_bits}, "
+            f"payload_words={self.payload_words})"
+        )
+
+    # -- header ------------------------------------------------------------
+
+    def header_word(self, vc_id: int) -> int:
+        """The constant header word every message of virtual channel ``vc_id``
+        carries (the payload length of a channel is fixed by its type)."""
+        if not 0 <= vc_id < (1 << VC_ID_BITS):
+            raise WireFormatError(
+                f"virtual channel id {vc_id} does not fit in {VC_ID_BITS} bits"
+            )
+        return wire_header(vc_id, self.payload_words)
+
+    # -- word-level field table (codegen) -----------------------------------
+
+    def word_spans(self, max_instances: int = 4) -> List[WordSpan]:
+        """The payload word array positions of every field (instances capped).
+
+        Expands each :class:`FieldSlice` into per-word spans: which payload
+        word, at which shift, holds which bits of the field.  Repeated
+        fields expand at most ``max_instances`` instances -- consumers
+        (:func:`repro.codegen.cxx.generate_field_macros` emits
+        ``_WORD``/``_SHIFT`` constants from the single-word spans) address
+        the remaining instances with the slice's ``_COUNT``/``_STRIDE``.
+        """
+        spans: List[WordSpan] = []
+        wb = self.word_bits
+        for leaf in self.fields:
+            for k in range(min(leaf.count, max_instances)):
+                path = leaf.path.replace("[*]", f"[{k}]") if leaf.count > 1 else leaf.path
+                offset = leaf.bit_offset + k * leaf.stride
+                taken = 0
+                while taken < leaf.bit_width:
+                    word, shift = divmod(offset + taken, wb)
+                    width = min(leaf.bit_width - taken, wb - shift)
+                    spans.append(WordSpan(path, word, shift, width, taken))
+                    taken += width
+        return spans
+
+    # -- compiled encode/decode (simulation dataplane) -----------------------
+
+    def encoder(self, vc_id: int) -> Callable[[Any], Tuple[int, ...]]:
+        """Compile the framed-message encoder of one virtual channel.
+
+        The returned closure maps an element value to its wire words
+        (header first, payload least-significant-word first).  Constants --
+        the header word, the payload word count, the word mask -- are
+        resolved now, so the per-message work is one ``pack`` plus the word
+        split.
+        """
+        header = self.header_word(vc_id)
+        pack = _compile_pack(self.ty)
+        if self.payload_words == 1:
+            # Single-word payload (the common scalar case): no split loop.
+            return lambda value: (header, pack(value))
+        n = self.payload_words
+        wb = self.word_bits
+        mask = (1 << wb) - 1
+
+        def encode(value: Any) -> Tuple[int, ...]:
+            bits = pack(value)
+            words = [header]
+            append = words.append
+            for _ in range(n):
+                append(bits & mask)
+                bits >>= wb
+            return tuple(words)
+
+        return encode
+
+    def batch_encoder(self, vc_id: int) -> Callable[[Sequence[Any]], List[int]]:
+        """Compile the batched framed-message encoder of one virtual channel.
+
+        Maps a sequence of element values to one flat word list -- the
+        concatenated framed messages, ready for a single ``extend`` onto a
+        :class:`~repro.platform.channel.MessagePool` word ring.  Because a
+        channel's message length is fixed by its type, the caller can
+        derive every per-message bound arithmetically.
+        """
+        header = self.header_word(vc_id)
+        pack = _compile_pack(self.ty)
+        if self.payload_words == 1:
+
+            def encode_batch(values: Sequence[Any]) -> List[int]:
+                out: List[int] = []
+                append = out.append
+                for value in values:
+                    append(header)
+                    append(pack(value))
+                return out
+
+            return encode_batch
+
+        n = self.payload_words
+        wb = self.word_bits
+        mask = (1 << wb) - 1
+
+        def encode_batch(values: Sequence[Any]) -> List[int]:
+            out: List[int] = []
+            append = out.append
+            for value in values:
+                bits = pack(value)
+                append(header)
+                for _ in range(n):
+                    append(bits & mask)
+                    bits >>= wb
+            return out
+
+        return encode_batch
+
+    def decoder(self) -> Callable[[Sequence[int], int], Any]:
+        """Compile the payload decoder (shared by every vc of this layout).
+
+        The returned closure reads ``payload_words`` words from ``words``
+        starting at ``start`` -- index-based, so the transport dataplane
+        decodes straight out of its flat word ring without slicing.
+        """
+        if self._decoder is not None:
+            return self._decoder
+        unpack = self.ty.unpack
+        if self.payload_words == 1:
+            decode: Callable[[Sequence[int], int], Any] = (
+                lambda words, start: unpack(words[start])
+            )
+        else:
+            n = self.payload_words
+            wb = self.word_bits
+
+            def decode(words: Sequence[int], start: int) -> Any:
+                bits = 0
+                for i in range(n):
+                    bits |= words[start + i] << (i * wb)
+                return unpack(bits)
+
+        self._decoder = decode
+        return decode
+
+    def run_decoder(self) -> Callable[[Sequence[int], int, int], List[Any]]:
+        """Compile the run decoder: ``count`` consecutive messages of this
+        layout starting at ``start`` (each ``message_words`` long, header
+        first) decode to a list of values in one call -- the batched
+        hardware-side delivery path."""
+        unpack = self.ty.unpack
+        stride = self.message_words
+        if self.payload_words == 1:
+
+            def decode_run(words: Sequence[int], start: int, count: int) -> List[Any]:
+                return [
+                    unpack(word)
+                    for word in words[start + 1 : start + count * stride : stride]
+                ]
+
+            return decode_run
+
+        n = self.payload_words
+        wb = self.word_bits
+
+        def decode_run(words: Sequence[int], start: int, count: int) -> List[Any]:
+            out: List[Any] = []
+            append = out.append
+            base = start + 1
+            for _ in range(count):
+                bits = 0
+                for i in range(n):
+                    bits |= words[base + i] << (i * wb)
+                append(unpack(bits))
+                base += stride
+            return out
+
+        return decode_run
+
+    # -- reference pack/unpack ----------------------------------------------
+
+    def pack_message(self, vc_id: int, value: Any) -> List[int]:
+        """Reference framed encoding (header + payload words)."""
+        return frame_message(vc_id, marshal_value(self.ty, value, self.word_bits), self.word_bits)
+
+    def unpack_message(
+        self, words: Sequence[int], start: int = 0, end: Optional[int] = None
+    ) -> Tuple[int, Any]:
+        """Reference framed decoding; returns ``(vc_id, value)``."""
+        return demarshal_message(self.ty, words, self.word_bits, start, end)
+
+
+#: One layout per (element type, word width): every layer that touches a
+#: channel's bits must go through the same object.
+_LAYOUT_CACHE: Dict[Tuple[BCLType, int], MessageLayout] = {}
+
+
+def layout_for(ty: BCLType, word_bits: int = 32) -> MessageLayout:
+    """The canonical :class:`MessageLayout` of ``(ty, word_bits)`` (cached)."""
+    key = (ty, word_bits)
+    layout = _LAYOUT_CACHE.get(key)
+    if layout is None:
+        layout = _LAYOUT_CACHE[key] = MessageLayout(ty, word_bits)
+    return layout

@@ -46,8 +46,9 @@ from repro.core.partition import Partitioning, default_engine_kind, partition_de
 from repro.core.primitives import Fifo
 from repro.core.semantics import Store
 from repro.core.synchronizers import SyncFifo
-from repro.platform.channel import DuplexChannel, Message, Topology
+from repro.platform.channel import DuplexChannel, Topology
 from repro.platform.libdn import VirtualChannelTable
+from repro.platform.marshal import demarshal_message, marshal_message
 from repro.platform.platform import Platform
 from repro.sim.hwsim import HwEngine
 from repro.sim.swsim import SwEngine
@@ -260,7 +261,6 @@ class CosimFabric:
                     consumer_store,
                     vc,
                     direction,
-                    Message,
                     producer_engine.locked_registers,
                     producer_engine.charge_driver if sw_producer else None,
                 )
@@ -350,7 +350,9 @@ class CosimFabric:
                 progress |= pump(now)
             return progress
         # Reference (interpreted) transport: per-synchronizer bookkeeping,
-        # draining one element at a time.
+        # marshaling and draining one element at a time through the plain
+        # marshal functions (the semantic oracle the compiled closures'
+        # layout-compiled encoders are tested against).
         progress = False
         for sync, vc, producer_engine, producer_store, consumer_store, direction, sw_producer in self._routes:
             if not producer_store[sync.data]:
@@ -367,7 +369,8 @@ class CosimFabric:
                 vc.credits = sync.depth - consumer_occupancy - vc.in_flight
                 item = producer_store[sync.data][0]
                 producer_store[sync.data] = tuple(producer_store[sync.data][1:])
-                direction.send(vc.vc_id, item, vc.words_per_element, now)
+                words = marshal_message(vc.vc_id, sync.ty, item, vc.word_bits)
+                direction.send_words(vc.vc_id, words, now)
                 vc.on_send()
                 if sw_producer:
                     # The processor spends time marshaling and driving the DMA.
@@ -385,11 +388,25 @@ class CosimFabric:
         progress = False
         by_id = self.vcs.by_id
         for direction, target, sw_target in self._delivery_routes:
-            if not direction.in_flight:
+            pool = direction.pool
+            if not pool.pending:
                 continue
-            for message in direction.deliveries_due(now):
-                vc = by_id(message.vc_id)
-                target.deliver(vc.sync.data, message.payload, now)
+            while True:
+                slot = pool.pop_due(now)
+                if slot is None:
+                    break
+                slot_vc_id, words, _due = slot
+                vc = by_id(slot_vc_id)
+                # Unframe and decode the wire words through the plain
+                # marshal functions, validating the header as a real
+                # demarshaler would.
+                header_vc_id, value = demarshal_message(vc.sync.ty, words, vc.word_bits)
+                if header_vc_id != slot_vc_id:
+                    raise SimulationError(
+                        f"link {direction.name}: message header names vc "
+                        f"{header_vc_id} but the transport launched it on vc {slot_vc_id}"
+                    )
+                target.deliver(vc.sync.data, value, now)
                 vc.on_deliver()
                 if sw_target:
                     # Demarshaling / copy out of the DMA buffer costs CPU time.

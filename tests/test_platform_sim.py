@@ -60,30 +60,50 @@ class TestChannelModel:
 
     def test_messages_serialise_on_one_direction(self):
         channel = DuplexChannel(ChannelParams())
-        m1 = channel.to_hw.send(0, "a", 100, now=0.0)
-        m2 = channel.to_hw.send(1, "b", 100, now=0.0)
-        assert m2.starts_at >= m1.starts_at + channel.params.occupancy_cycles(100)
-        assert m2.delivered_at > m1.delivered_at
+        m1 = channel.to_hw.send(0, [0] * 100, now=0.0)
+        m2 = channel.to_hw.send(1, [1] * 100, now=0.0)
+        assert m2.delivered_at >= m1.delivered_at + channel.params.occupancy_cycles(100)
+        assert channel.to_hw.busy_until == 2 * channel.params.occupancy_cycles(100)
 
     def test_directions_are_independent(self):
         channel = DuplexChannel(ChannelParams())
-        m1 = channel.to_hw.send(0, "a", 100, now=0.0)
-        m2 = channel.to_sw.send(1, "b", 100, now=0.0)
-        assert m1.starts_at == m2.starts_at == 0.0
+        m1 = channel.to_hw.send(0, [0] * 100, now=0.0)
+        m2 = channel.to_sw.send(1, [1] * 100, now=0.0)
+        assert m1.delivered_at == m2.delivered_at
 
     def test_deliveries_due(self):
         channel = DuplexChannel(ChannelParams())
-        message = channel.to_hw.send(0, "a", 10, now=0.0)
+        message = channel.to_hw.send(0, list(range(10)), now=0.0)
         assert channel.to_hw.deliveries_due(message.delivered_at - 1) == []
         assert channel.to_hw.deliveries_due(message.delivered_at) == [message]
         assert channel.to_hw.pending == 0
 
+    def test_messages_carry_their_wire_words(self):
+        """What crosses a link is the packed word array, header first."""
+        channel = DuplexChannel(ChannelParams())
+        words = [0x0002000A] + list(range(10))
+        message = channel.to_hw.send(2, words, now=0.0)
+        assert message.words == tuple(words)
+        (delivered,) = channel.to_hw.deliveries_due(message.delivered_at)
+        assert delivered.words == tuple(words)
+
     def test_stats_accumulate(self):
         channel = DuplexChannel(ChannelParams())
-        channel.to_hw.send(0, "a", 10, now=0.0)
-        channel.to_hw.send(0, "b", 10, now=0.0)
+        channel.to_hw.send(0, [0] * 10, now=0.0)
+        channel.to_hw.send(0, [1] * 10, now=0.0)
         assert channel.total_messages == 2
         assert channel.total_words == 20
+
+    def test_pool_compacts_when_drained(self):
+        direction = DuplexChannel(ChannelParams()).to_hw
+        for i in range(8):
+            direction.send(0, [i, i], now=0.0)
+        assert direction.pool.pending == 8
+        direction.deliveries_due(1e9)
+        assert direction.pool.pending == 0
+        direction.send(0, [9, 9], now=0.0)  # push compacts the drained rings
+        assert direction.pool.head == 0 and direction.pool.word_head == 0
+        assert direction.pool.words == [9, 9]
 
 
 class TestVirtualChannels:
@@ -110,6 +130,35 @@ class TestVirtualChannels:
         vc.on_deliver()
         vc.on_credit_return()
         assert vc.can_send()
+
+    def test_channel_carries_one_layout(self):
+        """One MessageLayout per channel: encode/decode come from it."""
+        from repro.platform.marshal import layout_for
+
+        sync = SyncFifo("s", VectorT(4, UIntT(32)), SW, HW)
+        vc = VirtualChannelTable([sync]).channel_for(sync)
+        assert vc.layout is layout_for(sync.ty, 32)
+        value = (1, 2, 3, 4)
+        assert vc.decode(vc.encode(value), 1) == value
+
+    def test_narrow_word_width_is_a_build_time_error(self):
+        """A link too narrow for the header fails when the table is built,
+        not by corrupting headers mid-simulation (typed WireFormatError)."""
+        from repro.core.errors import WireFormatError
+
+        sync = SyncFifo("s", UIntT(32), SW, HW)
+        with pytest.raises(WireFormatError):
+            VirtualChannelTable([sync], word_bits=16)
+        with pytest.raises(WireFormatError):
+            VirtualChannelTable([sync], word_bits_by_sync={sync: 16})
+
+    def test_vc_id_space_overflow_is_a_build_time_error(self):
+        from repro.core.errors import WireFormatError
+        from repro.platform.marshal import VC_ID_BITS
+
+        syncs = [SyncFifo(f"s{i}", UIntT(8), SW, HW) for i in range((1 << VC_ID_BITS) + 1)]
+        with pytest.raises(WireFormatError):
+            VirtualChannelTable(syncs)
 
 
 class TestCosimulator:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.errors import SimulationError, TypeCheckError
+from repro.core.errors import SimulationError, TypeCheckError, WireFormatError
 from repro.core.fixedpoint import FixComplex, FixedPoint
 from repro.core.types import (
     BitT,
@@ -218,3 +218,182 @@ class TestMarshaling:
         }
         words = marshal.marshal_value(hit_t, value)
         assert marshal.demarshal_value(hit_t, words) == value
+
+    @given(
+        st.integers(min_value=-(1 << 7), max_value=(1 << 7) - 1),
+        st.integers(min_value=0, max_value=(1 << 24) - 1),
+        st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_negative_fixed_point_roundtrip_property(self, int_part, frac_bits, word_bits):
+        """Negative fixed-point values survive the wire at every word width.
+
+        The sign bit lives at the top of the payload bit vector, so this is
+        the case a word-split bug corrupts first (the two's-complement bits
+        span the word boundary for word_bits < 32)."""
+        t = FixPtT(8, 24)
+        value = FixedPoint.from_bits(
+            ((int_part << 24) | frac_bits) & ((1 << 32) - 1), 8, 24
+        )
+        words = marshal.marshal_value(t, value, word_bits)
+        assert len(words) == marshal.words_for(t, word_bits)
+        assert all(0 <= w < (1 << word_bits) for w in words)
+        assert marshal.demarshal_value(t, words, word_bits) == value
+        assert marshal.demarshal_value(t, words, word_bits).to_float() == value.to_float()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=8),
+        st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_non_32_bit_word_widths_roundtrip_property(self, values, word_bits):
+        """Marshaling is width-generic: 16/32/64-bit links carry the same bits.
+
+        Value packing works at any width; *framing* additionally needs the
+        header to fit one word, which 16-bit links cannot provide -- framed
+        roundtrips are checked at 32/64 and the 16-bit case is a build-time
+        :class:`WireFormatError` (see ``TestWireFormatValidation``)."""
+        t = VectorT(len(values), UIntT(20))
+        value = tuple(values)
+        words = marshal.marshal_value(t, value, word_bits)
+        assert marshal.demarshal_value(t, words, word_bits) == value
+        if word_bits >= marshal.VC_ID_BITS + marshal.LENGTH_BITS:
+            framed = marshal.marshal_message(1, t, value, word_bits)
+            assert marshal.demarshal_message(t, framed, word_bits) == (1, value)
+
+    def test_maximum_width_payload_fits_the_length_field(self):
+        """A payload of exactly 2**LENGTH_BITS - 1 words frames and unframes."""
+        max_words = (1 << marshal.LENGTH_BITS) - 1
+        t = BitT(32 * max_words)
+        assert marshal.words_for(t, 32) == max_words
+        value = t.unpack((1 << 40) - 1)  # sparse value: huge widths stay cheap
+        framed = marshal.marshal_message(0, t, value, 32)
+        assert len(framed) == max_words + 1
+        vc, decoded = marshal.demarshal_message(t, framed, 32)
+        assert vc == 0 and decoded == value
+        assert marshal.layout_for(t, 32).payload_words == max_words
+
+    def test_oversized_payload_is_a_build_time_wire_format_error(self):
+        t = BitT(32 * (1 << marshal.LENGTH_BITS))
+        with pytest.raises(WireFormatError):
+            marshal.layout_for(t, 32)
+
+    def test_message_words_regression_against_link_widths(self):
+        """Pins message_words for the fig13 frame type across link_params widths.
+
+        The interface generator sizes its buffers and the cost model its
+        transfers from these counts; a drift silently breaks the generated
+        C array bounds."""
+        frame_t = VectorT(64, ComplexT(FixPtT(8, 24)))  # 4096 payload bits
+        assert marshal.message_words(frame_t, 16) == 257
+        assert marshal.message_words(frame_t, 32) == 129
+        assert marshal.message_words(frame_t, 64) == 65
+        assert marshal.message_words(UIntT(32), 32) == 2
+        assert marshal.message_words(BoolT(), 32) == 2
+
+    def test_demarshal_message_is_index_based(self):
+        """Hot-path decoding reads a window of a shared buffer -- no copy."""
+        t = UIntT(32)
+        buffer = [999] * 3 + marshal.marshal_message(2, t, 77) + [888]
+        vc, value = marshal.demarshal_message(t, buffer, start=3, end=5)
+        assert (vc, value) == (2, 77)
+        assert buffer[0] == 999 and buffer[-1] == 888  # untouched
+
+
+class TestMessageLayout:
+    def test_one_layout_per_type_and_width(self):
+        t = VectorT(4, UIntT(32))
+        assert marshal.layout_for(t, 32) is marshal.layout_for(VectorT(4, UIntT(32)), 32)
+        assert marshal.layout_for(t, 32) is not marshal.layout_for(t, 64)
+
+    def test_header_word_is_the_wire_header(self):
+        layout = marshal.layout_for(UIntT(32), 32)
+        assert layout.header_word(5) == marshal.wire_header(5, 1)
+        assert marshal.unframe_header(layout.header_word(5)) == (5, 1)
+
+    def test_header_vc_range_checked(self):
+        layout = marshal.layout_for(UIntT(32), 32)
+        with pytest.raises(WireFormatError):
+            layout.header_word(1 << marshal.VC_ID_BITS)
+
+    def test_encoder_matches_reference_marshal(self):
+        t = StructT("Hit", [("hit", BoolT()), ("t", FixPtT(16, 16))])
+        layout = marshal.layout_for(t, 32)
+        value = {"hit": True, "t": FixedPoint.from_float(-1.25, 16, 16)}
+        assert list(layout.encoder(3)(value)) == marshal.marshal_message(3, t, value)
+        assert layout.decoder()(layout.encoder(3)(value), 1) == value
+
+    def test_batch_encoder_concatenates_framed_messages(self):
+        layout = marshal.layout_for(UIntT(32), 32)
+        flat = layout.batch_encoder(1)([7, 8, 9])
+        assert flat == sum((marshal.marshal_message(1, UIntT(32), v) for v in (7, 8, 9)), [])
+
+    def test_run_decoder_reads_fixed_stride_runs(self):
+        t = VectorT(2, UIntT(32))
+        layout = marshal.layout_for(t, 32)
+        values = [(1, 2), (3, 4), (5, 6)]
+        flat = layout.batch_encoder(0)(values)
+        assert layout.run_decoder()(flat, 0, 3) == values
+        # Index-based: a shifted window decodes the tail of the run.
+        assert layout.run_decoder()(flat, layout.message_words, 2) == values[1:]
+
+    def test_field_slices_cover_the_payload(self):
+        t = StructT(
+            "Ray",
+            [
+                ("origin", StructT("V", [("x", FixPtT(8, 24)), ("y", FixPtT(8, 24))])),
+                ("pixel", UIntT(32)),
+            ],
+        )
+        layout = marshal.layout_for(t, 32)
+        by_path = {f.path: f for f in layout.fields}
+        # First declared field sits in the most significant bits.
+        assert by_path["pixel"].bit_offset == 0
+        assert by_path["origin.y"].bit_offset == 32
+        assert by_path["origin.x"].bit_offset == 64
+        assert sum(f.bit_width * f.count for f in layout.fields) == t.bit_width()
+
+    def test_vector_fields_collapse_to_strided_slices(self):
+        t = VectorT(64, ComplexT(FixPtT(8, 24)))
+        layout = marshal.layout_for(t, 32)
+        assert [f.path for f in layout.fields] == ["[*]im", "[*]re"]
+        assert all(f.count == 64 and f.stride == 64 for f in layout.fields)
+
+    def test_word_spans_split_fields_at_word_boundaries(self):
+        t = StructT("S", [("a", UIntT(8)), ("b", UIntT(48))])  # b spans two 32-bit words
+        layout = marshal.layout_for(t, 32)
+        spans = [s for s in layout.word_spans() if s.path == "b"]
+        assert [(s.word, s.shift, s.width, s.field_lsb) for s in spans] == [
+            (0, 0, 32, 0),
+            (1, 0, 16, 32),
+        ]
+
+    def test_compiled_pack_fast_path_keeps_reference_errors(self):
+        layout = marshal.layout_for(UIntT(8), 32)
+        encode = layout.encoder(0)
+        assert encode(255) == (layout.header_word(0), 255)
+        with pytest.raises(TypeCheckError):
+            encode(256)
+        with pytest.raises(TypeCheckError):
+            encode(True)  # bools are not UInt inhabitants, fast path must not accept
+
+
+class TestWireFormatValidation:
+    def test_header_must_fit_the_link_word(self):
+        with pytest.raises(WireFormatError, match="word width is 16"):
+            marshal.validate_wire_format(1, 1, 16)
+
+    def test_16_bit_links_rejected_at_layout_build_time(self):
+        with pytest.raises(WireFormatError):
+            marshal.layout_for(UIntT(32), 16)
+
+    def test_vc_id_space_checked(self):
+        with pytest.raises(WireFormatError, match="vc-id space"):
+            marshal.validate_wire_format((1 << marshal.VC_ID_BITS) + 1, 1, 32)
+
+    def test_payload_length_checked(self):
+        with pytest.raises(WireFormatError, match="length field"):
+            marshal.validate_wire_format(1, 1 << marshal.LENGTH_BITS, 32)
+
+    def test_wire_format_error_is_a_simulation_error(self):
+        assert issubclass(WireFormatError, SimulationError)
