@@ -13,12 +13,20 @@ two-partition placement -- the latency-insensitivity guarantee.
 
 The example then fans a sweep over all partitionings (two-domain A-F plus
 the multi-domain ones) across worker processes with
-:mod:`repro.sim.shard`.
+:mod:`repro.sim.shard`, and -- with ``--grouped`` -- runs a *multi-group*
+workload (several independent pipelines in one design) three ways: the
+fabric's own serially scheduled group sub-fabrics, the legacy lockstep
+loop, and :func:`repro.sim.shard.run_grouped` fanning the groups of that
+single design across ``--processes`` workers, verifying the grouped
+results bitwise identical and every checksum bit-exact.
 
-Run with:  python examples/multidomain_fabric.py [n_frames]
+Run with:  python examples/multidomain_fabric.py [n_frames] [--grouped]
+           [--group-letters BC] [--processes N]
 """
 
+import argparse
 import sys
+from dataclasses import asdict
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -27,6 +35,7 @@ from repro.apps.vorbis.params import VorbisParams
 from repro.apps.vorbis.partitions import (
     MULTI_PARTITION_ORDER,
     PARTITION_ORDER,
+    build_group_partition,
     build_multi_partition,
     build_partition,
     multi_partition_domains,
@@ -34,11 +43,75 @@ from repro.apps.vorbis.partitions import (
 from repro.apps.vorbis.reference import expected_checksum
 from repro.core.partition import default_engine_kind
 from repro.sim.cosim import CosimFabric
-from repro.sim.shard import SweepTask, run_sweep
+from repro.sim.shard import SweepTask, run_grouped, run_sweep
+
+
+def run_grouped_section(letters: str, params: VorbisParams, processes: int) -> None:
+    """The multi-group demonstration: per-group clocks and process fan-out."""
+    reference = expected_checksum(params)
+    print(f"\nMulti-group workload: {len(letters)} independent pipelines "
+          f"({'+'.join(letters)}) in one design")
+
+    workload = build_group_partition(letters, params)
+    fabric = CosimFabric(workload.design, backend="compiled")
+    groups = [
+        "+".join(d.name for d in fabric.group_domains(i))
+        for i in range(fabric.group_count)
+    ]
+    print(f"  groups: {groups}")
+    serial = fabric.run(workload.cosim_done, max_cycles=500_000_000)
+    checksums = workload.checksums(fabric.read)
+    print(f"  serially scheduled groups: {serial!r}")
+    print(f"  checksums: {checksums} (reference {reference})")
+    if not serial.completed or any(c != reference for c in checksums):
+        raise SystemExit("multi-group serial run diverged from the reference")
+
+    lock_wl = build_group_partition(letters, params)
+    lock_fabric = CosimFabric(lock_wl.design, backend="compiled")
+    lockstep = lock_fabric.run(
+        lock_wl.cosim_done, max_cycles=500_000_000, scheduler="lockstep"
+    )
+    print(f"  lockstep baseline:         {lockstep!r}")
+    if (
+        not lockstep.completed
+        or lockstep.fire_counts != serial.fire_counts
+        or lockstep.channel_messages != serial.channel_messages
+        or lock_wl.checksums(lock_fabric.read) != checksums
+    ):
+        raise SystemExit("lockstep baseline disagrees with grouped execution")
+
+    report = run_grouped(
+        build_group_partition, args=(letters, params), processes=processes
+    )
+    print(report.table())
+    if asdict(report.result) != asdict(serial):
+        raise SystemExit(
+            "process-grouped merged result diverged from the serial grouped run"
+        )
+    print(
+        f"  process-grouped merged result bitwise identical to the serial "
+        f"grouped run ({report.processes} processes, {report.speedup:.2f}x "
+        "compute-over-wall speedup)"
+    )
 
 
 def main():
-    n_frames = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("n_frames", nargs="?", type=int, default=12)
+    parser.add_argument(
+        "--grouped", action="store_true",
+        help="also run the multi-group workload (grouped vs lockstep vs processes)",
+    )
+    parser.add_argument(
+        "--group-letters", default="BC",
+        help="partition letter per independent pipeline of the grouped workload",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=2,
+        help="worker processes for the sweep and the grouped run",
+    )
+    args = parser.parse_args()
+    n_frames = args.n_frames
     params = VorbisParams(n_frames=n_frames)
     reference = expected_checksum(params)
     print(f"Ogg Vorbis back-end, {n_frames} frames, multi-domain fabrics")
@@ -78,9 +151,9 @@ def main():
         )
         for letter in MULTI_PARTITION_ORDER
     ]
-    # Two workers even on small boxes so the multiprocess path is exercised;
-    # run_sweep(tasks) alone would use one worker per CPU.
-    report = run_sweep(tasks, processes=2)
+    # A small fixed worker count even on small boxes so the multiprocess
+    # path is exercised; run_sweep(tasks) alone would use one per CPU.
+    report = run_sweep(tasks, processes=args.processes)
     print(report.table())
     incomplete = [n for n, r in report.results.items() if not r.completed]
     if incomplete:
@@ -97,6 +170,9 @@ def main():
         "all partitionings completed; multi-domain checksums verified bit-identical "
         "above and sweep workers match the serial runs cycle-for-cycle"
     )
+
+    if args.grouped:
+        run_grouped_section(args.group_letters, params, args.processes)
 
 
 if __name__ == "__main__":

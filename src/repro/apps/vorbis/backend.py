@@ -73,17 +73,25 @@ def build_backend(
     placement: Optional[Dict[str, Domain]] = None,
     name: str = "vorbis_backend",
     sync_depth: int = 2,
+    sw_domain: Domain = SW,
 ) -> VorbisBackend:
     """Build the Vorbis back-end with the given HW/SW placement.
 
     ``placement`` maps each of :data:`PLACEABLE_STAGES` to a domain; stages
     not mentioned default to software.  The full-software design is therefore
     ``build_backend()`` with no placement at all.
+
+    ``sw_domain`` renames the always-software side (front end and audio
+    sink, plus the placement default).  Instantiating several back-ends with
+    disjoint domain sets under one root module yields a design whose
+    pipelines are *independent partition groups* -- no synchronizer joins
+    them -- which is the multi-group workload the group-decomposed fabric
+    and shard runner exercise.
     """
     params = params or VorbisParams()
     placement = dict(placement or {})
     for stage in PLACEABLE_STAGES:
-        placement.setdefault(stage, SW)
+        placement.setdefault(stage, sw_domain)
     unknown = set(placement) - set(PLACEABLE_STAGES)
     if unknown:
         raise ValueError(f"unknown Vorbis stages in placement: {sorted(unknown)}")
@@ -101,12 +109,12 @@ def build_backend(
     top = Module(name)
 
     # -- modules ---------------------------------------------------------------
-    frontend = top.add_submodule(Module("frontend", domain=SW))
+    frontend = top.add_submodule(Module("frontend", domain=sw_domain))
     ctrl = top.add_submodule(Module("backend_ctrl", domain=placement["ctrl"]))
     imdct = top.add_submodule(Module("imdct", domain=placement["imdct"]))
     ifft = top.add_submodule(Module("ifft", domain=placement["ifft"]))
     window = top.add_submodule(Module("window", domain=placement["window"]))
-    audio = top.add_submodule(Module("audio", domain=SW))
+    audio = top.add_submodule(Module("audio", domain=sw_domain))
 
     # -- synchronizers between stage groups -------------------------------------
     def sync(sync_name: str, ty, producer: Domain, consumer: Domain) -> SyncFifo:
@@ -114,12 +122,12 @@ def build_backend(
             SyncFifo(sync_name, ty, domain_enq=producer, domain_deq=consumer, depth=sync_depth)
         )
 
-    q_in = sync("q_in", frame_t, SW, placement["ctrl"])
+    q_in = sync("q_in", frame_t, sw_domain, placement["ctrl"])
     q_ctrl = sync("q_ctrl", frame_t, placement["ctrl"], placement["imdct"])
     q_pre = sync("q_pre", spectrum_t, placement["imdct"], placement["ifft"])
     q_ifft = sync("q_ifft", spectrum_t, placement["ifft"], placement["imdct"])
     q_post = sync("q_post", samples_t, placement["imdct"], placement["window"])
-    q_pcm = sync("q_pcm", pcm_t, placement["window"], SW)
+    q_pcm = sync("q_pcm", pcm_t, placement["window"], sw_domain)
 
     # The pipelined IFFT's internal stage buffers (never cross a domain).
     buffers = [

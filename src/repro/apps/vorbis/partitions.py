@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 from repro.apps.vorbis.backend import VorbisBackend, build_backend
 from repro.apps.vorbis.params import VorbisParams
 from repro.core.domains import HW, SW, Domain
+from repro.core.module import Design, Module
 
 #: Placement of each stage group, per partition letter.
 PARTITIONS: Dict[str, Dict[str, Domain]] = {
@@ -116,3 +117,96 @@ def multi_partition_domains(letter: str) -> List[Domain]:
     for dom in MULTI_PARTITIONS[letter].values():
         seen.setdefault(dom.name, dom)
     return list(seen.values())
+
+
+# --------------------------------------------------------------------------
+# multi-group partitions (independently clocked pipelines in one design)
+# --------------------------------------------------------------------------
+#
+# Where G/H cut one pipeline into more *domains*, the workloads below cut
+# one design into more *groups*: several complete back-end pipelines under
+# one root, each on its own disjoint domain set (``SW_P<i>``/``HW_P<i>``),
+# with no synchronizer joining them.  ``Partitioning.independent_groups()``
+# therefore reports one group per pipeline, and the co-simulation fabric
+# runs each under its own clock -- serially with per-group idle-skip, or
+# fanned across processes by ``repro.sim.shard.run_grouped``.  This models
+# a platform hosting several latency-insensitive accelerated streams at
+# once (the paper's modular-refinement guarantee applies per pipeline).
+
+class MultiGroupVorbis:
+    """Several independent Vorbis back-end pipelines in one design.
+
+    ``pipes[i]`` is the :class:`~repro.apps.vorbis.backend.VorbisBackend`
+    handle of pipeline ``i`` (placed per ``letters[i]`` on domains
+    ``SW_P<i>``/``HW_P<i>``).  The termination predicate spans every
+    pipeline -- each group's sub-fabric quiesces on its own, and the merged
+    run is complete when every sink has emitted all frames.
+    """
+
+    def __init__(self, design, params: VorbisParams, letters: str, pipes):
+        self.design = design
+        self.params = params
+        self.letters = letters
+        self.pipes = list(pipes)
+
+    def cosim_done(self, cosim) -> bool:
+        # Read every sink unconditionally (no cross-pipeline short-circuit):
+        # the fabric probes this predicate to learn which registers it
+        # observes, and a process-parallel grouped run merges exactly those
+        # observed finals -- a data-dependent read set would under-report.
+        emitted = [cosim.read(pipe.frames_out) for pipe in self.pipes]
+        return all(count >= self.params.n_frames for count in emitted)
+
+    def checksums(self, reader) -> List[int]:
+        """Per-pipeline PCM checksums via a register reader function."""
+        return [reader(pipe.checksum) for pipe in self.pipes]
+
+
+def multi_group_placement(letter: str, index: int) -> Dict[str, Domain]:
+    """Partition ``letter``'s placement, renamed onto pipeline ``index``'s domains."""
+    sw = Domain(f"SW_P{index}")
+    hw = Domain(f"HW_P{index}")
+    return {
+        stage: (hw if dom == HW else sw)
+        for stage, dom in partition_placement(letter).items()
+    }
+
+
+def build_group_partition(
+    letters: str = "BC", params: Optional[VorbisParams] = None
+) -> MultiGroupVorbis:
+    """Build ``len(letters)`` independent pipelines, one per partition letter.
+
+    Each pipeline is a full back-end placed per its letter (A--F), living
+    on its own ``SW_P<i>``/``HW_P<i>`` domain pair; the returned design has
+    exactly one independent group per pipeline.
+    """
+    params = params or VorbisParams()
+    top = Module(f"vorbis_mg_{letters}")
+    pipes = []
+    for index, letter in enumerate(letters):
+        sw = Domain(f"SW_P{index}")
+        pipe = build_backend(
+            params=params,
+            placement=multi_group_placement(letter, index),
+            name=f"vorbis_{letter}_p{index}",
+            sw_domain=sw,
+        )
+        top.add_submodule(pipe.design.root)
+        pipes.append(pipe)
+    design = Design(top, f"vorbis_mg_{letters}")
+    return MultiGroupVorbis(design, params, letters, pipes)
+
+
+def multi_group_domains(letters: str = "BC") -> List[Domain]:
+    """The distinct domains of a multi-group workload, in pipeline order."""
+    domains: List[Domain] = []
+    for index, letter in enumerate(letters):
+        seen: Dict[str, Domain] = {}
+        for dom in multi_group_placement(letter, index).values():
+            seen.setdefault(dom.name, dom)
+        sw_name = f"SW_P{index}"
+        if sw_name not in seen:
+            seen[sw_name] = Domain(sw_name)
+        domains.extend(seen.values())
+    return domains

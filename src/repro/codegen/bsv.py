@@ -212,8 +212,10 @@ def _partition_name_map(
 # --------------------------------------------------------------------------
 
 
-def generate_marshal_rules(ch, elem_fifo: str, link_fifo: str, idents) -> List[str]:
-    """The BSV pack rules of one outbound channel.
+def generate_marshal_rules(
+    channels: Sequence, link_fifo: str, idents, elem_fifo=None
+) -> List[str]:
+    """The BSV pack rules of one outbound link's channels.
 
     Two rules per channel: the header rule loads one element from the
     endpoint FIFO into a shift register and emits the (constant) header
@@ -221,30 +223,76 @@ def generate_marshal_rules(ch, elem_fifo: str, link_fifo: str, idents) -> List[s
     simulator stamps -- and the word rule streams the payload onto the link
     least-significant word first, shifting as it goes.  This is the real
     marshaling loop of Section 4.4, not a structural stub.
+
+    When several channels share the link, an **explicit round-robin
+    arbiter** serialises them: a grant register names the channel that owns
+    the link word stream, each header rule is guarded by the grant, the
+    grant passes on as a message's last payload word leaves, and a granted
+    channel with nothing queued yields its turn -- so the arbitration
+    *policy* lives in the emitted text instead of being implicit in BSV
+    rule order.  A single-channel link needs no arbiter and renders exactly
+    as before.
+
+    ``elem_fifo`` maps a channel to its endpoint FIFO identifier (default
+    ``<macro>_out``, the transactor convention; the caller declares those
+    FIFOs -- as ``FIFOF`` when arbitrated, for the yield rule's
+    ``notEmpty``).
     """
-    wb = ch.word_bits
-    payload_bits = ch.payload_words * wb
-    header = wire_header(ch.vc_id, ch.payload_words)
-    shift = idents.claim(f"{ch.macro}_mshift", ch.name)
-    left = idents.claim(f"{ch.macro}_mleft", ch.name)
-    hdr_rule = idents.claim(f"marshal_{ch.macro}_header", ch.name)
-    word_rule = idents.claim(f"marshal_{ch.macro}_word", ch.name)
-    return [
-        f"  Reg#(Bit#({payload_bits})) {shift} <- mkReg(0);",
-        f"  Reg#(Bit#({LENGTH_BITS})) {left} <- mkReg(0);",
-        f"  rule {hdr_rule} ({left} == 0);",
-        f"    {link_fifo}.enq({wb}'h{header:X});"
-        f"  // header: wire vc {ch.vc_id}, length {ch.payload_words}",
-        f"    {shift} <= pack({elem_fifo}.first);",
-        f"    {elem_fifo}.deq;",
-        f"    {left} <= {ch.payload_words};",
-        "  endrule",
-        f"  rule {word_rule} ({left} != 0);",
-        f"    {link_fifo}.enq(truncate({shift}));  // least significant word first",
-        f"    {shift} <= {shift} >> {wb};",
-        f"    {left} <= {left} - 1;",
-        "  endrule",
-    ]
+    if elem_fifo is None:
+        elem_fifo = lambda ch: f"{ch.macro}_out"  # noqa: E731
+    lines: List[str] = []
+    arbitrated = len(channels) > 1
+    grant = None
+    if arbitrated:
+        grant_bits = max(1, (len(channels) - 1).bit_length())
+        grant = idents.claim("tx_grant", "link tx")
+        lines += [
+            f"  // Round-robin arbiter: {grant} names the channel owning the link",
+            "  // word stream; it passes on with a message's last payload word, and",
+            "  // an idle granted channel yields its turn.",
+            f"  Reg#(Bit#({grant_bits})) {grant} <- mkReg(0);",
+        ]
+    for slot, ch in enumerate(channels):
+        wb = ch.word_bits
+        payload_bits = ch.payload_words * wb
+        header = wire_header(ch.vc_id, ch.payload_words)
+        shift = idents.claim(f"{ch.macro}_mshift", ch.name)
+        left = idents.claim(f"{ch.macro}_mleft", ch.name)
+        hdr_rule = idents.claim(f"marshal_{ch.macro}_header", ch.name)
+        word_rule = idents.claim(f"marshal_{ch.macro}_word", ch.name)
+        fifo = elem_fifo(ch)
+        hdr_guard = f"{grant} == {slot} && {left} == 0" if arbitrated else f"{left} == 0"
+        lines += [
+            f"  Reg#(Bit#({payload_bits})) {shift} <- mkReg(0);",
+            f"  Reg#(Bit#({LENGTH_BITS})) {left} <- mkReg(0);",
+            f"  rule {hdr_rule} ({hdr_guard});",
+            f"    {link_fifo}.enq({wb}'h{header:X});"
+            f"  // header: wire vc {ch.vc_id}, length {ch.payload_words}",
+            f"    {shift} <= pack({fifo}.first);",
+            f"    {fifo}.deq;",
+            f"    {left} <= {ch.payload_words};",
+            "  endrule",
+            f"  rule {word_rule} ({left} != 0);",
+            f"    {link_fifo}.enq(truncate({shift}));  // least significant word first",
+            f"    {shift} <= {shift} >> {wb};",
+            f"    {left} <= {left} - 1;",
+        ]
+        if arbitrated:
+            next_slot = (slot + 1) % len(channels)
+            yield_rule = idents.claim(f"yield_{ch.macro}", ch.name)
+            lines += [
+                f"    if ({left} == 1) {grant} <= {next_slot};"
+                "  // message done: pass the grant",
+                "  endrule",
+                f"  rule {yield_rule} ({grant} == {slot} && {left} == 0"
+                f" && !{fifo}.notEmpty);",
+                f"    {grant} <= {next_slot};"
+                f"  // nothing queued on link vc {ch.link_vc}: yield the turn",
+                "  endrule",
+            ]
+        else:
+            lines.append("  endrule")
+    return lines
 
 
 def generate_demarshal_rules(channels: Sequence, link_fifo: str, idents) -> List[str]:

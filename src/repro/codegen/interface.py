@@ -551,16 +551,25 @@ def generate_link_transactor(spec: InterfaceSpec, link: LinkSpec, side: str) -> 
     idents.claim(name, link.name)
 
     if spec.is_hw(domain):
+        # Arbitrated producer endpoints (several channels sharing the link)
+        # need FIFOF endpoint FIFOs: the round-robin arbiter's yield rule
+        # tests notEmpty to pass the grant over an idle channel.
+        arbitrated = side == "tx" and link.n_channels > 1
+        fifo_import = "import FIFOF::*;" if arbitrated else "import FIFO::*;"
+        fifo_kind = "FIFOF" if arbitrated else "FIFO"
+        fifo_ctor = "mkSizedFIFOF" if arbitrated else "mkSizedFIFO"
         lines = [
             f"// Transactor {name}: {role}",
             f"// design: {spec.design_name}   domain: {domain} (hw)",
-            "import FIFO::*;",
+            fifo_import,
             "",
             f"module mk{_camel(name)} (Empty);",
             f"  // Link word stream ({link.word_bits}-bit words, header first).",
         ]
         link_fifo = idents.claim("link_words", link.name)
-        lines.append(f"  FIFO#(Bit#({link.word_bits})) {link_fifo} <- mkSizedFIFO(4);")
+        lines.append(
+            f"  {fifo_kind}#(Bit#({link.word_bits})) {link_fifo} <- {fifo_ctor}(4);"
+        )
         for ch in link.channels:
             verb = "marshal" if side == "tx" else "demarshal"
             suffix = "_out" if side == "tx" else "_in"
@@ -570,15 +579,15 @@ def generate_link_transactor(spec: InterfaceSpec, link: LinkSpec, side: str) -> 
                 f"  // link vc {ch.link_vc} (wire vc {ch.vc_id}): {verb} {ch.name} "
                 f"({ch.payload_words} words, depth {ch.depth})"
             )
-            lines.append(f"  FIFO#(Bit#({payload_bits})) {fifo} <- mkSizedFIFO({ch.depth});")
+            lines.append(
+                f"  {fifo_kind}#(Bit#({payload_bits})) {fifo} <- {fifo_ctor}({ch.depth});"
+            )
         if side == "tx":
-            # Real pack rules: the implicit conditions of the shared
-            # link-word FIFO serialise the channels; each header/word rule
-            # pair streams one message least-significant word first.
-            for ch in link.channels:
-                lines.extend(
-                    generate_marshal_rules(ch, f"{ch.macro}_out", link_fifo, idents)
-                )
+            # Real pack rules, with an explicit round-robin arbiter when
+            # several channels share this link's word stream; each
+            # header/word rule pair streams one message least-significant
+            # word first.
+            lines.extend(generate_marshal_rules(link.channels, link_fifo, idents))
         else:
             # Real unpack rules: shared header decode (vc/length fields of
             # the canonical header layout), payload accumulation, and one

@@ -14,13 +14,26 @@ point; :class:`CosimFabric` is the N-domain event loop and
 :class:`Cosimulator` the two-partition view the original API exposed,
 kept bitwise-compatible (same `CosimResult`, same cycle accounting).
 
-Time is measured in FPGA cycles.  The main loop advances one cycle at a
+Time is measured in FPGA cycles.  The event loop advances one cycle at a
 time while anything is happening and skips directly to the next scheduled
 event (a link delivery, the end of a software rule, a multi-cycle hardware
 kernel completing) whenever the system is otherwise idle, so designs that
 spend most of their time waiting on the bus (e.g. the ray tracer's
 partition B) simulate in time proportional to their event count, not their
 cycle count.
+
+A fabric is a composition of **group sub-fabrics**: domain partitions that
+share no synchronizer (transitively) are fully independent by the paper's
+semantics, so each connected component of the cut graph
+(:meth:`~repro.core.partition.Partitioning.independent_groups`) gets its
+own :class:`_GroupFabric` -- its own clock, delivery routes and transport
+closures.  The default scheduler runs the groups serially, each with its
+own idle-skip (a group stalled on the bus never drags the others through
+empty cycles); :mod:`repro.sim.shard` fans the same group sub-fabrics out
+across worker processes.  Per-group results combine under the documented
+deterministic rules of :meth:`CosimResult.merge`, and on single-group
+designs (every two-partition workload) the group loop *is* the historical
+loop, bitwise identical to the pre-decomposition fabric.
 
 Transport is two-backend, like rule execution: ``transport="interp"`` is
 the per-synchronizer reference bookkeeping; ``transport="compiled"`` lowers
@@ -104,6 +117,403 @@ class CosimResult:
             f"CosimResult({self.design_name}: {self.fpga_cycles:.0f} FPGA cycles [{status}], "
             f"sw_busy={self.sw_busy_fpga_cycles:.0f}, hw_active={self.hw_active_cycles}, "
             f"channel_msgs={self.channel_messages})"
+        )
+
+    #: Scalar fields merged as ordered sums (floats accumulate strictly in
+    #: argument order so merged totals are reproducible bit for bit).
+    _SUM_FIELDS = (
+        "sw_busy_fpga_cycles",
+        "sw_cpu_cycles",
+        "sw_cpu_cycles_wasted",
+        "sw_cpu_cycles_driver",
+        "sw_firings",
+        "sw_guard_failures",
+        "hw_firings",
+        "hw_active_cycles",
+        "channel_messages",
+        "channel_words",
+        "channel_busy_cycles",
+    )
+
+    @classmethod
+    def merge(cls, results, strict: bool = True) -> "CosimResult":
+        """Merge per-group (or per-shard) results into one ``CosimResult``.
+
+        The merge rules are deterministic and documented here once, for both
+        callers (a fabric merging its group sub-fabrics' results, and
+        :func:`repro.sim.shard.merge_results` rolling up a sweep):
+
+        * ``fpga_cycles`` -- the **max** over the parts: independently
+          clocked groups overlap in simulated time, so the design finishes
+          when its slowest group does.
+        * counters and cost totals (:data:`_SUM_FIELDS`) -- **ordered
+          sums**, accumulated strictly in the order ``results`` are given
+          (group index order for a fabric), so floating-point totals are
+          bit-reproducible.
+        * ``fire_counts`` / ``vc_stats`` / ``domain_stats`` -- **disjoint
+          union** in argument order.  With ``strict=True`` (the group-merge
+          contract: each rule, channel and domain belongs to exactly one
+          group) a key collision raises :class:`SimulationError`.  With
+          ``strict=False`` (sweep roll-ups, where different placements of
+          one design legitimately share rule names) colliding integer
+          leaves are summed instead.
+        * ``completed`` -- ``all()`` over the parts; ``design_name`` -- the
+          common name (strict), else the ``+``-join of the distinct names.
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("CosimResult.merge needs at least one result")
+        names = []
+        for r in results:
+            if r.design_name not in names:
+                names.append(r.design_name)
+        if strict and len(names) > 1:
+            raise SimulationError(
+                f"refusing to merge results of different designs: {names} "
+                "(pass strict=False for sweep roll-ups)"
+            )
+        sums = {f: sum(getattr(r, f) for r in results) for f in cls._SUM_FIELDS}
+
+        def union(field: str):
+            merged: Dict[str, Any] = {}
+            for r in results:
+                for key, value in getattr(r, field).items():
+                    if key in merged:
+                        if strict:
+                            raise SimulationError(
+                                f"merge collision on {field}[{key!r}]: groups of one "
+                                "design must be disjoint"
+                            )
+                        if isinstance(value, dict):
+                            combined = dict(merged[key])
+                            for k, v in value.items():
+                                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                                    combined[k] = combined.get(k, 0) + v
+                                else:
+                                    combined[k] = v  # non-numeric leaf (e.g. "kind")
+                            merged[key] = combined
+                        else:
+                            merged[key] = merged[key] + value
+                    else:
+                        merged[key] = dict(value) if isinstance(value, dict) else value
+            return merged
+
+        return cls(
+            design_name=names[0] if len(names) == 1 else "+".join(names),
+            fpga_cycles=max(r.fpga_cycles for r in results),
+            completed=all(r.completed for r in results),
+            fire_counts=union("fire_counts"),
+            vc_stats=union("vc_stats"),
+            domain_stats=union("domain_stats"),
+            **sums,
+        )
+
+
+def _pump_routes_interp(routes, now: float) -> bool:
+    """Reference (interpreted) transport pump over a route list.
+
+    Per-synchronizer bookkeeping, marshaling and draining one element at a
+    time through the plain marshal functions (the semantic oracle the
+    compiled closures' layout-compiled encoders are tested against).
+    Shared by the whole-fabric lockstep path and the per-group sub-fabrics,
+    which pass their projected route subsets.
+    """
+    progress = False
+    for sync, vc, producer_engine, producer_store, consumer_store, direction, sw_producer in routes:
+        if not producer_store[sync.data]:
+            continue
+        if sync.data in producer_engine.locked_registers():
+            # An in-flight rule will commit a deferred update to this
+            # endpoint; draining it now would be clobbered by that commit.
+            continue
+        while producer_store[sync.data]:
+            consumer_occupancy = len(consumer_store[sync.data])
+            if consumer_occupancy + vc.in_flight >= sync.depth:
+                vc.note_credit_stall()
+                break
+            vc.credits = sync.depth - consumer_occupancy - vc.in_flight
+            item = producer_store[sync.data][0]
+            producer_store[sync.data] = tuple(producer_store[sync.data][1:])
+            words = marshal_message(vc.vc_id, sync.ty, item, vc.word_bits)
+            direction.send_words(vc.vc_id, words, now)
+            vc.on_send()
+            if sw_producer:
+                # The processor spends time marshaling and driving the DMA.
+                producer_engine.charge_driver(vc.words_per_element, now)
+            progress = True
+    return progress
+
+
+def _deliver_routes_interp(delivery_routes, by_id, now: float) -> bool:
+    """Reference (interpreted) delivery sweep over a delivery-route list."""
+    progress = False
+    for direction, target, sw_target in delivery_routes:
+        pool = direction.pool
+        if not pool.pending:
+            continue
+        while True:
+            slot = pool.pop_due(now)
+            if slot is None:
+                break
+            slot_vc_id, words, _due = slot
+            vc = by_id(slot_vc_id)
+            # Unframe and decode the wire words through the plain marshal
+            # functions, validating the header as a real demarshaler would.
+            header_vc_id, value = demarshal_message(vc.sync.ty, words, vc.word_bits)
+            if header_vc_id != slot_vc_id:
+                raise SimulationError(
+                    f"link {direction.name}: message header names vc "
+                    f"{header_vc_id} but the transport launched it on vc {slot_vc_id}"
+                )
+            target.deliver(vc.sync.data, value, now)
+            vc.on_deliver()
+            if sw_target:
+                # Demarshaling / copy out of the DMA buffer costs CPU time.
+                target.charge_driver(vc.words_per_element, now)
+            progress = True
+    return progress
+
+
+class _GroupFabric:
+    """One independently clocked group of a fabric: engines, links, a clock.
+
+    A group sub-fabric owns the projection of its parent fabric onto one
+    independent domain group: the group's engines (hardware first, then
+    software, in the fabric's global order), the transport routes whose
+    synchronizers are internal to the group, the delivery sweeps and link
+    directions whose traffic terminates in it, and the group's virtual
+    channels -- plus its **own simulated clock** (:attr:`now`).  Groups
+    share no state by construction (no synchronizer crosses a group
+    boundary), so each advances with its own event-skipping loop: a group
+    stalled on a bus response no longer drags the other groups through its
+    empty cycles, and a group may equally run in a different process.
+
+    :meth:`run` is the fabric's historical event loop verbatim, restricted
+    to the group's subsets -- on a single-group design it is *the* loop,
+    bitwise identical to the pre-decomposition fabric.
+    """
+
+    def __init__(self, fabric: "CosimFabric", index: int):
+        self.fabric = fabric
+        self.index = index
+        gidx = fabric._group_index
+        self.domains: List[Domain] = [
+            d for d in fabric.domains if gidx[d.name] == index
+        ]
+        names = {d.name for d in self.domains}
+        self.hw_engines: List[HwEngine] = [
+            fabric.engines[d]
+            for d in self.domains
+            if fabric.engine_kinds[d.name] == "hw"
+        ]
+        self.sw_engines: List[SwEngine] = [
+            fabric.engines[d]
+            for d in self.domains
+            if fabric.engine_kinds[d.name] == "sw"
+        ]
+        # Producer-side routes in cut order (both endpoints of a route lie
+        # in one group by construction), plus their compiled pump closures.
+        picks = [
+            j
+            for j, route in enumerate(fabric._routes)
+            if route[0].domain_enq.name in names
+        ]
+        self.routes = [fabric._routes[j] for j in picks]
+        self.pump_fns = (
+            [fabric._pump_fns[j] for j in picks]
+            if fabric._pump_fns is not None
+            else None
+        )
+        dpicks = [
+            j for j, dst in enumerate(fabric._delivery_dsts) if dst in names
+        ]
+        self.delivery_routes = [fabric._delivery_routes[j] for j in dpicks]
+        self.deliver_fns = (
+            [fabric._deliver_fns[j] for j in dpicks]
+            if fabric._deliver_fns is not None
+            else None
+        )
+        # Every topology link is attributed to exactly one group (its
+        # destination's, else its source's, else group 0) so per-group
+        # channel statistics sum to the fabric totals, in registration order.
+        self.directions = []
+        for link in fabric.topology.links:
+            owner = gidx.get(link.dst, gidx.get(link.src, 0))
+            if owner == index:
+                self.directions.append(fabric.topology.direction(link.src, link.dst))
+        self._pools = [d.pool for d in self.directions]
+        self.vcs = [vc for vc in fabric.vcs if vc.sync.domain_enq.name in names]
+        self.now: float = 0.0
+
+    def _label(self) -> str:
+        if len(self.fabric._groups) == 1:
+            return ""
+        return f" (group {self.index}: {'+'.join(d.name for d in self.domains)})"
+
+    # -- transport (group projection) ---------------------------------------
+
+    def _pump_transport(self, now: float) -> bool:
+        pumps = self.pump_fns
+        if pumps is not None:
+            progress = False
+            for pump in pumps:
+                progress |= pump(now)
+            return progress
+        return _pump_routes_interp(self.routes, now)
+
+    def _deliver_due(self, now: float) -> bool:
+        delivers = self.deliver_fns
+        if delivers is not None:
+            progress = False
+            for deliver_due in delivers:
+                progress |= deliver_due(now)
+            return progress
+        return _deliver_routes_interp(
+            self.delivery_routes, self.fabric.vcs.by_id, now
+        )
+
+    def _next_delivery_time(self) -> Optional[float]:
+        best: Optional[float] = None
+        for pool in self._pools:
+            head = pool.head
+            due = pool.due
+            if head < len(due) and (best is None or due[head] < best):
+                best = due[head]
+        return best
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(
+        self,
+        done: Optional[Callable[["CosimFabric"], bool]],
+        max_cycles: float,
+        max_iterations: int,
+    ) -> CosimResult:
+        """Advance this group until ``done`` (or quiescence) under its own clock.
+
+        ``done=None`` means the group owns nothing the fabric's termination
+        predicate observes: it runs to quiescence, which *is* its
+        completion.  Otherwise the loop is the historical fabric loop:
+        check the predicate, deliver due messages, step hardware engines,
+        step software engines, pump the transport, and skip straight to the
+        next scheduled event when a cycle made no progress.
+        """
+        fabric = self.fabric
+        completed = False
+        iterations = 0
+        hw_engines = self.hw_engines
+        sw_engines = self.sw_engines
+        while self.now <= max_cycles and iterations < max_iterations:
+            iterations += 1
+            if done is not None and done(fabric):
+                completed = True
+                break
+
+            progress = False
+            progress |= self._deliver_due(self.now)
+            for engine in hw_engines:
+                progress |= engine.step_cycle(self.now)
+            for engine in sw_engines:
+                progress |= engine.step(self.now)
+            progress |= self._pump_transport(self.now)
+
+            if progress:
+                self.now += 1.0
+                continue
+
+            next_times = [
+                t
+                for t in (
+                    self._next_delivery_time(),
+                    *(engine.next_completion_time() for engine in hw_engines),
+                    *(engine.next_event_time(self.now) for engine in sw_engines),
+                )
+                if t is not None
+            ]
+            if not next_times:
+                # Quiescent: either finished (checked at loop top) or deadlocked.
+                completed = True if done is None else done(fabric)
+                break
+            self.now = max(self.now + 1.0, min(next_times))
+        else:
+            hint = ""
+            if done is not None and len(fabric._groups) > 1:
+                hint = (
+                    "; a group that never quiesces and terminates only through a "
+                    "cross-group done predicate needs scheduler='lockstep'"
+                )
+            raise SimulationError(
+                f"co-simulation of {fabric.design.name}{self._label()} exceeded "
+                f"its cycle/iteration budget (now={self.now}, iterations={iterations})"
+                f"{hint}"
+            )
+
+        if not completed and done is not None:
+            completed = done(fabric)
+        return self.result(completed)
+
+    # -- result assembly -----------------------------------------------------
+
+    def result(self, completed: bool) -> CosimResult:
+        """This group's ``CosimResult`` (the fabric result on single-group designs).
+
+        Assembly order mirrors the historical whole-fabric assembly exactly
+        -- fire counts from hardware engines then software engines, virtual
+        channels in cut order, domains in engine order, link statistics in
+        topology registration order -- restricted to this group, so merging
+        the groups reproduces the monolithic orderings.
+        """
+        fabric = self.fabric
+        fire_counts: Dict[str, int] = {}
+        for engine in self.hw_engines:
+            fire_counts.update(engine.fire_counts)
+        for engine in self.sw_engines:
+            fire_counts.update(engine.fire_counts)
+        vc_stats = {
+            fabric._vc_keys[vc]: {
+                "messages": vc.stats.messages_sent,
+                "words": vc.stats.words_sent,
+                "credit_stalls": vc.stats.stalled_on_credit,
+            }
+            for vc in self.vcs
+        }
+        domain_stats: Dict[str, Dict[str, Any]] = {}
+        for dom in self.domains:
+            engine = fabric.engines[dom]
+            if isinstance(engine, HwEngine):
+                domain_stats[dom.name] = {
+                    "kind": "hw",
+                    "firings": engine.total_firings,
+                    "active_cycles": engine.cycles_active,
+                }
+            else:
+                domain_stats[dom.name] = {
+                    "kind": "sw",
+                    "firings": engine.total_firings,
+                    "busy_fpga_cycles": engine.busy_fpga_cycles,
+                    "cpu_cycles": engine.cpu_cycles_total,
+                    "guard_failures": engine.guard_failures,
+                }
+        sw = self.sw_engines
+        hw = self.hw_engines
+        return CosimResult(
+            design_name=fabric.design.name,
+            fpga_cycles=self.now,
+            completed=completed,
+            sw_busy_fpga_cycles=sum(e.busy_fpga_cycles for e in sw),
+            sw_cpu_cycles=sum(e.cpu_cycles_total for e in sw),
+            sw_cpu_cycles_wasted=sum(e.cpu_cycles_wasted for e in sw),
+            sw_cpu_cycles_driver=sum(e.cpu_cycles_driver for e in sw),
+            sw_firings=sum(e.total_firings for e in sw),
+            sw_guard_failures=sum(e.guard_failures for e in sw),
+            hw_firings=sum(e.total_firings for e in hw),
+            hw_active_cycles=sum(e.cycles_active for e in hw),
+            channel_messages=sum(d.stats.messages for d in self.directions),
+            channel_words=sum(d.stats.words for d in self.directions),
+            channel_busy_cycles=sum(d.stats.busy_cycles for d in self.directions),
+            fire_counts=fire_counts,
+            vc_stats=vc_stats,
+            domain_stats=domain_stats,
         )
 
 
@@ -215,6 +625,18 @@ class CosimFabric:
             word_bits=self.platform.channel.word_bits,
             word_bits_by_sync=word_bits_by_sync,
         )
+        # Statistics keys for the virtual channels: the synchronizer's bare
+        # name (the historical, golden-pinned key) unless several cut syncs
+        # share one -- multi-group designs instantiate whole pipelines more
+        # than once -- in which case the colliding ones use their full
+        # hierarchical names.
+        bare_counts: Dict[str, int] = {}
+        for sync in cut:
+            bare_counts[sync.name] = bare_counts.get(sync.name, 0) + 1
+        self._vc_keys: Dict[Any, str] = {
+            vc: (vc.sync.name if bare_counts[vc.sync.name] == 1 else vc.sync.full_name)
+            for vc in self.vcs
+        }
 
         # -- transport dataplane --------------------------------------------
         # Producer-side routes (the engines, stores and link for a sync
@@ -239,6 +661,9 @@ class CosimFabric:
                 )
             )
         self._delivery_routes: List[tuple] = []
+        #: Destination domain name per delivery route (parallel list; used to
+        #: project delivery sweeps onto group sub-fabrics).
+        self._delivery_dsts: List[str] = []
         for link in topology.links:
             dst = domains.get(link.dst)
             if dst is None:
@@ -251,6 +676,7 @@ class CosimFabric:
                     isinstance(target, SwEngine),
                 )
             )
+            self._delivery_dsts.append(link.dst)
 
         if transport == "compiled":
             self._pump_fns = [
@@ -306,6 +732,35 @@ class CosimFabric:
 
         self.now: float = 0.0
 
+        # -- group decomposition --------------------------------------------
+        # The fabric is a composition of independently clocked *group
+        # sub-fabrics*: one per connected component of the domain graph the
+        # cut induces (plus one singleton per required-but-unpartitioned
+        # domain, e.g. the empty hardware side of an all-software
+        # two-partition design).  Group indices follow
+        # ``Partitioning.independent_groups`` order, then extra domains in
+        # name order -- deterministically reproducible in any process that
+        # elaborates the same design.
+        group_index: Dict[str, int] = dict(self.partitioning._group_index())
+        for name in sorted(n for n in domains if n not in group_index):
+            group_index[name] = len(set(group_index.values())) if group_index else 0
+        self._group_index = group_index
+        self._store_group: Dict[int, int] = {
+            id(self.engines[d].store): group_index[d.name] for d in ordered
+        }
+        #: Reset values, served for reads that escape the active group's
+        #: scope (deterministic in-process and across processes: a group
+        #: sub-fabric never observes another group's progress).
+        self._initial_values: Dict[Register, Any] = design.initial_store()
+        self._active_group: Optional[int] = None
+        self._observing: Optional[set] = None
+        self._read_overrides: Optional[Dict[str, Any]] = None
+        self._last_observed: set = set()
+        n_groups = (max(group_index.values()) + 1) if group_index else 1
+        self._groups: List[_GroupFabric] = [
+            _GroupFabric(self, i) for i in range(n_groups)
+        ]
+
     # -- store access helpers ----------------------------------------------
 
     def engine(self, domain: Union[Domain, str]) -> Any:
@@ -329,15 +784,124 @@ class CosimFabric:
         return self._default_store
 
     def read(self, reg: Register) -> Any:
-        """Read a register from whichever partition owns it."""
+        """Read a register from whichever partition owns it.
+
+        Three run-scoped behaviours compose on top of the owner-resolved
+        read (all inactive outside group-decomposed execution):
+
+        * while a done predicate is being *probed*, the registers it reads
+          are recorded, attributing the predicate to owning groups;
+        * while one group sub-fabric runs, reads of *another* group's state
+          resolve to the design's reset values, so a group's execution (and
+          its done evaluations) never depend on which other groups happen
+          to have run already -- the property that makes serial and
+          process-parallel group execution bitwise equal;
+        * :meth:`evaluate_done` may override observed registers by full
+          name with finals reported from worker processes.
+        """
+        if self._observing is not None:
+            self._observing.add(reg)
+        overrides = self._read_overrides
+        if overrides is not None and reg.full_name in overrides:
+            return overrides[reg.full_name]
         store = self._owner_store.get(reg)
         if store is None:
             store = self._owner_store[reg] = self._resolve_owner(reg)
+        active = self._active_group
+        if active is not None and self._store_group.get(id(store), active) != active:
+            if reg in self._initial_values:
+                return self._initial_values[reg]
         return store[reg]
 
     def fifo_contents(self, fifo: Fifo) -> Tuple[Any, ...]:
         """Contents of a FIFO in the partition that owns it."""
         return tuple(self.read(fifo.data))
+
+    # -- group views ---------------------------------------------------------
+
+    @property
+    def group_count(self) -> int:
+        """How many independently clocked group sub-fabrics this fabric runs."""
+        return len(self._groups)
+
+    def group_domains(self, index: int) -> List[Domain]:
+        """The domains simulated by one group sub-fabric, in engine order."""
+        return list(self._groups[index].domains)
+
+    def group_of_register(self, reg: Register) -> Optional[int]:
+        """The group whose sub-fabric owns a register's authoritative store."""
+        store = self._owner_store.get(reg)
+        if store is None:
+            store = self._owner_store[reg] = self._resolve_owner(reg)
+        return self._store_group.get(id(store))
+
+    def probe_done(
+        self,
+        done: Callable[["CosimFabric"], bool],
+        finals: Optional[Dict[str, Any]] = None,
+    ):
+        """Evaluate ``done`` once, recording the registers it reads.
+
+        Returns ``(result, observed_registers)``.  The observed set is
+        what attributes the predicate to group sub-fabrics: a group owning
+        none of the observed registers runs to quiescence instead of
+        re-evaluating a predicate it cannot influence.  The recorded set is
+        kept (:attr:`_last_observed`) so shard workers can report the
+        observed finals their group owns.  ``finals`` applies the same
+        full-name overrides as :meth:`evaluate_done` -- a recording final
+        evaluation, which is how :func:`repro.sim.shard.run_grouped`
+        detects predicates whose read set changed between probe and
+        completion (the data-dependent predicates its merge cannot serve).
+        """
+        if finals is not None:
+            self._read_overrides = dict(finals)
+        self._observing = set()
+        try:
+            result = bool(done(self))
+        finally:
+            observed = self._observing
+            self._observing = None
+            if finals is not None:
+                self._read_overrides = None
+        self._last_observed = observed
+        return result, observed
+
+    def evaluate_done(
+        self,
+        done: Callable[["CosimFabric"], bool],
+        finals: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Evaluate ``done`` against merged final state.
+
+        With ``finals`` (a ``register full name -> value`` mapping, as
+        reported by :meth:`group_observations` from worker processes), reads
+        of those registers are answered from the mapping and every other
+        read falls through to this fabric's stores -- which, on a fabric
+        that dispatched its groups to workers, still hold reset values.
+        The contract for process-parallel group runs is therefore that the
+        predicate's read set is static (our workloads' counters are); a
+        serial in-process run needs no overrides at all.
+        """
+        if finals is None:
+            return bool(done(self))
+        self._read_overrides = dict(finals)
+        try:
+            return bool(done(self))
+        finally:
+            self._read_overrides = None
+
+    def group_observations(self, index: int) -> Dict[str, Any]:
+        """Final values of the last-probed predicate's registers owned by one group.
+
+        Keyed by register full name (plain data, picklable for typical
+        counter registers) so a parent process can merge observations from
+        per-group workers and re-evaluate the full done predicate.
+        """
+        return {
+            reg.full_name: self.read(reg)
+            for reg in sorted(self._last_observed, key=lambda r: r.full_name)
+            if self.group_of_register(reg) == index
+        }
 
     # -- transport ----------------------------------------------------------
 
@@ -349,34 +913,7 @@ class CosimFabric:
             for pump in pumps:
                 progress |= pump(now)
             return progress
-        # Reference (interpreted) transport: per-synchronizer bookkeeping,
-        # marshaling and draining one element at a time through the plain
-        # marshal functions (the semantic oracle the compiled closures'
-        # layout-compiled encoders are tested against).
-        progress = False
-        for sync, vc, producer_engine, producer_store, consumer_store, direction, sw_producer in self._routes:
-            if not producer_store[sync.data]:
-                continue
-            if sync.data in producer_engine.locked_registers():
-                # An in-flight rule will commit a deferred update to this
-                # endpoint; draining it now would be clobbered by that commit.
-                continue
-            while producer_store[sync.data]:
-                consumer_occupancy = len(consumer_store[sync.data])
-                if consumer_occupancy + vc.in_flight >= sync.depth:
-                    vc.note_credit_stall()
-                    break
-                vc.credits = sync.depth - consumer_occupancy - vc.in_flight
-                item = producer_store[sync.data][0]
-                producer_store[sync.data] = tuple(producer_store[sync.data][1:])
-                words = marshal_message(vc.vc_id, sync.ty, item, vc.word_bits)
-                direction.send_words(vc.vc_id, words, now)
-                vc.on_send()
-                if sw_producer:
-                    # The processor spends time marshaling and driving the DMA.
-                    producer_engine.charge_driver(vc.words_per_element, now)
-                progress = True
-        return progress
+        return _pump_routes_interp(self._routes, now)
 
     def _deliver_due(self, now: float) -> bool:
         delivers = self._deliver_fns
@@ -385,34 +922,7 @@ class CosimFabric:
             for deliver_due in delivers:
                 progress |= deliver_due(now)
             return progress
-        progress = False
-        by_id = self.vcs.by_id
-        for direction, target, sw_target in self._delivery_routes:
-            pool = direction.pool
-            if not pool.pending:
-                continue
-            while True:
-                slot = pool.pop_due(now)
-                if slot is None:
-                    break
-                slot_vc_id, words, _due = slot
-                vc = by_id(slot_vc_id)
-                # Unframe and decode the wire words through the plain
-                # marshal functions, validating the header as a real
-                # demarshaler would.
-                header_vc_id, value = demarshal_message(vc.sync.ty, words, vc.word_bits)
-                if header_vc_id != slot_vc_id:
-                    raise SimulationError(
-                        f"link {direction.name}: message header names vc "
-                        f"{header_vc_id} but the transport launched it on vc {slot_vc_id}"
-                    )
-                target.deliver(vc.sync.data, value, now)
-                vc.on_deliver()
-                if sw_target:
-                    # Demarshaling / copy out of the DMA buffer costs CPU time.
-                    target.charge_driver(vc.words_per_element, now)
-                progress = True
-        return progress
+        return _deliver_routes_interp(self._delivery_routes, self.vcs.by_id, now)
 
     # -- main loop ------------------------------------------------------------
 
@@ -421,8 +931,112 @@ class CosimFabric:
         done: Callable[["CosimFabric"], bool],
         max_cycles: float = 100_000_000.0,
         max_iterations: int = 5_000_000,
+        scheduler: str = "grouped",
     ) -> CosimResult:
-        """Run until ``done(self)`` or until no further progress is possible."""
+        """Run until ``done(self)`` or until no further progress is possible.
+
+        ``scheduler`` selects how the fabric's independent group sub-fabrics
+        are advanced:
+
+        * ``"grouped"`` (default) -- each group runs to completion under its
+          own clock, serially in group order, with per-group idle-skip (a
+          stalled group never drags the others through empty cycles).  On a
+          single-group design this *is* the historical event loop, bitwise
+          identical to the pre-decomposition fabric.  On a multi-group
+          design the per-group results are combined by
+          :meth:`CosimResult.merge` and ``completed`` is the done predicate
+          evaluated against the merged final state.
+        * ``"lockstep"`` -- the legacy single-clock loop advancing every
+          group together.  Kept as the measurable baseline for grouped
+          execution; on multi-group designs its idle-cycle guard scans
+          legitimately charge extra ``sw_guard_failures`` to groups that
+          finished early (which is exactly the waste grouped execution
+          removes), while cycle counts, firings, stores and channel traffic
+          agree.
+
+        Grouped-execution contract: while one group runs, ``done``'s reads
+        of *other* groups' registers resolve to reset values, so a group
+        whose part of a cross-group predicate can only become true through
+        another group's progress must reach quiescence on its own (every
+        pipeline-shaped workload does).  A group that free-runs forever
+        and terminates only via such a predicate needs
+        ``scheduler="lockstep"`` -- its termination is genuinely global.
+        """
+        if scheduler == "lockstep":
+            return self._run_lockstep(done, max_cycles, max_iterations)
+        if scheduler != "grouped":
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} (expected 'grouped'/'lockstep')"
+            )
+        groups = self._groups
+        if len(groups) == 1:
+            result = groups[0].run(done, max_cycles, max_iterations)
+            self.now = groups[0].now
+            return result
+
+        already, observed = self.probe_done(done)
+        owners = {self.group_of_register(reg) for reg in observed}
+        results = []
+        for group in groups:
+            if already:
+                results.append(group.result(True))
+                continue
+            done_g = done if group.index in owners else None
+            results.append(
+                self._run_one_group(group, done_g, max_cycles, max_iterations)
+            )
+        merged = CosimResult.merge(results)
+        merged.completed = True if already else self.evaluate_done(done)
+        self.now = max(group.now for group in groups)
+        return merged
+
+    def _run_one_group(
+        self,
+        group: _GroupFabric,
+        done: Optional[Callable[["CosimFabric"], bool]],
+        max_cycles: float,
+        max_iterations: int,
+    ) -> CosimResult:
+        """Run one group sub-fabric with the fabric's reads scoped to it."""
+        self._active_group = group.index
+        try:
+            return group.run(done, max_cycles, max_iterations)
+        finally:
+            self._active_group = None
+
+    def run_group(
+        self,
+        index: int,
+        done: Optional[Callable[["CosimFabric"], bool]] = None,
+        max_cycles: float = 100_000_000.0,
+        max_iterations: int = 5_000_000,
+    ) -> CosimResult:
+        """Run a single group sub-fabric to completion (the shard-worker entry).
+
+        ``done`` is the *full-design* predicate (or ``None`` to run the
+        group to quiescence): it is probed once, and applied to the group's
+        loop only if the group owns at least one register the predicate
+        observes -- with reads of other groups' state scoped to reset
+        values, so the outcome is identical whether the other groups run
+        before, after, or in different processes.
+        """
+        group = self._groups[index]
+        if done is None:
+            return self._run_one_group(group, None, max_cycles, max_iterations)
+        already, observed = self.probe_done(done)
+        if already:
+            return group.result(True)
+        owners = {self.group_of_register(reg) for reg in observed}
+        done_g = done if index in owners else None
+        return self._run_one_group(group, done_g, max_cycles, max_iterations)
+
+    def _run_lockstep(
+        self,
+        done: Callable[["CosimFabric"], bool],
+        max_cycles: float = 100_000_000.0,
+        max_iterations: int = 5_000_000,
+    ) -> CosimResult:
+        """The legacy global-clock event loop (every group in lockstep)."""
         completed = False
         iterations = 0
         hw_engines = self._hw_engines
@@ -478,7 +1092,7 @@ class CosimFabric:
         for engine in self._sw_engines:
             fire_counts.update(engine.fire_counts)
         vc_stats = {
-            vc.sync.name: {
+            self._vc_keys[vc]: {
                 "messages": vc.stats.messages_sent,
                 "words": vc.stats.words_sent,
                 "credit_stalls": vc.stats.stalled_on_credit,

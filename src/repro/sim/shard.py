@@ -1,27 +1,36 @@
-"""Multiprocess sharding of co-simulation sweeps.
+"""Multiprocess sharding of co-simulations: sweeps and single-design groups.
 
-A partitioning study (Figure 13: every placement letter of every
-application) is embarrassingly parallel: each point elaborates its own
-design and runs its own fabric, sharing nothing.  This module fans such a
-sweep across worker processes and merges the :class:`~repro.sim.cosim.CosimResult`s.
+Two kinds of parallelism live here, both built on the same
+compile-once / run-anywhere model (workers never receive an elaborated
+design -- designs hold foreign-kernel closures that do not pickle, and
+shipping one would serialise the elaboration we want parallelised;
+instead every task names a module-level *builder*, picklable by qualified
+name, plus its arguments, and each worker elaborates for itself):
 
-Designs are *not* shipped between processes -- elaborated designs hold
-foreign kernels (closures) that do not pickle, and shipping them would
-also serialise the elaboration we want parallelised.  Instead a
-:class:`SweepTask` names a module-level *builder* (picklable by qualified
-name) plus its arguments; each worker elaborates the workload itself, runs
-it, and returns only the plain-data result.  This is the compile-once /
-run-anywhere model the paper's flow implies, applied to the simulator.
+* **Sweeps** (:func:`run_sweep` over :class:`SweepTask`) -- a partitioning
+  study (Figure 13: every placement letter of every application) is
+  embarrassingly parallel: each point elaborates its own design and runs
+  its own fabric, sharing nothing.  Results reassemble by task name, so a
+  sharded sweep returns exactly the same per-task ``CosimResult``s as a
+  serial one (``tests/test_fabric.py`` verifies this bit for bit).
 
-Independent partition *groups* of one design
-(:meth:`~repro.core.partition.Partitioning.independent_groups`) shard the
-same way: each group is a closed sub-design (no synchronizer leaves it),
-so a task per group runs it as its own fabric.
+* **Groups of one design** (:func:`run_grouped` over :class:`GroupTask`)
+  -- the independent partition groups of a *single* design
+  (:meth:`~repro.core.partition.Partitioning.independent_groups`) share no
+  synchronizer, so each group sub-fabric runs under its own clock in its
+  own worker (:meth:`~repro.sim.cosim.CosimFabric.run_group`): the worker
+  elaborates the full design, runs only its group, and returns the
+  group's plain-data ``CosimResult`` plus the final values of the done
+  predicate's observed registers it owns.  The parent merges the parts
+  with :meth:`~repro.sim.cosim.CosimResult.merge` and re-evaluates the
+  full done predicate over the reported finals -- producing a result
+  bitwise identical to the fabric's own serial grouped run
+  (``tests/test_groups.py`` verifies this bit for bit).
 
-Process-pool results are deterministic: tasks are dispatched in order and
-results are reassembled by task name, so a sharded sweep returns exactly
-the same per-task ``CosimResult``s as a serial one
-(``tests/test_fabric.py`` verifies this bit-for-bit).
+Process pools come from the ``fork`` start method where available
+(workloads built from closures elaborate identically in forked children)
+and degrade to in-process serial execution -- the same code path --
+when pools are unavailable.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.errors import SimulationError
 from repro.sim.cosim import CosimFabric, CosimResult, Cosimulator
 
 
@@ -124,6 +134,29 @@ def run_task(task: SweepTask) -> SweepOutcome:
     )
 
 
+def _dispatch_tasks(runner, tasks, processes: int, mp_context: Optional[str]):
+    """Map ``runner`` over ``tasks`` on a worker pool; returns ``(outcomes, processes)``.
+
+    The shared dispatch policy of both runners: ``processes<=1`` (or a
+    single task) runs serially in this process -- same code path, no pool
+    -- which is also the automatic fallback when the platform cannot
+    fork.  ``mp_context`` picks the multiprocessing start method
+    (``"fork"`` is preferred: workloads built from closures elaborate
+    identically in forked children).
+    """
+    if processes <= 1 or len(tasks) <= 1:
+        return [runner(task) for task in tasks], 1
+    if mp_context is None:
+        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    ctx = multiprocessing.get_context(mp_context)
+    try:
+        with ctx.Pool(processes) as pool:
+            return pool.map(runner, tasks), processes
+    except (OSError, multiprocessing.ProcessError):
+        # Pool creation can fail in constrained sandboxes; degrade to serial.
+        return [runner(task) for task in tasks], 1
+
+
 def run_sweep(
     tasks: List[SweepTask],
     processes: Optional[int] = None,
@@ -132,11 +165,7 @@ def run_sweep(
     """Run a sweep, fanning tasks across ``processes`` worker processes.
 
     ``processes=None`` uses one worker per CPU (capped at the task count);
-    ``processes<=1`` runs serially in this process -- same code path, no
-    pool -- which is also the automatic fallback when the platform cannot
-    fork.  ``mp_context`` picks the multiprocessing start method
-    (``"fork"`` is preferred: workloads built from closures elaborate
-    identically in forked children).
+    dispatch and serial-degradation policy per :func:`_dispatch_tasks`.
     """
     names = [t.name for t in tasks]
     if len(set(names)) != len(names):
@@ -146,24 +175,7 @@ def run_sweep(
     processes = max(1, min(processes, len(tasks))) if tasks else 1
 
     t0 = time.perf_counter()
-    if processes <= 1 or len(tasks) <= 1:
-        outcomes = [run_task(task) for task in tasks]
-        return SweepReport(
-            outcomes={o.name: o for o in outcomes},
-            wall_seconds=time.perf_counter() - t0,
-            processes=1,
-        )
-
-    if mp_context is None:
-        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-    ctx = multiprocessing.get_context(mp_context)
-    try:
-        with ctx.Pool(processes) as pool:
-            outcomes = pool.map(run_task, tasks)
-    except (OSError, multiprocessing.ProcessError):
-        # Pool creation can fail in constrained sandboxes; degrade to serial.
-        outcomes = [run_task(task) for task in tasks]
-        processes = 1
+    outcomes, processes = _dispatch_tasks(run_task, tasks, processes, mp_context)
     return SweepReport(
         outcomes={o.name: o for o in outcomes},
         wall_seconds=time.perf_counter() - t0,
@@ -171,20 +183,229 @@ def run_sweep(
     )
 
 
+# --------------------------------------------------------------------------
+# single-design group parallelism
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GroupTask:
+    """One independent group of one design: what a worker builds and runs.
+
+    Like :class:`SweepTask`, ``builder(*args, **kwargs)`` must be picklable
+    and return a workload exposing ``.design`` and ``cosim_done``; the
+    worker elaborates the *full* design, then runs only group
+    ``group_index`` of its fabric (reads escaping the group resolve to
+    reset values, so the outcome is independent of every other group).
+    """
+
+    name: str
+    builder: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    backend: str = "compiled"
+    transport: Optional[str] = None
+    engine_kinds: Optional[Dict[str, str]] = None
+    group_index: int = 0
+    max_cycles: float = 500_000_000.0
+
+
+@dataclass
+class GroupOutcome:
+    """Per-group outcome: the group's result, its observed finals, timing."""
+
+    name: str
+    group_index: int
+    result: CosimResult
+    #: Final values (keyed by register full name) of the done predicate's
+    #: observed registers this group owns -- the plain-data slice the parent
+    #: needs to re-evaluate the full predicate across groups.
+    observations: Dict[str, Any]
+    wall_seconds: float
+    pid: int
+
+
+@dataclass
+class GroupedReport:
+    """A completed grouped run: the merged result plus per-group accounting."""
+
+    result: CosimResult
+    outcomes: List[GroupOutcome]
+    wall_seconds: float
+    processes: int
+
+    @property
+    def worker_seconds(self) -> float:
+        """Total compute across group workers (serial-equivalent wall time)."""
+        return sum(o.wall_seconds for o in self.outcomes)
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup factor: group compute over run wall time."""
+        return self.worker_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+    def table(self) -> str:
+        lines = [f"{'group':<22} {'fpga cycles':>12} {'wall (s)':>9} {'pid':>7}"]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.name:<22} {o.result.fpga_cycles:>12.0f} {o.wall_seconds:>9.3f} {o.pid:>7}"
+            )
+        lines.append(
+            f"{len(self.outcomes)} groups on {self.processes} processes: "
+            f"{self.wall_seconds:.3f}s wall, {self.worker_seconds:.3f}s compute "
+            f"({self.speedup:.2f}x); merged: {self.result!r}"
+        )
+        return "\n".join(lines)
+
+
+def run_group_task(task: GroupTask) -> GroupOutcome:
+    """Elaborate the design and run one of its groups in the current process."""
+    t0 = time.perf_counter()
+    workload = task.builder(*task.args, **task.kwargs)
+    fabric = CosimFabric(
+        workload.design,
+        backend=task.backend,
+        transport=task.transport,
+        engine_kinds=dict(task.engine_kinds) if task.engine_kinds else None,
+    )
+    result = fabric.run_group(
+        task.group_index, workload.cosim_done, max_cycles=task.max_cycles
+    )
+    return GroupOutcome(
+        name=task.name,
+        group_index=task.group_index,
+        result=result,
+        observations=fabric.group_observations(task.group_index),
+        wall_seconds=time.perf_counter() - t0,
+        pid=os.getpid(),
+    )
+
+
+def run_grouped(
+    builder: Callable[..., Any],
+    args: Tuple[Any, ...] = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    *,
+    name: Optional[str] = None,
+    backend: str = "compiled",
+    transport: Optional[str] = None,
+    engine_kinds: Optional[Dict[str, str]] = None,
+    processes: Optional[int] = None,
+    max_cycles: float = 500_000_000.0,
+    mp_context: Optional[str] = None,
+) -> GroupedReport:
+    """Run one design's independent groups across worker processes.
+
+    The parent elaborates the workload once -- to count the fabric's groups
+    and, at the end, to re-evaluate the full done predicate over the
+    workers' reported finals -- but never runs it.  One :class:`GroupTask`
+    per group is dispatched in group order (``processes<=1`` runs them
+    serially in this process, same code path); the merged result obeys
+    :meth:`~repro.sim.cosim.CosimResult.merge`'s deterministic rules and is
+    bitwise identical to ``CosimFabric.run``'s own serial grouped result.
+    """
+    kwargs = dict(kwargs or {})
+    workload = builder(*args, **kwargs)
+    # The parent fabric never executes a rule: it only counts groups and
+    # re-evaluates the done predicate over reported finals, so build it on
+    # the interpreted backend and skip the whole-design closure compilation
+    # the workers will each pay for their own runs.
+    fabric = CosimFabric(
+        workload.design,
+        backend="interp",
+        transport="interp",
+        engine_kinds=dict(engine_kinds) if engine_kinds else None,
+    )
+    n_groups = fabric.group_count
+    # The reset-state read set; used after the merge to detect predicates
+    # whose reads turned out to be data-dependent (see below).
+    _, observed = fabric.probe_done(workload.cosim_done)
+    base = name or workload.design.name
+    tasks = [
+        GroupTask(
+            name=f"{base}[g{i}]",
+            builder=builder,
+            args=args,
+            kwargs=kwargs,
+            backend=backend,
+            transport=transport,
+            engine_kinds=dict(engine_kinds) if engine_kinds else None,
+            group_index=i,
+            max_cycles=max_cycles,
+        )
+        for i in range(n_groups)
+    ]
+    if processes is None:
+        processes = min(n_groups, os.cpu_count() or 1)
+    processes = max(1, min(processes, n_groups))
+
+    t0 = time.perf_counter()
+    outcomes, processes = _dispatch_tasks(run_group_task, tasks, processes, mp_context)
+    wall = time.perf_counter() - t0
+
+    finals: Dict[str, Any] = {}
+    for outcome in outcomes:
+        finals.update(outcome.observations)
+    merged = CosimResult.merge([o.result for o in outcomes])
+    completed, final_reads = fabric.probe_done(workload.cosim_done, finals)
+    # A predicate whose read set is static is fully served by the workers'
+    # observed finals.  One that reads *different* registers at completion
+    # than it did at the reset-state probe (e.g. a cross-group conjunction
+    # built from a short-circuiting generator) just evaluated those reads
+    # against reset values -- whichever way the verdict went, it is
+    # unreliable, so fail loudly instead of reporting it.
+    unreported = sorted(
+        reg.full_name
+        for reg in final_reads
+        if reg.full_name not in finals
+        and reg not in observed
+        and fabric.group_of_register(reg) is not None
+    )
+    if unreported:
+        raise SimulationError(
+            f"run_grouped cannot evaluate {workload.design.name}'s done "
+            f"predicate: it read {unreported} at completion but not at the "
+            "reset-state probe, so no worker reported their finals.  Done "
+            "predicates for grouped runs must read their full register set "
+            "on every evaluation (no cross-group short-circuit)."
+        )
+    merged.completed = completed
+    return GroupedReport(
+        result=merged, outcomes=outcomes, wall_seconds=wall, processes=processes
+    )
+
+
 def merge_results(results: Dict[str, CosimResult]) -> Dict[str, Any]:
     """Aggregate statistics across a sweep's per-task results.
 
-    Used when the tasks are *shards of one study* (e.g. the independent
-    partition groups of a design, or the points of a placement sweep) and a
-    single roll-up row is wanted next to the per-task rows.
+    A thin *presentation* wrapper over
+    :meth:`~repro.sim.cosim.CosimResult.merge` (``strict=False``: different
+    placements of one design legitimately share rule names), used when the
+    tasks are shards of one study -- the points of a placement sweep, or a
+    design's independent groups -- and a single roll-up row is wanted next
+    to the per-task rows.  The merge semantics (max cycles, ordered sums,
+    key unions) live in ``CosimResult.merge``; only the row shape is
+    decided here.
     """
+    if not results:
+        return {
+            "tasks": 0,
+            "completed": 0,
+            "fpga_cycles_max": 0.0,
+            "fpga_cycles_sum": 0.0,
+            "sw_firings": 0,
+            "hw_firings": 0,
+            "channel_messages": 0,
+            "channel_words": 0,
+        }
+    merged = CosimResult.merge(results.values(), strict=False)
     return {
         "tasks": len(results),
         "completed": sum(1 for r in results.values() if r.completed),
-        "fpga_cycles_max": max((r.fpga_cycles for r in results.values()), default=0.0),
+        "fpga_cycles_max": merged.fpga_cycles,
         "fpga_cycles_sum": sum(r.fpga_cycles for r in results.values()),
-        "sw_firings": sum(r.sw_firings for r in results.values()),
-        "hw_firings": sum(r.hw_firings for r in results.values()),
-        "channel_messages": sum(r.channel_messages for r in results.values()),
-        "channel_words": sum(r.channel_words for r in results.values()),
+        "sw_firings": merged.sw_firings,
+        "hw_firings": merged.hw_firings,
+        "channel_messages": merged.channel_messages,
+        "channel_words": merged.channel_words,
     }

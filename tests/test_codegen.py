@@ -593,6 +593,56 @@ class TestMarshalingCodegen:
                 for ch in link.channels:
                     assert f"rule dispatch_{ch.macro} (rx_valid && rx_vc == {ch.vc_id}" in rx
 
+    def test_multi_channel_tx_emits_round_robin_arbiter(self):
+        """Several channels on one link get an explicit grant-passing arbiter."""
+        backend = build_ray_partition(
+            "B", RayTracerParams(n_triangles=24, image_width=3, image_height=3)
+        )
+        partitioning = partition_design(backend.design, SW)
+        spec = build_interface_spec(partitioning)
+        rendered = generate_transactors(spec)
+        checked = 0
+        for link in spec.links:
+            if not (spec.is_hw(link.producer) and link.n_channels > 1):
+                continue
+            tx = rendered[link.name]["tx"]
+            checked += 1
+            assert "Reg#(Bit#" in tx and "tx_grant <- mkReg(0);" in tx
+            # FIFOF endpoints: the yield rule needs notEmpty.
+            assert "import FIFOF::*;" in tx and "mkSizedFIFOF" in tx
+            for slot, ch in enumerate(link.channels):
+                next_slot = (slot + 1) % link.n_channels
+                # The header rule fires only while holding the grant...
+                assert (
+                    f"rule marshal_{ch.macro}_header (tx_grant == {slot} "
+                    f"&& {ch.macro}_mleft == 0);" in tx
+                )
+                # ...the grant passes with the message's last payload word...
+                assert (
+                    f"if ({ch.macro}_mleft == 1) tx_grant <= {next_slot};" in tx
+                )
+                # ...and an idle granted channel yields its turn.
+                assert (
+                    f"rule yield_{ch.macro} (tx_grant == {slot} && "
+                    f"{ch.macro}_mleft == 0 && !{ch.macro}_out.notEmpty);" in tx
+                )
+        assert checked >= 1, "raytracer B should have a multi-channel hw link"
+
+    def test_single_channel_tx_has_no_arbiter(self):
+        """A link with one channel needs no arbitration: no grant register."""
+        backend = build_multi_partition("H", PARAMS)
+        partitioning = partition_design(backend.design, SW)
+        spec = build_interface_spec(partitioning)
+        rendered = generate_transactors(spec)
+        checked = 0
+        for link in spec.links:
+            if spec.is_hw(link.producer) and link.n_channels == 1:
+                tx = rendered[link.name]["tx"]
+                checked += 1
+                assert "tx_grant" not in tx and "rule yield_" not in tx
+                assert "import FIFO::*;" in tx and "mkSizedFIFO(" in tx
+        assert checked >= 1
+
     def test_sw_transactors_are_self_contained_implementations(self, spec):
         rendered = generate_transactors(spec)
         for link in spec.links:

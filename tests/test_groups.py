@@ -1,0 +1,469 @@
+"""Tests for group-decomposed co-simulation.
+
+Four groups:
+
+* **Partitioning properties** -- ``independent_groups()`` really is a
+  partition of the domains and of ``route_pairs()`` (no route crosses a
+  group), over every fig13 workload, the multi-domain G/H partitions and
+  the multi-group pipelines; register ownership splits the same way.
+* **Merge rules** -- ``CosimResult.merge`` implements the documented
+  deterministic rules (max clock, ordered sums, disjoint union, collision
+  detection), and ``sim/shard.py:merge_results`` is a thin presentation
+  wrapper over it.
+* **Differential** -- serially scheduled groups (``CosimFabric.run``),
+  in-process per-group runs (``run_grouped(processes=1)``) and
+  process-parallel per-group runs (``run_grouped(processes=2)``) produce
+  bitwise-equal merged ``CosimResult``s, over fig13 + vorbis G/H (one
+  group each: the monolithic path) and the ≥2-group pipelines, for both
+  rule backends and both transports.
+* **Scoping** -- during one group's run the fabric answers reads of other
+  groups' registers with reset values, which is what makes group order
+  (and process placement) unobservable.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.apps.vorbis import partitions as vp
+from repro.apps.vorbis.params import VorbisParams
+from repro.apps.vorbis.reference import expected_checksum
+from repro.core.domains import SW
+from repro.core.errors import SimulationError
+from repro.core.partition import partition_design
+from repro.sim.cosim import CosimFabric, CosimResult, Cosimulator
+from repro.sim.shard import merge_results, run_grouped
+
+PARAMS = VorbisParams(n_frames=3)
+
+
+def _vorbis(letter):
+    return vp.build_partition(letter, PARAMS)
+
+
+def _raytracer(letter):
+    from repro.apps.raytracer import partitions as rp
+    from repro.apps.raytracer.params import RayTracerParams
+
+    return rp.build_partition(
+        letter, RayTracerParams(n_triangles=24, image_width=3, image_height=3)
+    )
+
+
+#: (name, builder, args) triples covering one-group and multi-group designs.
+WORKLOADS = (
+    [(f"vorbis_{l}", vp.build_partition, (l, PARAMS)) for l in vp.PARTITION_ORDER]
+    + [
+        (f"vorbis_{l}", vp.build_multi_partition, (l, PARAMS))
+        for l in vp.MULTI_PARTITION_ORDER
+    ]
+    + [
+        ("vorbis_mg_BC", vp.build_group_partition, ("BC", PARAMS)),
+        ("vorbis_mg_BCF", vp.build_group_partition, ("BCF", PARAMS)),
+    ]
+)
+
+
+# --------------------------------------------------------------------------
+# partitioning properties
+# --------------------------------------------------------------------------
+
+
+class TestGroupPartitionProperties:
+    @pytest.mark.parametrize("name,builder,args", WORKLOADS, ids=lambda w: None)
+    def test_groups_partition_domains_and_routes(self, name, builder, args):
+        """Groups partition the domain set; no route crosses a group."""
+        partitioning = partition_design(builder(*args).design, SW)
+        groups = partitioning.independent_groups()
+        all_domains = [d for g in groups for d in g]
+        assert sorted(d.name for d in all_domains) == sorted(
+            d.name for d in partitioning.domains
+        )
+        assert len({d.name for d in all_domains}) == len(all_domains)
+
+        routes = partitioning.route_pairs()
+        seen = []
+        for gid in range(partitioning.group_count):
+            group_routes = partitioning.group_route_pairs(gid)
+            for src, dst in group_routes:
+                # Intra-group by construction: both endpoints in gid.
+                assert partitioning.group_of(src) == gid
+                assert partitioning.group_of(dst) == gid
+            seen.extend(group_routes)
+        assert sorted(seen) == sorted(routes)
+
+    @pytest.mark.parametrize("name,builder,args", WORKLOADS, ids=lambda w: None)
+    def test_group_cut_partitions_the_cut(self, name, builder, args):
+        partitioning = partition_design(builder(*args).design, SW)
+        per_group = [
+            partitioning.group_cut(g) for g in range(partitioning.group_count)
+        ]
+        flattened = [s for group in per_group for s in group]
+        assert len(flattened) == len(partitioning.cut)
+        assert set(flattened) == set(partitioning.cut)
+        for gid, syncs in enumerate(per_group):
+            for sync in syncs:
+                assert partitioning.group_of(sync.domain_enq) == gid
+                assert partitioning.group_of(sync.domain_deq) == gid
+
+    def test_multi_group_domains_helper(self):
+        names = sorted(d.name for d in vp.multi_group_domains("BC"))
+        assert names == ["HW_P0", "HW_P1", "SW_P0", "SW_P1"]
+        fabric = CosimFabric(
+            vp.build_group_partition("BC", PARAMS).design, backend="compiled"
+        )
+        assert sorted(d.name for d in fabric.domains) == names
+        # An all-software pipeline still lists its (backfilled) SW domain.
+        assert [d.name for d in vp.multi_group_domains("F")] == ["SW_P0"]
+
+    def test_multi_group_counts(self):
+        two = partition_design(vp.build_group_partition("BC", PARAMS).design, SW)
+        assert two.group_count == 2
+        three = partition_design(vp.build_group_partition("BCF", PARAMS).design, SW)
+        assert three.group_count == 3
+        one = partition_design(_vorbis("B").design, SW)
+        assert one.group_count == 1
+
+    def test_group_of_unknown_domain_raises(self):
+        partitioning = partition_design(_vorbis("B").design, SW)
+        from repro.core.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            partitioning.group_of("NO_SUCH_DOMAIN")
+
+    def test_split_registers_by_group(self):
+        workload = vp.build_group_partition("BC", PARAMS)
+        partitioning = partition_design(workload.design, SW)
+        observed = [pipe.frames_out for pipe in workload.pipes]
+        split = partitioning.split_registers_by_group(observed)
+        assert sorted(split) == [0, 1]
+        groups = {
+            gid: {d.name for d in g}
+            for gid, g in enumerate(partitioning.independent_groups())
+        }
+        for gid, regs in split.items():
+            assert len(regs) == 1
+            # frames_out lives in the pipeline's software-side audio sink.
+            pipe_index = 0 if "_p0." in regs[0].full_name else 1
+            assert f"SW_P{pipe_index}" in groups[gid]
+
+    def test_register_group_covers_cut_registers(self):
+        workload = _vorbis("B")
+        partitioning = partition_design(workload.design, SW)
+        for sync in partitioning.cut:
+            for reg in sync.registers:
+                assert partitioning.register_group(reg) == partitioning.group_of(
+                    sync.domain_enq
+                )
+
+
+# --------------------------------------------------------------------------
+# merge rules
+# --------------------------------------------------------------------------
+
+
+def _result(**overrides):
+    base = dict(
+        design_name="d",
+        fpga_cycles=10.0,
+        completed=True,
+        sw_busy_fpga_cycles=1.5,
+        sw_cpu_cycles=2.5,
+        sw_cpu_cycles_wasted=0.5,
+        sw_cpu_cycles_driver=0.25,
+        sw_firings=3,
+        sw_guard_failures=4,
+        hw_firings=5,
+        hw_active_cycles=6,
+        channel_messages=7,
+        channel_words=8,
+        channel_busy_cycles=9.5,
+        fire_counts={"a.r": 1},
+        vc_stats={"q": {"messages": 1, "words": 2, "credit_stalls": 0}},
+        domain_stats={"SW": {"kind": "sw", "firings": 3}},
+    )
+    base.update(overrides)
+    return CosimResult(**base)
+
+
+class TestCosimResultMerge:
+    def test_merge_rules(self):
+        a = _result()
+        b = _result(
+            fpga_cycles=4.0,
+            completed=True,
+            fire_counts={"b.r": 2},
+            vc_stats={"p": {"messages": 9, "words": 9, "credit_stalls": 1}},
+            domain_stats={"HW": {"kind": "hw", "firings": 5}},
+        )
+        merged = CosimResult.merge([a, b])
+        assert merged.fpga_cycles == 10.0  # max over groups
+        assert merged.sw_firings == 6  # ordered sums
+        assert merged.channel_busy_cycles == 9.5 + 9.5
+        assert merged.fire_counts == {"a.r": 1, "b.r": 2}  # disjoint union
+        assert set(merged.vc_stats) == {"q", "p"}
+        assert set(merged.domain_stats) == {"SW", "HW"}
+        assert merged.completed
+
+    def test_merge_completed_is_all(self):
+        incomplete = _result(
+            completed=False, fire_counts={"b.r": 1}, vc_stats={}, domain_stats={}
+        )
+        assert not CosimResult.merge([_result(), incomplete]).completed
+
+    def test_strict_merge_rejects_collisions(self):
+        with pytest.raises(SimulationError):
+            CosimResult.merge([_result(), _result()])
+
+    def test_strict_merge_rejects_mixed_designs(self):
+        with pytest.raises(SimulationError):
+            CosimResult.merge([_result(), _result(design_name="other")])
+
+    def test_non_strict_merge_sums_collisions(self):
+        merged = CosimResult.merge(
+            [_result(), _result(design_name="other")], strict=False
+        )
+        assert merged.design_name == "d+other"
+        assert merged.fire_counts == {"a.r": 2}
+        assert merged.vc_stats["q"]["messages"] == 2
+        assert merged.domain_stats["SW"]["kind"] == "sw"
+        assert merged.domain_stats["SW"]["firings"] == 6
+
+    def test_merge_of_one_is_identity(self):
+        one = _result()
+        assert asdict(CosimResult.merge([one])) == asdict(one)
+
+    def test_merge_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            CosimResult.merge([])
+
+    def test_merge_results_wrapper_shape(self):
+        rows = {"x": _result(), "y": _result(design_name="other", completed=False)}
+        summary = merge_results(rows)
+        assert summary == {
+            "tasks": 2,
+            "completed": 1,
+            "fpga_cycles_max": 10.0,
+            "fpga_cycles_sum": 20.0,
+            "sw_firings": 6,
+            "hw_firings": 10,
+            "channel_messages": 14,
+            "channel_words": 16,
+        }
+        assert merge_results({})["tasks"] == 0
+
+
+# --------------------------------------------------------------------------
+# differential: monolithic vs. serial-grouped vs. process-grouped
+# --------------------------------------------------------------------------
+
+#: Representative slice for the expensive exhaustive matrix (every workload
+#: still runs the compiled/compiled cell below).
+MATRIX_WORKLOADS = (
+    ("vorbis_B", vp.build_partition, ("B", PARAMS)),
+    ("vorbis_G", vp.build_multi_partition, ("G", PARAMS)),
+    ("vorbis_mg_BC", vp.build_group_partition, ("BC", PARAMS)),
+)
+
+
+def _run_monolithic(builder, args, backend, transport):
+    workload = builder(*args)
+    fabric = CosimFabric(workload.design, backend=backend, transport=transport)
+    result = fabric.run(workload.cosim_done, max_cycles=500_000_000)
+    return fabric, workload, result
+
+
+class TestGroupedDifferential:
+    @pytest.mark.parametrize("name,builder,args", WORKLOADS, ids=lambda w: None)
+    def test_three_modes_bitwise_equal(self, name, builder, args):
+        _, _, mono = _run_monolithic(builder, args, "compiled", None)
+        serial = run_grouped(builder, args=args, processes=1)
+        procs = run_grouped(builder, args=args, processes=2)
+        assert asdict(serial.result) == asdict(mono)
+        assert asdict(procs.result) == asdict(serial.result)
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("transport", ["interp", "compiled"])
+    @pytest.mark.parametrize("name,builder,args", MATRIX_WORKLOADS, ids=lambda w: None)
+    def test_backend_transport_matrix(self, name, builder, args, backend, transport):
+        _, _, mono = _run_monolithic(builder, args, backend, transport)
+        procs = run_grouped(
+            builder, args=args, backend=backend, transport=transport, processes=2
+        )
+        assert asdict(procs.result) == asdict(mono)
+
+    def test_multi_group_equals_sum_of_standalone_pipelines(self):
+        """Each group's slice equals the pipeline simulated on its own."""
+        workload = vp.build_group_partition("BC", PARAMS)
+        fabric = CosimFabric(workload.design, backend="compiled")
+        merged = fabric.run(workload.cosim_done, max_cycles=500_000_000)
+        assert merged.completed
+
+        reference = expected_checksum(PARAMS)
+        assert workload.checksums(fabric.read) == [reference, reference]
+
+        singles = {}
+        for letter in "BC":
+            single = _vorbis(letter)
+            cosim = Cosimulator(single.design, backend="compiled")
+            singles[letter] = cosim.run(single.cosim_done, max_cycles=500_000_000)
+        # The slow pipeline (C) bounds the merged clock; counters sum.
+        assert merged.fpga_cycles == max(s.fpga_cycles for s in singles.values())
+        assert merged.sw_firings == sum(s.sw_firings for s in singles.values())
+        assert merged.hw_firings == sum(s.hw_firings for s in singles.values())
+        assert merged.channel_messages == sum(
+            s.channel_messages for s in singles.values()
+        )
+
+    def test_lockstep_agrees_on_semantics(self):
+        """The legacy scheduler reproduces every semantic field; only its
+        idle-cycle bookkeeping (guard scans, credit stalls, global-clock
+        quantisation) differs on multi-group designs."""
+        wl_a = vp.build_group_partition("BC", PARAMS)
+        fab_a = CosimFabric(wl_a.design, backend="compiled")
+        grouped = fab_a.run(wl_a.cosim_done, max_cycles=500_000_000)
+        wl_b = vp.build_group_partition("BC", PARAMS)
+        fab_b = CosimFabric(wl_b.design, backend="compiled")
+        lockstep = fab_b.run(
+            wl_b.cosim_done, max_cycles=500_000_000, scheduler="lockstep"
+        )
+        assert lockstep.completed and grouped.completed
+        assert lockstep.fire_counts == grouped.fire_counts
+        assert lockstep.sw_firings == grouped.sw_firings
+        assert lockstep.hw_firings == grouped.hw_firings
+        assert lockstep.hw_active_cycles == grouped.hw_active_cycles
+        assert lockstep.sw_busy_fpga_cycles == grouped.sw_busy_fpga_cycles
+        assert lockstep.sw_cpu_cycles_driver == grouped.sw_cpu_cycles_driver
+        assert lockstep.channel_messages == grouped.channel_messages
+        assert lockstep.channel_words == grouped.channel_words
+        assert lockstep.channel_busy_cycles == grouped.channel_busy_cycles
+        assert wl_b.checksums(fab_b.read) == wl_a.checksums(fab_a.read)
+
+    def test_single_group_grouped_equals_lockstep_bitwise(self):
+        """With one group the grouped scheduler *is* the historical loop."""
+        for backend in ("interp", "compiled"):
+            wl_a = _vorbis("B")
+            fab_a = Cosimulator(wl_a.design, backend=backend)
+            grouped = fab_a.run(wl_a.cosim_done, max_cycles=500_000_000)
+            wl_b = _vorbis("B")
+            fab_b = Cosimulator(wl_b.design, backend=backend)
+            lockstep = fab_b.run(
+                wl_b.cosim_done, max_cycles=500_000_000, scheduler="lockstep"
+            )
+            assert asdict(grouped) == asdict(lockstep)
+
+    def test_raytracer_grouped_modes_agree(self):
+        workload = _raytracer("B")
+        fabric = CosimFabric(workload.design, backend="compiled")
+        mono = fabric.run(workload.cosim_done, max_cycles=500_000_000)
+        from repro.apps.raytracer import partitions as rp
+        from repro.apps.raytracer.params import RayTracerParams
+
+        report = run_grouped(
+            rp.build_partition,
+            args=("B", RayTracerParams(n_triangles=24, image_width=3, image_height=3)),
+            processes=2,
+        )
+        assert asdict(report.result) == asdict(mono)
+
+    def test_unknown_scheduler_rejected(self):
+        workload = _vorbis("B")
+        fabric = CosimFabric(workload.design, backend="compiled")
+        with pytest.raises(ValueError):
+            fabric.run(workload.cosim_done, scheduler="warp")
+
+
+def _short_circuit_workload(params):
+    """A multi-group workload whose done predicate violates the contract:
+    the generator short-circuits, so the reset-state probe only ever sees
+    the first pipeline's counter."""
+    workload = vp.build_group_partition("BC", params)
+
+    class ShortCircuit:
+        design = workload.design
+        pipes = workload.pipes
+
+        def cosim_done(self, cosim):
+            return all(
+                cosim.read(pipe.frames_out) >= params.n_frames
+                for pipe in self.pipes
+            )
+
+    return ShortCircuit()
+
+
+# --------------------------------------------------------------------------
+# read scoping & observation attribution
+# --------------------------------------------------------------------------
+
+
+class TestGroupScoping:
+    def test_probe_records_observed_registers(self):
+        workload = vp.build_group_partition("BC", PARAMS)
+        fabric = CosimFabric(workload.design, backend="compiled")
+        already, observed = fabric.probe_done(workload.cosim_done)
+        assert not already
+        assert observed == {pipe.frames_out for pipe in workload.pipes}
+        assert {fabric.group_of_register(r) for r in observed} == {0, 1}
+
+    def test_out_of_group_reads_resolve_to_reset_values(self):
+        """While group 0 runs, group 1's counters read as reset -- so the
+        serially scheduled run matches per-process runs bit for bit."""
+        workload = vp.build_group_partition("BC", PARAMS)
+        fabric = CosimFabric(workload.design, backend="compiled")
+        p0, p1 = workload.pipes
+        fabric.run_group(0, workload.cosim_done)
+        # Group 0 really ran and its counter advanced...
+        assert fabric.read(p0.frames_out) == PARAMS.n_frames
+        assert fabric.read(p1.frames_out) == 0
+        # ...and during a group-1 run, group 0's progress is invisible.
+        seen = {}
+
+        def spying_done(cosim):
+            seen["p0"] = cosim.read(p0.frames_out)
+            return workload.cosim_done(cosim)
+
+        fabric.run_group(1, spying_done)
+        assert seen["p0"] == 0  # reset value, not the final 3
+        assert fabric.read(p1.frames_out) == PARAMS.n_frames
+
+    def test_group_observations_are_plain_data(self):
+        workload = vp.build_group_partition("BC", PARAMS)
+        fabric = CosimFabric(workload.design, backend="compiled")
+        fabric.run_group(0, workload.cosim_done)
+        obs = fabric.group_observations(0)
+        (key, value), = obs.items()
+        assert key.endswith("audio.frames_out") and "p0" in key
+        assert value == PARAMS.n_frames
+        # The other group's observed register reports its (unrun) value --
+        # a worker only ever reports the group it actually ran.
+        (other_key, other_value), = fabric.group_observations(1).items()
+        assert "p1" in other_key and other_value == 0
+
+    def test_evaluate_done_with_finals(self):
+        workload = vp.build_group_partition("BC", PARAMS)
+        fabric = CosimFabric(workload.design, backend="compiled")
+        finals = {
+            pipe.frames_out.full_name: PARAMS.n_frames for pipe in workload.pipes
+        }
+        assert fabric.evaluate_done(workload.cosim_done, finals)
+        assert not fabric.evaluate_done(workload.cosim_done, {})
+
+    def test_short_circuiting_predicate_fails_loudly(self):
+        """A done predicate whose read set is data-dependent (cross-group
+        short-circuit) cannot be served by worker-reported finals; the
+        grouped runner must refuse rather than report INCOMPLETE."""
+        with pytest.raises(SimulationError, match="full register set"):
+            run_grouped(
+                _short_circuit_workload, args=(PARAMS,), processes=1
+            )
+
+    def test_grouped_report_accounting(self):
+        report = run_grouped(
+            vp.build_group_partition, args=("BC", PARAMS), processes=2
+        )
+        assert len(report.outcomes) == 2
+        assert [o.group_index for o in report.outcomes] == [0, 1]
+        assert report.wall_seconds > 0
+        assert "groups on" in report.table()
+        assert report.result.completed
