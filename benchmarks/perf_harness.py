@@ -309,6 +309,116 @@ def dataplane_microbench(size: str) -> Dict[str, Any]:
     return rows
 
 
+def kernel_microbench(size: str) -> Dict[str, Any]:
+    """Per-kernel throughput of the foreign-kernel dataplane.
+
+    Times each hot kernel under every available backend -- ``oracle``
+    (object-based reference), ``python`` (flat raw-int batch loops) and,
+    when importable, ``numpy`` (int64 vectorised) -- with the result cache
+    disabled so the numbers measure computation, not memoisation.  The
+    suite covers the IMDCT stages (``imdct_pre``, ``ifft_full``,
+    ``imdct_post``), windowing (``window_overlap``), BVH traversal over a
+    full camera's rays, and the fused frame marshal (layout encoder+decoder
+    vs. the reference ``ty.pack``/``ty.unpack`` path).  Every backend's
+    outputs are verified bit-identical before anything is timed.
+    """
+    import random
+
+    from repro.apps.raytracer import bvh as rt_bvh
+    from repro.apps.raytracer import geometry
+    from repro.apps.vorbis import kernels
+    from repro.core import kernelcompile as kc
+    from repro.core.fixedpoint import FixComplex, FixedPoint
+    from repro.core.types import ComplexT, FixPtT, VectorT
+
+    n = {"full": 256, "quick": 64}[size]
+    reps = {"full": 30, "quick": 8}[size]
+    ib, fb = 8, 24
+    rng = random.Random(1234)
+
+    def rand_fix():
+        return FixedPoint.from_raw(rng.randrange(-(1 << 31), 1 << 31), ib, fb)
+
+    frame = tuple(rand_fix() for _ in range(n))
+    half = frame[: n // 2]
+    spectrum = tuple(FixComplex(rand_fix(), rand_fix()) for _ in range(n))
+
+    vorbis_cases = {
+        "imdct_pre": lambda: kernels.imdct_pre(frame, ib, fb),
+        "ifft_full": lambda: kernels.ifft_full(spectrum, ib, fb),
+        "imdct_post": lambda: kernels.imdct_post(spectrum, ib, fb),
+        "window_overlap": lambda: kernels.window_overlap(half, frame, ib, fb),
+    }
+
+    scene = geometry.generate_scene(96, seed=7)
+    tree = rt_bvh.build_bvh(scene)
+    rays = [geometry.camera_ray(p, 8, 8) for p in range(64)]
+
+    def traverse_all():
+        for ray in rays:
+            rt_bvh.traverse(tree, ray)
+        return rt_bvh.traverse(tree, rays[0])
+
+    cases = dict(vorbis_cases)
+    cases["bvh_traverse_64rays"] = traverse_all
+
+    backends = ["oracle", "python"] + (["numpy"] if kc.HAVE_NUMPY else [])
+
+    def best_per_call(fn, repetitions, attempts=3):
+        best = None
+        for _ in range(attempts):
+            t0 = time.perf_counter()
+            for _ in range(repetitions):
+                fn()
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        return best / repetitions
+
+    rows: Dict[str, Any] = {}
+    with kc.kernel_cache_override(False):
+        for name, fn in cases.items():
+            outputs = {}
+            timings = {}
+            for backend in backends:
+                with kc.kernel_backend_override(backend):
+                    outputs[backend] = fn()
+                    timings[backend] = best_per_call(fn, reps)
+            for backend in backends[1:]:
+                if outputs[backend] != outputs["oracle"]:
+                    raise SystemExit(f"kernel backend mismatch on {name} ({backend})")
+            row = {f"{backend}_seconds": timings[backend] for backend in backends}
+            for backend in backends[1:]:
+                row[f"{backend}_speedup"] = timings["oracle"] / timings[backend]
+            rows[name] = row
+
+    # Fused frame marshal vs. the reference pack/unpack (one audio frame).
+    from repro.platform import marshal as marshal_mod
+
+    frame_ty = VectorT(n, ComplexT(FixPtT(ib, fb)))
+    layout = marshal_mod.layout_for(frame_ty, 32)
+    encode = layout.encoder(1)
+    decode = layout.decoder()
+    words = encode(spectrum)
+    assert decode(words, 1) == spectrum
+
+    def reference_roundtrip():
+        framed = marshal_mod.marshal_message(1, frame_ty, spectrum)
+        return marshal_mod.demarshal_message(frame_ty, framed)
+
+    def fused_roundtrip():
+        return decode(encode(spectrum), 1)
+
+    assert reference_roundtrip()[1] == fused_roundtrip()
+    ref_s = best_per_call(reference_roundtrip, reps)
+    fused_s = best_per_call(fused_roundtrip, reps)
+    rows["frame_marshal"] = {
+        "reference_seconds": ref_s,
+        "fused_seconds": fused_s,
+        "fused_speedup": ref_s / fused_s,
+    }
+    return rows
+
+
 #: Multi-group workload composition per size: one partition letter per
 #: independent pipeline.  Asymmetric letters (B finishes well before C)
 #: are the case per-group clocks exist for: under the lockstep baseline
@@ -534,6 +644,29 @@ def main(argv=None) -> int:
             f"{row['compiled_elements_per_sec']:>18,.0f} {row['speedup']:>7.2f}x"
         )
 
+    # -- kernel microbenchmark ---------------------------------------------
+    kernels_bench = kernel_microbench(size)
+    print("\n=== Kernel dataplane: per-kernel backend throughput (cache off) ===")
+    k_header = f"{'kernel':<22} {'oracle (s)':>12} {'python (s)':>12} {'numpy (s)':>12} {'py x':>6} {'np x':>6}"
+    print(k_header)
+    print("-" * len(k_header))
+    for name, row in kernels_bench.items():
+        if "fused_seconds" in row:
+            print(
+                f"{name:<22} {row['reference_seconds']:>12.6f} "
+                f"{row['fused_seconds']:>12.6f} {'-':>12} "
+                f"{row['fused_speedup']:>5.2f}x {'-':>6}"
+            )
+            continue
+        np_s = row.get("numpy_seconds")
+        np_x = row.get("numpy_speedup")
+        print(
+            f"{name:<22} {row['oracle_seconds']:>12.6f} {row['python_seconds']:>12.6f} "
+            f"{(f'{np_s:.6f}' if np_s is not None else '-'):>12} "
+            f"{row['python_speedup']:>5.2f}x "
+            f"{(f'{np_x:.2f}x' if np_x is not None else '-'):>6}"
+        )
+
     # -- grouped execution -------------------------------------------------
     grouped = grouped_execution(size, repeats, processes=args.processes or 2)
     print(
@@ -581,6 +714,7 @@ def main(argv=None) -> int:
         if backend == "compiled":
             payload["transport_ablation"] = ablation
             payload["transport_dataplane"] = dataplane
+            payload["kernel_microbench"] = kernels_bench
             payload["grouped_execution"] = grouped
             if sweep is not None:
                 payload["sweep"] = sweep

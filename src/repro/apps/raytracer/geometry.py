@@ -13,9 +13,10 @@ so every partition computes bit-identical hit records.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.fixedpoint import FixedPoint
+from repro.core.fixedpoint import FixedPoint, raw_from_float
 from repro.core.types import BoolT, FixPtT, StructT, UIntT
 
 Vec = Dict[str, FixedPoint]
@@ -171,6 +172,143 @@ def intersect_triangle(ray: Ray, triangle: Triangle) -> Optional[FixedPoint]:
     if t <= FixedPoint.from_float(1e-3, det.int_bits, det.frac_bits):
         return None
     return t
+
+
+# --------------------------------------------------------------------------
+# raw-integer intersection kernels (the kernel-dataplane fast path)
+# --------------------------------------------------------------------------
+#
+# Raw lowerings of the kernels above, used by the traversal/geometry rules
+# when the kernel backend is not ``oracle`` (see repro.core.kernelcompile).
+# Vectors are flat (x, y, z) tuples of raw two's-complement ints; every
+# operation wraps in exactly the order the FixedPoint originals do, so hit
+# records are bit-identical across backends.  Leaf bundles hold at most a
+# handful of triangles, so the win here is dropping per-op object boxing,
+# not NumPy vectorisation -- these run identically under the ``python`` and
+# ``numpy`` backends.
+
+RawVec3 = Tuple[int, int, int]
+
+
+def vec_raws(v: Vec) -> RawVec3:
+    """Unbox a Vec3 dict into a flat (x, y, z) raw tuple."""
+    return (v["x"].raw, v["y"].raw, v["z"].raw)
+
+
+def intersect_box_raw(
+    origin: RawVec3, direction: RawVec3, bbox_min: RawVec3, bbox_max: RawVec3,
+    frac_bits: int, total_bits: int,
+) -> bool:
+    """Raw lowering of :func:`intersect_box` (same slab test, same wrap order)."""
+    mask = (1 << total_bits) - 1
+    sign = 1 << (total_bits - 1)
+    fb = frac_bits
+    scale = float(1 << fb)
+    t_near = None
+    t_far = None
+    for axis in (0, 1, 2):
+        o = origin[axis]
+        d = direction[axis]
+        lo = bbox_min[axis]
+        hi = bbox_max[axis]
+        if abs(d / scale) < 1e-5:
+            if o < lo or o > hi:
+                return False
+            continue
+        t0 = (((((((lo - o) & mask) ^ sign) - sign) << fb) // d) & mask ^ sign) - sign
+        t1 = (((((((hi - o) & mask) ^ sign) - sign) << fb) // d) & mask ^ sign) - sign
+        if t0 > t1:
+            t0, t1 = t1, t0
+        t_near = t0 if t_near is None or t0 > t_near else t_near
+        t_far = t1 if t_far is None or t1 < t_far else t_far
+    if t_near is None or t_far is None:
+        return True
+    return t_near <= t_far and t_far >= 0
+
+
+def intersect_triangle_raw(
+    origin: RawVec3, direction: RawVec3,
+    v0: RawVec3, v1: RawVec3, v2: RawVec3,
+    frac_bits: int, total_bits: int,
+) -> Optional[int]:
+    """Raw lowering of :func:`intersect_triangle`; returns the raw ``t`` or ``None``."""
+    mask = (1 << total_bits) - 1
+    sign = 1 << (total_bits - 1)
+    fb = frac_bits
+
+    def w(x: int) -> int:
+        return ((x & mask) ^ sign) - sign
+
+    def m(a: int, b: int) -> int:
+        return ((((a * b) >> fb) & mask) ^ sign) - sign
+
+    e1x, e1y, e1z = w(v1[0] - v0[0]), w(v1[1] - v0[1]), w(v1[2] - v0[2])
+    e2x, e2y, e2z = w(v2[0] - v0[0]), w(v2[1] - v0[1]), w(v2[2] - v0[2])
+    dx, dy, dz = direction
+    px = w(m(dy, e2z) - m(dz, e2y))
+    py = w(m(dz, e2x) - m(dx, e2z))
+    pz = w(m(dx, e2y) - m(dy, e2x))
+    det = w(w(m(e1x, px) + m(e1y, py)) + m(e1z, pz))
+    if abs(det / float(1 << fb)) < 1e-4:
+        return None
+    one = _raw_one(fb, total_bits)
+    inv_det = w((one << fb) // det)
+    tx, ty, tz = w(origin[0] - v0[0]), w(origin[1] - v0[1]), w(origin[2] - v0[2])
+    u = m(w(w(m(tx, px) + m(ty, py)) + m(tz, pz)), inv_det)
+    if u < 0 or u > one:
+        return None
+    qx = w(m(ty, e1z) - m(tz, e1y))
+    qy = w(m(tz, e1x) - m(tx, e1z))
+    qz = w(m(tx, e1y) - m(ty, e1x))
+    v = m(w(w(m(dx, qx) + m(dy, qy)) + m(dz, qz)), inv_det)
+    if v < 0 or w(u + v) > one:
+        return None
+    t = m(w(w(m(e2x, qx) + m(e2y, qy)) + m(e2z, qz)), inv_det)
+    if t <= _raw_threshold(fb, total_bits):
+        return None
+    return t
+
+
+@lru_cache(maxsize=None)
+def _raw_one(frac_bits: int, total_bits: int) -> int:
+    return raw_from_float(1.0, frac_bits, total_bits)
+
+
+@lru_cache(maxsize=None)
+def _raw_threshold(frac_bits: int, total_bits: int) -> int:
+    return raw_from_float(1e-3, frac_bits, total_bits)
+
+
+def lambert_shade_raw(
+    v0: RawVec3, v1: RawVec3, v2: RawVec3, light: RawVec3,
+    int_bits: int, frac_bits: int,
+) -> int:
+    """Raw lowering of :func:`lambert_shade`; returns the raw clamped shade."""
+    total_bits = int_bits + frac_bits
+    mask = (1 << total_bits) - 1
+    sign = 1 << (total_bits - 1)
+    fb = frac_bits
+
+    def w(x: int) -> int:
+        return ((x & mask) ^ sign) - sign
+
+    def m(a: int, b: int) -> int:
+        return ((((a * b) >> fb) & mask) ^ sign) - sign
+
+    e1x, e1y, e1z = w(v1[0] - v0[0]), w(v1[1] - v0[1]), w(v1[2] - v0[2])
+    e2x, e2y, e2z = w(v2[0] - v0[0]), w(v2[1] - v0[1]), w(v2[2] - v0[2])
+    nx = w(m(e1y, e2z) - m(e1z, e2y))
+    ny = w(m(e1z, e2x) - m(e1x, e2z))
+    nz = w(m(e1x, e2y) - m(e1y, e2x))
+    lx, ly, lz = light
+    scale = float(1 << fb)
+    nn = w(w(m(nx, nx) + m(ny, ny)) + m(nz, nz))
+    ll = w(w(m(lx, lx) + m(ly, ly)) + m(lz, lz))
+    nl = w(w(m(nx, lx) + m(ny, ly)) + m(nz, lz))
+    n_len = math.sqrt(max(1e-12, nn / scale))
+    l_len = math.sqrt(max(1e-12, ll / scale))
+    cos_angle = (nl / scale) / (n_len * l_len)
+    return raw_from_float(min(1.0, abs(cos_angle)), frac_bits, total_bits)
 
 
 def triangle_normal(triangle: Triangle) -> Vec:

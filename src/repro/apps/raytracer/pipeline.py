@@ -27,10 +27,11 @@ from typing import Dict, List, Optional
 from repro.apps.raytracer import geometry
 from repro.apps.raytracer.bvh import Bvh, build_bvh
 from repro.apps.raytracer.params import RayTracerParams
+from repro.core import kernelcompile
 from repro.core.action import IfA, LetA, par
 from repro.core.domains import SW, Domain
 from repro.core.expr import BinOp, Const, FieldSelect, KernelCall, RegRead, UnOp, Var
-from repro.core.fixedpoint import FixedPoint
+from repro.core.fixedpoint import FixedPoint, from_wrapped_raw, raw_from_float
 from repro.core.module import Design, Module, Register
 from repro.core.primitives import RegFile
 from repro.core.synchronizers import SyncFifo
@@ -160,8 +161,26 @@ def build_raytracer(
     def ray_gen_fn(pixel: int):
         return geometry.camera_ray(pixel, params.image_width, params.image_height, ib, fb)
 
+    # Raw-path constants of the kernel dataplane (format is fixed per design).
+    total_bits = ib + fb
+    light_raws = geometry.vec_raws(light)
+    miss_t_raw = raw_from_float(1000.0, fb, total_bits)
+
     def process_node_fn(ray, node, stack_value):
-        if not geometry.intersect_box(ray, node["bbox_min"], node["bbox_max"]):
+        # The only fixed-point work here is the slab test; on the fast
+        # backends it runs over raw ints (bit-identical, see geometry).
+        if kernelcompile.kernel_backend() == "oracle":
+            boxed = geometry.intersect_box(ray, node["bbox_min"], node["bbox_max"])
+        else:
+            boxed = geometry.intersect_box_raw(
+                geometry.vec_raws(ray["origin"]),
+                geometry.vec_raws(ray["dir"]),
+                geometry.vec_raws(node["bbox_min"]),
+                geometry.vec_raws(node["bbox_max"]),
+                fb,
+                total_bits,
+            )
+        if not boxed:
             return {"stack": stack_value, "fetch_leaf": False, "leaf_req": {"start": 0, "count": 0}}
         if node["is_leaf"]:
             return {
@@ -187,6 +206,44 @@ def build_raytracer(
         }
 
     def intersect_leaf_fn(req):
+        if kernelcompile.kernel_backend() == "oracle":
+            return intersect_leaf_oracle(req)
+        # Raw fast path: unbox the ray and bundle once, run Möller-Trumbore
+        # over plain ints, box only the winning hit record.  The oracle
+        # recomputes the shade on every improvement but returns only the
+        # last one, so shading just the final winner is bit-identical.
+        ray = req["ray"]
+        origin = geometry.vec_raws(ray["origin"])
+        direction = geometry.vec_raws(ray["dir"])
+        best_t = miss_t_raw
+        best_offset = -1
+        best_tri = None
+        for offset in range(req["count"]):
+            triangle = req["bundle"][offset]
+            tri_raws = (
+                geometry.vec_raws(triangle["v0"]),
+                geometry.vec_raws(triangle["v1"]),
+                geometry.vec_raws(triangle["v2"]),
+            )
+            t = geometry.intersect_triangle_raw(
+                origin, direction, tri_raws[0], tri_raws[1], tri_raws[2], fb, total_bits
+            )
+            if t is not None and t < best_t:
+                best_t, best_offset, best_tri = t, offset, tri_raws
+        if best_offset < 0:
+            best_hit = geometry.miss_hit(ib, fb)
+            best_hit["pixel"] = ray["pixel"]
+            return best_hit
+        shade = geometry.lambert_shade_raw(best_tri[0], best_tri[1], best_tri[2], light_raws, ib, fb)
+        return {
+            "hit": True,
+            "t": from_wrapped_raw(best_t, ib, fb),
+            "tri": req["base"] + best_offset,
+            "pixel": ray["pixel"],
+            "shade": from_wrapped_raw(shade, ib, fb),
+        }
+
+    def intersect_leaf_oracle(req):
         ray = req["ray"]
         best_hit = geometry.miss_hit(ib, fb)
         best_hit["pixel"] = ray["pixel"]

@@ -29,6 +29,120 @@ def _wrap(raw: int, total_bits: int) -> int:
     return raw
 
 
+# --------------------------------------------------------------------------
+# raw-integer fast path
+# --------------------------------------------------------------------------
+#
+# The kernel dataplane (repro.core.kernelcompile and the batch kernels built
+# on it) computes over plain raw two's-complement ints and boxes FixedPoint
+# objects only at kernel boundaries.  These module-level helpers are the
+# single definition of that raw arithmetic; each mirrors the corresponding
+# FixedPoint operator bit for bit (wrap after every operation, Python floor
+# semantics for shifts and division, round-half-even quantisation).
+
+
+def raw_wrap(raw: int, total_bits: int) -> int:
+    """Public alias of the two's-complement wrap (see :func:`_wrap`)."""
+    return _wrap(raw, total_bits)
+
+
+def raw_add(a: int, b: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__add__`` for same-format operands."""
+    return _wrap(a + b, total_bits)
+
+
+def raw_sub(a: int, b: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__sub__`` for same-format operands."""
+    return _wrap(a - b, total_bits)
+
+
+def raw_mul(a: int, b: int, frac_bits: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__mul__`` (shift is arithmetic/floor)."""
+    return _wrap((a * b) >> frac_bits, total_bits)
+
+
+def raw_div(a: int, b: int, frac_bits: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__truediv__`` (Python floor division)."""
+    if b == 0:
+        raise ZeroDivisionError("fixed-point division by zero")
+    return _wrap((a << frac_bits) // b, total_bits)
+
+
+def raw_neg(a: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__neg__``."""
+    return _wrap(-a, total_bits)
+
+
+def raw_shift_right(a: int, n: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__rshift__`` (arithmetic shift)."""
+    return _wrap(a >> n, total_bits)
+
+
+def raw_shift_left(a: int, n: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.__lshift__``."""
+    return _wrap(a << n, total_bits)
+
+
+def raw_from_float(value: float, frac_bits: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.from_float`` (round half to even)."""
+    return _wrap(int(round(value * (1 << frac_bits))), total_bits)
+
+
+def raw_to_bits(raw: int, total_bits: int) -> int:
+    """Raw equivalent of ``FixedPoint.to_bits`` (unsigned bit pattern)."""
+    return raw & ((1 << total_bits) - 1)
+
+
+def from_wrapped_raw(raw: int, int_bits: int, frac_bits: int) -> "FixedPoint":
+    """Box an *already wrapped* raw int without re-wrapping (kernel boxing path).
+
+    The caller guarantees ``raw`` is in the signed range of the format; every
+    helper above returns such values.  ``FixedPoint.from_raw`` remains the
+    safe constructor for unwrapped inputs.
+    """
+    fp = FixedPoint.__new__(FixedPoint)
+    fp.raw = raw
+    fp.int_bits = int_bits
+    fp.frac_bits = frac_bits
+    return fp
+
+
+def box_fixed_vector(raws: Iterable[int], int_bits: int, frac_bits: int) -> Tuple["FixedPoint", ...]:
+    """Box a sequence of wrapped raw ints into a ``FixedPoint`` tuple."""
+    new = FixedPoint.__new__
+    out = []
+    for raw in raws:
+        fp = new(FixedPoint)
+        fp.raw = raw
+        fp.int_bits = int_bits
+        fp.frac_bits = frac_bits
+        out.append(fp)
+    return tuple(out)
+
+
+def box_complex_vector(
+    re_raws: Iterable[int], im_raws: Iterable[int], int_bits: int, frac_bits: int
+) -> Tuple["FixComplex", ...]:
+    """Box parallel wrapped raw re/im sequences into a ``FixComplex`` tuple."""
+    new_fp = FixedPoint.__new__
+    new_cx = FixComplex.__new__
+    out = []
+    for re_raw, im_raw in zip(re_raws, im_raws):
+        re = new_fp(FixedPoint)
+        re.raw = re_raw
+        re.int_bits = int_bits
+        re.frac_bits = frac_bits
+        im = new_fp(FixedPoint)
+        im.raw = im_raw
+        im.int_bits = int_bits
+        im.frac_bits = frac_bits
+        cx = new_cx(FixComplex)
+        cx.real = re
+        cx.imag = im
+        out.append(cx)
+    return tuple(out)
+
+
 class FixedPoint:
     """A signed fixed-point number with ``int_bits`` integer and ``frac_bits`` fractional bits.
 

@@ -29,10 +29,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import SimulationError, WireFormatError
+from repro.core.fixedpoint import FixComplex, FixedPoint, from_wrapped_raw
 from repro.core.types import (
     BCLType,
     BitT,
+    BoolT,
     ComplexT,
+    FixPtT,
+    IntT,
     StructT,
     UIntT,
     VectorT,
@@ -274,26 +278,320 @@ def _collect_leaves(ty: BCLType, path: str, offset: int, out: List[FieldSlice]) 
         out.append(FieldSlice(path, offset, ty.bit_width()))
 
 
-def _compile_pack(ty: BCLType) -> Callable[[Any], int]:
-    """Specialise ``ty.pack`` for the per-message transport hot path.
+class _FastPackMismatch(Exception):
+    """A fused packer's fast predicate failed; re-pack through ``ty.pack``.
 
-    For raw unsigned word types the canonical packing is the value itself,
-    so the compiled packer folds the range check into one closure; any
-    value failing the fast predicate falls back to ``ty.pack`` so the
-    error behaviour (message text, exception type) is exactly the
-    reference's.
+    Raised (and always caught) inside :func:`_compile_pack`'s closures only.
+    The slow re-pack either succeeds (a legal value the conservative fast
+    predicate rejected, e.g. a ``FixedPoint`` subclass) or raises the
+    reference implementation's exact exception -- so the fused path never
+    changes error behaviour, only speed.
+    """
+
+
+def _fused_packer(ty: BCLType) -> Optional[Callable[[Any], int]]:
+    """A fused packer for ``ty``, or ``None`` when no specialisation exists.
+
+    The returned closure computes ``ty.pack(value)`` without per-element
+    dispatch -- leaf packing is inlined into the container loops -- and
+    raises :class:`_FastPackMismatch` the moment any value fails its fast
+    predicate.  Composite packers are built recursively, with dedicated
+    single-loop forms for the frame shapes the transport actually moves:
+    ``Vector#(FixPt)``, ``Vector#(Complex#(FixPt))`` and ``Vector#(UInt)``.
     """
     if isinstance(ty, (UIntT, BitT)):
         hi = (1 << ty.n) - 1
-        slow = ty.pack
 
-        def pack(value: Any) -> int:
+        def pack_uint(value: Any) -> int:
             if value.__class__ is int and 0 <= value <= hi:
                 return value
+            raise _FastPackMismatch
+
+        return pack_uint
+    if isinstance(ty, BoolT):
+
+        def pack_bool(value: Any) -> int:
+            if value.__class__ is bool:
+                return 1 if value else 0
+            raise _FastPackMismatch
+
+        return pack_bool
+    if isinstance(ty, IntT):
+        lo = -(1 << (ty.n - 1))
+        hi = (1 << (ty.n - 1)) - 1
+        mask = (1 << ty.n) - 1
+
+        def pack_int(value: Any) -> int:
+            if value.__class__ is int and lo <= value <= hi:
+                return value & mask
+            raise _FastPackMismatch
+
+        return pack_int
+    if isinstance(ty, FixPtT):
+        ib, fb = ty.int_bits, ty.frac_bits
+        mask = (1 << (ib + fb)) - 1
+
+        def pack_fixpt(value: Any) -> int:
+            if value.__class__ is FixedPoint and value.int_bits == ib and value.frac_bits == fb:
+                return value.raw & mask
+            raise _FastPackMismatch
+
+        return pack_fixpt
+    if isinstance(ty, ComplexT):
+        ib, fb = ty.elem.int_bits, ty.elem.frac_bits
+        w = ty.elem.bit_width()
+        mask = (1 << w) - 1
+
+        def pack_complex(value: Any) -> int:
+            if value.__class__ is not FixComplex:
+                raise _FastPackMismatch
+            re, im = value.real, value.imag
+            if (
+                re.__class__ is not FixedPoint
+                or im.__class__ is not FixedPoint
+                or re.int_bits != ib
+                or re.frac_bits != fb
+                or im.int_bits != ib
+                or im.frac_bits != fb
+            ):
+                raise _FastPackMismatch
+            return ((re.raw & mask) << w) | (im.raw & mask)
+
+        return pack_complex
+    if isinstance(ty, VectorT):
+        n = ty.n
+        w = ty.elem.bit_width()
+        elem = ty.elem
+        if isinstance(elem, FixPtT):
+            ib, fb = elem.int_bits, elem.frac_bits
+            mask = (1 << w) - 1
+
+            def pack_fix_vec(value: Any) -> int:
+                if (value.__class__ is not tuple and value.__class__ is not list) or len(
+                    value
+                ) != n:
+                    raise _FastPackMismatch
+                bits = 0
+                shift = 0
+                for v in value:
+                    if v.__class__ is not FixedPoint or v.int_bits != ib or v.frac_bits != fb:
+                        raise _FastPackMismatch
+                    bits |= (v.raw & mask) << shift
+                    shift += w
+                return bits
+
+            return pack_fix_vec
+        if isinstance(elem, ComplexT):
+            ib, fb = elem.elem.int_bits, elem.elem.frac_bits
+            half = elem.elem.bit_width()
+            mask = (1 << half) - 1
+
+            def pack_cplx_vec(value: Any) -> int:
+                if (value.__class__ is not tuple and value.__class__ is not list) or len(
+                    value
+                ) != n:
+                    raise _FastPackMismatch
+                bits = 0
+                shift = 0
+                for v in value:
+                    if v.__class__ is not FixComplex:
+                        raise _FastPackMismatch
+                    re, im = v.real, v.imag
+                    if (
+                        re.__class__ is not FixedPoint
+                        or im.__class__ is not FixedPoint
+                        or re.int_bits != ib
+                        or re.frac_bits != fb
+                        or im.int_bits != ib
+                        or im.frac_bits != fb
+                    ):
+                        raise _FastPackMismatch
+                    bits |= ((((re.raw & mask) << half) | (im.raw & mask))) << shift
+                    shift += w
+                return bits
+
+            return pack_cplx_vec
+        if isinstance(elem, (UIntT, BitT)):
+            hi = (1 << elem.n) - 1
+
+            def pack_uint_vec(value: Any) -> int:
+                if (value.__class__ is not tuple and value.__class__ is not list) or len(
+                    value
+                ) != n:
+                    raise _FastPackMismatch
+                bits = 0
+                shift = 0
+                for v in value:
+                    if v.__class__ is not int or v < 0 or v > hi:
+                        raise _FastPackMismatch
+                    bits |= v << shift
+                    shift += w
+                return bits
+
+            return pack_uint_vec
+        sub = _fused_packer(elem)
+        if sub is None:
+            return None
+
+        def pack_vec(value: Any) -> int:
+            if (value.__class__ is not tuple and value.__class__ is not list) or len(
+                value
+            ) != n:
+                raise _FastPackMismatch
+            bits = 0
+            shift = 0
+            for v in value:
+                bits |= sub(v) << shift
+                shift += w
+            return bits
+
+        return pack_vec
+    if isinstance(ty, StructT):
+        subs = []
+        for fname, fty in ty.fields:
+            sub = _fused_packer(fty)
+            if sub is None:
+                return None
+            subs.append((fname, sub, fty.bit_width()))
+        field_packers = tuple(subs)
+
+        def pack_struct(value: Any) -> int:
+            if value.__class__ is not dict:
+                raise _FastPackMismatch
+            bits = 0
+            try:
+                for fname, sub, fw in field_packers:
+                    bits = (bits << fw) | sub(value[fname])
+            except KeyError:
+                raise _FastPackMismatch from None
+            return bits
+
+        return pack_struct
+    return None
+
+
+def _compile_pack(ty: BCLType) -> Callable[[Any], int]:
+    """Specialise ``ty.pack`` for the per-message transport hot path.
+
+    Composes the fused per-layout packer (leaf packing inlined into the
+    container loops) with a fallback: any value failing a fast predicate is
+    re-packed through ``ty.pack`` so the error behaviour (exception type,
+    message text) is exactly the reference's.  Types with no fused form
+    (e.g. opaque state) keep ``ty.pack`` unchanged.
+    """
+    fast = _fused_packer(ty)
+    if fast is None:
+        return ty.pack
+    slow = ty.pack
+
+    def pack(value: Any) -> int:
+        try:
+            return fast(value)
+        except _FastPackMismatch:
             return slow(value)
 
-        return pack
-    return ty.pack
+    return pack
+
+
+def _compile_unpack(ty: BCLType) -> Callable[[int], Any]:
+    """Specialise ``ty.unpack`` for the per-message transport hot path.
+
+    Unlike packing, decoding needs no fallback: the input is always the
+    unsigned payload integer the wire delivered, and the compiled closures
+    replicate the reference bit semantics exactly (masking, two's-complement
+    sign extension, vector element order, struct field order).  Fixed-point
+    leaves box through :func:`~repro.core.fixedpoint.from_wrapped_raw`,
+    skipping the re-wrap of already-wrapped values.
+    """
+    if isinstance(ty, (UIntT, BitT)):
+        mask = (1 << ty.n) - 1
+        return lambda bits: bits & mask
+    if isinstance(ty, BoolT):
+        return lambda bits: bool(bits & 1)
+    if isinstance(ty, IntT):
+        mask = (1 << ty.n) - 1
+        sign = 1 << (ty.n - 1)
+        return lambda bits: ((bits & mask) ^ sign) - sign
+    if isinstance(ty, FixPtT):
+        ib, fb = ty.int_bits, ty.frac_bits
+        mask = (1 << (ib + fb)) - 1
+        sign = 1 << (ib + fb - 1)
+        return lambda bits: from_wrapped_raw(((bits & mask) ^ sign) - sign, ib, fb)
+    if isinstance(ty, ComplexT):
+        ib, fb = ty.elem.int_bits, ty.elem.frac_bits
+        w = ty.elem.bit_width()
+        mask = (1 << w) - 1
+        sign = 1 << (w - 1)
+
+        def unpack_complex(bits: int) -> FixComplex:
+            return FixComplex(
+                from_wrapped_raw((((bits >> w) & mask) ^ sign) - sign, ib, fb),
+                from_wrapped_raw(((bits & mask) ^ sign) - sign, ib, fb),
+            )
+
+        return unpack_complex
+    if isinstance(ty, VectorT):
+        n = ty.n
+        w = ty.elem.bit_width()
+        elem = ty.elem
+        if isinstance(elem, FixPtT):
+            ib, fb = elem.int_bits, elem.frac_bits
+            mask = (1 << w) - 1
+            sign = 1 << (w - 1)
+
+            def unpack_fix_vec(bits: int) -> Tuple[Any, ...]:
+                return tuple(
+                    from_wrapped_raw((((bits >> (i * w)) & mask) ^ sign) - sign, ib, fb)
+                    for i in range(n)
+                )
+
+            return unpack_fix_vec
+        if isinstance(elem, ComplexT):
+            ib, fb = elem.elem.int_bits, elem.elem.frac_bits
+            half = elem.elem.bit_width()
+            mask = (1 << half) - 1
+            sign = 1 << (half - 1)
+
+            def unpack_cplx_vec(bits: int) -> Tuple[Any, ...]:
+                out = []
+                append = out.append
+                for i in range(n):
+                    word = bits >> (i * w)
+                    append(
+                        FixComplex(
+                            from_wrapped_raw(
+                                (((word >> half) & mask) ^ sign) - sign, ib, fb
+                            ),
+                            from_wrapped_raw(((word & mask) ^ sign) - sign, ib, fb),
+                        )
+                    )
+                return tuple(out)
+
+            return unpack_cplx_vec
+        sub = _compile_unpack(elem)
+        mask = (1 << w) - 1
+        return lambda bits: tuple(sub((bits >> (i * w)) & mask) for i in range(n))
+    if isinstance(ty, StructT):
+        # LSB-first offsets walk the declaration order in reverse; the
+        # decoded dict is built in declared order, like the reference.
+        offsets: Dict[str, int] = {}
+        off = 0
+        for fname, fty in reversed(ty.fields):
+            offsets[fname] = off
+            off += fty.bit_width()
+        entries = tuple(
+            (fname, offsets[fname], (1 << fty.bit_width()) - 1, _compile_unpack(fty))
+            for fname, fty in ty.fields
+        )
+
+        def unpack_struct(bits: int) -> Dict[str, Any]:
+            return {
+                fname: sub((bits >> shift) & mask)
+                for fname, shift, mask, sub in entries
+            }
+
+        return unpack_struct
+    return ty.unpack
 
 
 class MessageLayout:
@@ -458,7 +756,7 @@ class MessageLayout:
         """
         if self._decoder is not None:
             return self._decoder
-        unpack = self.ty.unpack
+        unpack = _compile_unpack(self.ty)
         if self.payload_words == 1:
             decode: Callable[[Sequence[int], int], Any] = (
                 lambda words, start: unpack(words[start])
@@ -481,7 +779,7 @@ class MessageLayout:
         layout starting at ``start`` (each ``message_words`` long, header
         first) decode to a list of values in one call -- the batched
         hardware-side delivery path."""
-        unpack = self.ty.unpack
+        unpack = _compile_unpack(self.ty)
         stride = self.message_words
         if self.payload_words == 1:
 

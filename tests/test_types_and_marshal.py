@@ -378,6 +378,169 @@ class TestMessageLayout:
             encode(True)  # bools are not UInt inhabitants, fast path must not accept
 
 
+class TestFusedPackUnpack:
+    """The fused per-layout pack/unpack closures must be observationally
+    identical to ``ty.pack``/``ty.unpack`` -- values, error types *and*
+    error messages."""
+
+    #: The frame shapes the transport actually moves, plus awkward nestings.
+    TYPES = [
+        UIntT(32),
+        BitT(7),
+        IntT(16),
+        BoolT(),
+        FixPtT(8, 24),
+        FixPtT(24, 40),
+        ComplexT(FixPtT(16, 16)),
+        VectorT(8, FixPtT(8, 24)),
+        VectorT(64, ComplexT(FixPtT(8, 24))),
+        VectorT(16, UIntT(32)),
+        VectorT(5, BitT(3)),
+        VectorT(4, IntT(8)),
+        VectorT(3, VectorT(2, FixPtT(4, 4))),
+        StructT(
+            "Ray",
+            [
+                ("origin", VectorT(3, FixPtT(16, 16))),
+                ("dir", VectorT(3, FixPtT(16, 16))),
+                ("pixel", UIntT(16)),
+            ],
+        ),
+        StructT(
+            "Mix",
+            [
+                ("flag", BoolT()),
+                ("z", ComplexT(FixPtT(4, 4))),
+                ("inner", StructT("Inner", [("x", IntT(5)), ("y", UIntT(3))])),
+            ],
+        ),
+    ]
+
+    @staticmethod
+    def _random_value(rng, ty):
+        import random as _random
+
+        if isinstance(ty, (UIntT, BitT)):
+            return rng.randrange(1 << ty.n)
+        if isinstance(ty, BoolT):
+            return rng.random() < 0.5
+        if isinstance(ty, IntT):
+            return rng.randrange(-(1 << (ty.n - 1)), 1 << (ty.n - 1))
+        if isinstance(ty, FixPtT):
+            total = ty.bit_width()
+            return FixedPoint.from_raw(
+                rng.randrange(-(1 << (total - 1)), 1 << (total - 1)),
+                ty.int_bits,
+                ty.frac_bits,
+            )
+        if isinstance(ty, ComplexT):
+            make = TestFusedPackUnpack._random_value
+            return FixComplex(make(rng, ty.elem), make(rng, ty.elem))
+        if isinstance(ty, VectorT):
+            make = TestFusedPackUnpack._random_value
+            return tuple(make(rng, ty.elem) for _ in range(ty.n))
+        assert isinstance(ty, StructT)
+        make = TestFusedPackUnpack._random_value
+        return {f: make(rng, t) for f, t in ty.fields}
+
+    @pytest.mark.parametrize("ty", TYPES, ids=repr)
+    def test_fused_matches_reference_on_random_values(self, ty):
+        import random
+
+        rng = random.Random(repr(ty))
+        pack = marshal._compile_pack(ty)
+        unpack = marshal._compile_unpack(ty)
+        for _ in range(200):
+            value = self._random_value(rng, ty)
+            bits = ty.pack(value)
+            assert pack(value) == bits
+            decoded = unpack(bits)
+            reference = ty.unpack(bits)
+            assert decoded == reference
+            assert type(decoded) is type(reference)
+            if isinstance(reference, dict):
+                assert list(decoded) == list(reference)
+
+    def test_vectors_accept_lists_like_the_reference(self):
+        ty = VectorT(3, FixPtT(8, 24))
+        value = [FixedPoint.from_float(v, 8, 24) for v in (0.5, -1.25, 2.0)]
+        assert marshal._compile_pack(ty)(value) == ty.pack(value)
+
+    @pytest.mark.parametrize(
+        "ty,value",
+        [
+            (UIntT(8), 256),
+            (UIntT(8), -1),
+            (UIntT(8), True),
+            (UIntT(8), "x"),
+            (IntT(8), 128),
+            (BoolT(), 1),
+            (FixPtT(8, 24), 5),
+            (FixPtT(8, 24), FixedPoint.from_raw(0, 4, 12)),
+            (ComplexT(FixPtT(8, 24)), 3),
+            (
+                ComplexT(FixPtT(8, 24)),
+                FixComplex(FixedPoint.from_raw(0, 4, 12), FixedPoint.from_raw(0, 4, 12)),
+            ),
+            (VectorT(3, UIntT(8)), (1, 2)),
+            (VectorT(3, UIntT(8)), (1, 2, 999)),
+            (VectorT(3, UIntT(8)), "abc"),
+            (VectorT(2, FixPtT(4, 4)), (FixedPoint.from_raw(0, 4, 4), 7)),
+            (StructT("S", [("a", UIntT(4)), ("b", UIntT(4))]), {"a": 1}),
+            (StructT("S", [("a", UIntT(4)), ("b", UIntT(4))]), [1, 2]),
+            (StructT("S", [("a", UIntT(4)), ("b", UIntT(4))]), {"a": 1, "b": 99}),
+        ],
+    )
+    def test_fused_fallback_reproduces_reference_errors(self, ty, value):
+        def outcome(fn):
+            try:
+                fn(value)
+                return None
+            except Exception as exc:  # noqa: BLE001 - comparing behaviours
+                return (type(exc), str(exc))
+
+        reference = outcome(ty.pack)
+        assert reference is not None
+        assert outcome(marshal._compile_pack(ty)) == reference
+
+    def test_legal_values_the_fast_predicate_rejects_still_pack(self):
+        """A FixedPoint subclass passes the reference isinstance check but
+        not the fused ``__class__ is`` predicate: the fallback must pack it."""
+
+        class SubFix(FixedPoint):
+            pass
+
+        ty = FixPtT(8, 24)
+        value = SubFix(3, 8, 24)
+        assert marshal._compile_pack(ty)(value) == ty.pack(value)
+
+    def test_non_dict_mappings_still_pack(self):
+        from collections import OrderedDict
+
+        ty = StructT("S", [("a", UIntT(4)), ("b", UIntT(4))])
+        value = OrderedDict((("b", 2), ("a", 1)))
+        assert marshal._compile_pack(ty)(value) == ty.pack(value)
+
+    def test_opaque_keeps_reference_behaviour(self):
+        ty = OpaqueT()
+        with pytest.raises(TypeCheckError):
+            marshal._compile_pack(ty)(object())
+        with pytest.raises(TypeCheckError):
+            marshal._compile_unpack(ty)(0)
+
+    def test_layout_decoder_uses_fused_unpack(self):
+        ty = VectorT(4, ComplexT(FixPtT(8, 24)))
+        layout = marshal.layout_for(ty, 32)
+        import random
+
+        rng = random.Random(13)
+        value = self._random_value(rng, ty)
+        words = layout.encoder(2)(value)
+        assert layout.decoder()(words, 1) == value
+        flat = layout.batch_encoder(2)([value, value])
+        assert layout.run_decoder()(flat, 0, 2) == [value, value]
+
+
 class TestWireFormatValidation:
     def test_header_must_fit_the_link_word(self):
         with pytest.raises(WireFormatError, match="word width is 16"):
