@@ -25,6 +25,11 @@ Two extra sections ride along:
   fanned across worker processes by :mod:`repro.sim.shard`, reported as
   sweep wall-clock vs. serial-equivalent compute and recorded under
   ``sweep`` in ``BENCH_compiled.json``;
+* a **persistent serving** section: a small-frame Vorbis request stream
+  through one resident :class:`~repro.sim.serve.FabricServer`
+  (elaborate once, snapshot/reset per request) vs. the
+  elaborate-per-request baseline, recording sustained requests/sec and
+  p50/p99 request latency under ``serving`` in ``BENCH_compiled.json``;
 * a **grouped execution** section: a multi-group workload (independent
   Vorbis pipelines in one design, one fabric group each) run three ways --
   the legacy lockstep loop, the fabric's serially scheduled group
@@ -519,6 +524,81 @@ def grouped_execution(size: str, repeats: int, processes: int = 2) -> Dict[str, 
     return rows
 
 
+#: Serving benchmark composition: a small-frame Vorbis workload in the
+#: small-request regime (single-frame decodes, so elaboration dominates
+#: the per-request baseline) and the stream length.  The embedded oracle
+#: check still exercises every distinct start frame; randomized
+#: mixed-input streams are covered by ``tests/test_serve.py``.
+SERVING = {
+    "full": {"params": VorbisParams(n=16, n_frames=2), "requests": 200},
+    "quick": {"params": VorbisParams(n=16, n_frames=2), "requests": 40},
+}
+
+
+def serving_benchmark(size: str) -> Dict[str, Any]:
+    """Resident-fabric serving vs. the elaborate-per-request baseline.
+
+    The resident arm elaborates once and streams every request through one
+    :class:`~repro.sim.serve.FabricServer` (snapshot/reset between
+    requests); the baseline arm serves the same stream through
+    :func:`~repro.sim.serve.serve_fresh`, paying full elaboration per
+    request -- exactly what every pre-serving entry point did.  Both arms
+    must agree bitwise on a sampled request (the serving acceptance
+    oracle).  Latency percentiles are per-request wall times: the
+    repo's first latency metrics, since throughput-only numbers hide the
+    tail that snapshot restore could add.
+    """
+    from repro.sim.serve import FabricServer, ServingStats, safe_ratio, serve_fresh
+
+    config = SERVING[size]
+    params = config["params"]
+    builder = vorbis_partitions.build_partition
+    spec = ("B", params)
+
+    server = FabricServer(builder, spec)
+    requests = [
+        server.workload.frame_request(params.n_frames - 1, name=f"req{i}")
+        for i in range(config["requests"])
+    ]
+
+    # Embedded oracle: one request per distinct start, resident vs. fresh.
+    for start in range(params.n_frames):
+        probe = requests[start]
+        resident = server.serve(probe)
+        fresh = serve_fresh(builder, probe, spec)
+        if asdict(resident.result) != asdict(fresh.result) or resident.outputs != fresh.outputs:
+            raise SystemExit(
+                f"serving oracle: resident result for {probe.name} diverged "
+                "from fresh elaboration"
+            )
+
+    t0 = time.perf_counter()
+    results = server.serve_many(requests)
+    resident_wall = time.perf_counter() - t0
+    resident = ServingStats.of(results, resident_wall, server.elaborate_seconds)
+
+    baseline_latencies = []
+    for request in requests:
+        t1 = time.perf_counter()
+        serve_fresh(builder, request, spec)
+        baseline_latencies.append(time.perf_counter() - t1)
+    baseline = ServingStats(
+        requests=len(requests),
+        wall_seconds=sum(baseline_latencies),
+        elaborate_seconds=0.0,  # the baseline pays elaboration inside every request
+        latencies=baseline_latencies,
+    )
+
+    return {
+        "workload": f"vorbis_B (n={params.n}, n_frames={params.n_frames})",
+        "resident": resident.row(),
+        "elaborate_per_request": baseline.row(),
+        "amortisation": safe_ratio(
+            resident.requests_per_second, baseline.requests_per_second
+        ),
+    }
+
+
 def sharded_sweep(size: str, processes: int, backend: str = "compiled") -> Dict[str, Any]:
     """The full workload set fanned across processes by the shard runner."""
     params = SIZES[size]
@@ -689,6 +769,27 @@ def main(argv=None) -> int:
         "across backends; lockstep agrees on firings/traffic/checksums"
     )
 
+    # -- persistent serving ------------------------------------------------
+    serving = serving_benchmark(size)
+    print(
+        f"\n=== Persistent serving: resident fabric vs. elaborate-per-request "
+        f"({serving['workload']}) ==="
+    )
+    s_header = f"{'arm':<22} {'req/s':>10} {'p50 (ms)':>9} {'p99 (ms)':>9}"
+    print(s_header)
+    print("-" * len(s_header))
+    for arm in ("resident", "elaborate_per_request"):
+        row = serving[arm]
+        print(
+            f"{arm:<22} {row['requests_per_second']:>10,.1f} "
+            f"{row['p50_ms']:>9.3f} {row['p99_ms']:>9.3f}"
+        )
+    print(
+        f"{serving['resident']['requests']} requests; resident serving sustains "
+        f"{serving['amortisation']:.1f}x the elaborate-per-request throughput "
+        "(sampled requests verified bitwise against fresh elaborations)"
+    )
+
     # -- sharded sweep -----------------------------------------------------
     sweep = None
     if args.processes:
@@ -716,6 +817,7 @@ def main(argv=None) -> int:
             payload["transport_dataplane"] = dataplane
             payload["kernel_microbench"] = kernels_bench
             payload["grouped_execution"] = grouped
+            payload["serving"] = serving
             if sweep is not None:
                 payload["sweep"] = sweep
         # Quick (CI smoke) runs get their own files so they never clobber

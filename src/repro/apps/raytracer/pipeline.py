@@ -54,11 +54,33 @@ class RayTracer:
     image: RegFile
     modules: Dict[str, Module] = field(default_factory=dict)
     syncs: Dict[str, SyncFifo] = field(default_factory=dict)
+    pixel_idx: Optional[Register] = None
 
     def cosim_done(self, cosim) -> bool:
         # Owner-resolved read: works on the two-partition wrapper and on
         # N-domain fabrics (done_count lives in the software-side collector).
         return cosim.read(self.done_count) >= self.params.n_rays
+
+    def tile_request(self, start_pixel: int = 0, name: str = ""):
+        """A serving request rendering pixels ``start_pixel..n_rays-1``.
+
+        Writes the ray-generator cursor ``pixel_idx`` (different starts
+        render different tiles and fold different checksums), declares
+        completion as ``done_count`` reaching the tile's ray count, and
+        returns the image checksum.  Plain picklable data for the serving
+        layer.
+        """
+        from repro.sim.serve import Request
+
+        n_rays = self.params.n_rays
+        if not 0 <= start_pixel < n_rays:
+            raise ValueError(f"start_pixel must be in [0, {n_rays}), got {start_pixel}")
+        return Request(
+            name=name or f"{self.design.name}:tile[{start_pixel}:{n_rays}]",
+            writes={self.pixel_idx.full_name: start_pixel},
+            done_min={self.done_count.full_name: n_rays - start_pixel},
+            outputs=(self.checksum.full_name, self.done_count.full_name),
+        )
 
     def image_values(self, reader) -> List[FixedPoint]:
         """The rendered pixel values, via a register reader function."""
@@ -500,6 +522,7 @@ def build_raytracer(
         done_count=done_count,
         checksum=checksum,
         image=image_rf,
+        pixel_idx=pixel_idx,
         modules={
             "raygen": raygen,
             "trav": trav,

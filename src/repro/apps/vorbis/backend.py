@@ -67,6 +67,31 @@ class VorbisBackend:
     def placement_name(self) -> str:
         return ", ".join(f"{k}={v.name}" for k, v in sorted(self.placement.items()))
 
+    def frame_request(self, start_frame: int = 0, name: str = ""):
+        """A serving request decoding frames ``start_frame..n_frames-1``.
+
+        The request writes the generator cursor ``frame_idx`` (so the
+        pipeline emits ``n_frames - start_frame`` frames -- different
+        starts produce different checksums, which is what lets the serving
+        tests detect any state leaking across snapshot resets), declares
+        completion as ``frames_out`` reaching that count, and returns the
+        audio checksum.  Plain picklable data, servable by a resident
+        :class:`~repro.sim.serve.FabricServer` or a pool worker.
+        """
+        from repro.sim.serve import Request
+
+        n_frames = self.params.n_frames
+        if not 0 <= start_frame < n_frames:
+            raise ValueError(
+                f"start_frame must be in [0, {n_frames}), got {start_frame}"
+            )
+        return Request(
+            name=name or f"{self.design.name}:frames[{start_frame}:{n_frames}]",
+            writes={self.frame_idx.full_name: start_frame},
+            done_min={self.frames_out.full_name: n_frames - start_frame},
+            outputs=(self.checksum.full_name, self.frames_out.full_name),
+        )
+
 
 def build_backend(
     params: Optional[VorbisParams] = None,

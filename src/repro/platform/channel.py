@@ -97,6 +97,20 @@ class ChannelStats:
         self.busy_cycles += occupancy
         self.per_vc_messages[vc_id] = self.per_vc_messages.get(vc_id, 0) + 1
 
+    def snapshot(self) -> tuple:
+        """Capture the counters as plain data (restorable in place)."""
+        return (self.messages, self.words, self.busy_cycles, dict(self.per_vc_messages))
+
+    def restore(self, snap: tuple) -> None:
+        """Reset the counters to a snapshot, mutating in place.
+
+        Compiled transport closures pre-bind both this object and its
+        ``per_vc_messages`` dict, so neither identity may be replaced.
+        """
+        self.messages, self.words, self.busy_cycles, per_vc = snap
+        self.per_vc_messages.clear()
+        self.per_vc_messages.update(per_vc)
+
 
 class MessagePool:
     """Slotted in-flight message storage: flat rings of primitives.
@@ -174,6 +188,33 @@ class MessagePool:
             self.head = 0
             self.word_head = 0
 
+    def snapshot(self) -> tuple:
+        """Capture the in-flight rings and head cursors as plain data."""
+        return (
+            list(self.words),
+            list(self.vc_ids),
+            list(self.bounds),
+            list(self.due),
+            self.head,
+            self.word_head,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Reset the rings to a snapshot.
+
+        Ring contents are replaced by slice assignment -- the list objects'
+        identities are part of the pool's contract (compiled transport
+        closures pre-bind them), so they are trimmed/refilled in place,
+        never rebound.
+        """
+        words, vc_ids, bounds, due, head, word_head = snap
+        self.words[:] = words
+        self.vc_ids[:] = vc_ids
+        self.bounds[:] = bounds
+        self.due[:] = due
+        self.head = head
+        self.word_head = word_head
+
     def push(self, vc_id: int, words: Iterable[int], due: float) -> None:
         """Append one framed message (header + payload words) to the rings."""
         self.compact()
@@ -215,6 +256,18 @@ class ChannelDirection:
         self.busy_until: float = 0.0
         self.pool = MessagePool()
         self.stats = ChannelStats()
+
+    def snapshot(self) -> tuple:
+        """Capture the direction's mutable state (arbitration, pool, stats)."""
+        return (self.busy_until, self.pool.snapshot(), self.stats.snapshot())
+
+    def restore(self, snap: tuple) -> None:
+        """Reset the direction to a snapshot; pool and stats objects (and the
+        pool's ring lists) keep their identities for pre-bound closures."""
+        busy_until, pool_snap, stats_snap = snap
+        self.busy_until = busy_until
+        self.pool.restore(pool_snap)
+        self.stats.restore(stats_snap)
 
     def send_words(
         self,

@@ -69,6 +69,31 @@ class VirtualChannel:
         """Whether launching one more element would respect the consumer's buffering."""
         return self.credits > 0
 
+    def snapshot(self) -> tuple:
+        """Capture the channel's flow-control state and traffic counters."""
+        s = self.stats
+        return (
+            self.credits,
+            self.in_flight,
+            s.messages_sent,
+            s.messages_delivered,
+            s.words_sent,
+            s.stalled_on_credit,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Reset to a snapshot; the ``stats`` object keeps its identity
+        (compiled transport pumps pre-bind it)."""
+        s = self.stats
+        (
+            self.credits,
+            self.in_flight,
+            s.messages_sent,
+            s.messages_delivered,
+            s.words_sent,
+            s.stalled_on_credit,
+        ) = snap
+
     def note_credit_stall(self) -> None:
         self.stats.stalled_on_credit += 1
 

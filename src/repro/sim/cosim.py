@@ -817,6 +817,82 @@ class CosimFabric:
         """Contents of a FIFO in the partition that owns it."""
         return tuple(self.read(fifo.data))
 
+    def write(self, reg: Register, value: Any) -> None:
+        """Write a request input into every engine's copy of ``reg``.
+
+        Each engine holds a full copy of the design's store, so a request
+        input must land in all of them (through the live stores' regular
+        ``__setitem__``, waking any rule that reads the register) *and* in
+        :attr:`_initial_values` -- the reset values served for out-of-group
+        reads -- so grouped execution sees the same input a fresh
+        elaboration with that initial value would.  This is the single
+        input-application path of the serving layer: the resident
+        :class:`~repro.sim.serve.FabricServer` and its fresh-elaboration
+        oracle both apply requests through it.
+        """
+        if reg not in self._initial_values:
+            raise KeyError(
+                f"design {self.design.name} has no register {reg.full_name}"
+            )
+        seen = set()
+        for dom in self.domains:
+            store = self.engines[dom].store
+            if id(store) in seen:
+                continue
+            seen.add(id(store))
+            store[reg] = value
+        self._initial_values[reg] = value
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the fabric's complete mutable state as plain data.
+
+        Covers, in deterministic orders: every engine (stores, wakeup
+        state, in-flight rules, parked deliveries, statistics) in engine
+        order; every link direction (arbitration, pool rings, traffic
+        counters) in topology registration order; every virtual channel
+        (credits, in-flight counts, stats) in cut order; the per-group
+        clocks; the fabric clock; and the reset-value/observation state of
+        grouped execution.  ``restore`` rewinds to the snapshot in O(state)
+        without re-elaborating -- the basis of persistent serving, where a
+        snapshot taken at reset makes every post-restore run's
+        ``CosimResult`` a per-request delta.
+        """
+        return (
+            [self.engines[dom].snapshot() for dom in self.domains],
+            [direction.snapshot() for direction in self.topology.directions],
+            [vc.snapshot() for vc in self.vcs],
+            [group.now for group in self._groups],
+            self.now,
+            dict(self._initial_values),
+            set(self._last_observed),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind the fabric to a snapshot, preserving every object identity.
+
+        Engines, stores, pool rings, stats objects and virtual channels are
+        mutated in place -- the compiled transport closures pre-bind them --
+        so a restored fabric re-runs requests through the exact closures the
+        elaboration built.
+        """
+        engines, directions, vcs, group_clocks, now, initials, observed = snap
+        for dom, engine_snap in zip(self.domains, engines):
+            self.engines[dom].restore(engine_snap)
+        for direction, direction_snap in zip(self.topology.directions, directions):
+            direction.restore(direction_snap)
+        for vc, vc_snap in zip(self.vcs, vcs):
+            vc.restore(vc_snap)
+        for group, clock in zip(self._groups, group_clocks):
+            group.now = clock
+        self.now = now
+        self._initial_values = dict(initials)
+        self._last_observed = set(observed)
+        self._active_group = None
+        self._observing = None
+        self._read_overrides = None
+
     # -- group views ---------------------------------------------------------
 
     @property

@@ -93,6 +93,70 @@ class HwEngine:
         self.total_firings = 0
         self.last_cycle_stepped: Optional[float] = None
 
+    # -- snapshot / restore ---------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture every mutable field as plain data (O(state), no recompilation).
+
+        Store values are shared shallowly under the engines' rebind-only
+        contract; the in-flight rule table copies its per-rule deferred
+        update dicts (a rule commit mutates nothing inside them, but the
+        table itself changes as rules finish).
+        """
+        wakeup = self._wakeup
+        return (
+            dict(self.store),
+            bytes(wakeup.sleeping) if wakeup is not None else None,
+            wakeup.n_sleeping if wakeup is not None else 0,
+            {rule: (finish, dict(updates)) for rule, (finish, updates) in self.busy.items()},
+            dict(self._locked_count),
+            self._next_finish,
+            list(self._pending_deliveries),
+            dict(self.fire_counts),
+            self.cycles_active,
+            self.total_firings,
+            self.last_cycle_stepped,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Reset the engine to a snapshot, in place.
+
+        The store keeps its identity (transport closures pre-bind it and the
+        bound ``locked_registers`` method): contents are rewritten through
+        the unbound ``dict`` methods (no wake callbacks), the wakeup state is
+        restored explicitly, and ``_locked_count`` is refilled in place so
+        the pre-bound ``locked_registers`` view stays truthful.
+        """
+        (
+            contents,
+            sleeping,
+            n_sleeping,
+            busy,
+            locked_count,
+            self._next_finish,
+            pending_deliveries,
+            fire_counts,
+            self.cycles_active,
+            self.total_firings,
+            self.last_cycle_stepped,
+        ) = snap
+        store = self.store
+        dict.clear(store)
+        dict.update(store, contents)
+        wakeup = self._wakeup
+        if wakeup is not None:
+            wakeup.sleeping[:] = sleeping
+            wakeup.n_sleeping = n_sleeping
+        self.busy.clear()
+        self.busy.update(
+            {rule: (finish, dict(updates)) for rule, (finish, updates) in busy.items()}
+        )
+        self._locked_count.clear()
+        self._locked_count.update(locked_count)
+        self._pending_deliveries = list(pending_deliveries)
+        self.fire_counts.clear()
+        self.fire_counts.update(fire_counts)
+
     # -- channel-facing API ---------------------------------------------------
 
     def locked_registers(self):

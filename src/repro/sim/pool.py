@@ -1,0 +1,326 @@
+"""A unified work-stealing worker pool over resident fabrics.
+
+Every kind of parallel work the simulator fans out -- sweep points
+(:class:`~repro.sim.shard.SweepTask`), independent groups of one design
+(:class:`~repro.sim.shard.GroupTask`) and live serving requests
+(:class:`~repro.sim.serve.Request`) -- reduces to the same worker-side
+shape: *elaborate a workload (once), run something on its fabric, report
+plain data*.  This module is that single submission path:
+
+* a :class:`PoolTask` names a picklable module-level builder plus its
+  arguments (the compile-once / run-anywhere contract of
+  :mod:`repro.sim.shard`: workers never receive an elaborated design --
+  foreign-kernel closures do not pickle) and one of three task kinds;
+* :func:`run_pool` fans tasks out over ``fork``-context worker processes
+  pulling from one shared queue -- **work stealing**: a worker that
+  finishes early takes the next pending task instead of idling behind a
+  static chunking -- and degrades to in-process serial execution (the same
+  code path) when pools are unavailable;
+* each worker keeps a small cache of **resident**
+  :class:`~repro.sim.serve.FabricServer`\\ s keyed by builder spec, so
+  repeated tasks against one design elaborate once and run from the
+  resident fabric via snapshot/restore (bitwise identical to fresh
+  elaboration -- the serving layer's pinned invariant).
+
+Result ordering is deterministic: outcomes are returned in task-submission
+order regardless of which worker ran what, so sweep reassembly and group
+merging inherit the pool's ordering rule unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.sim.cosim import CosimResult
+from repro.sim.serve import FabricServer, Request
+
+#: Task kinds the pool executes.
+POOL_TASK_KINDS = ("run", "group", "request")
+
+#: How many resident servers one worker keeps before evicting the least
+#: recently used (overridable via ``REPRO_POOL_RESIDENTS``).
+DEFAULT_RESIDENT_LIMIT = 4
+
+#: Give up on a wedged pool after this many seconds without any result.
+_POOL_STALL_SECONDS = 600.0
+
+
+@dataclass
+class PoolTask:
+    """One unit of pool work: a builder spec plus what to run on its fabric.
+
+    ``kind`` selects the worker-side action:
+
+    * ``"run"`` -- run the whole fabric to the workload's own ``cosim_done``
+      (a sweep point);
+    * ``"group"`` -- run group ``group_index`` of the fabric and report the
+      group's observed finals (one shard of a grouped run);
+    * ``"request"`` -- serve ``request`` on the resident fabric (one unit of
+      streamed traffic).
+
+    ``fabric_kind`` follows :class:`~repro.sim.serve.FabricServer`:
+    ``"auto"`` maps to the two-partition ``Cosimulator`` unless explicit
+    ``engine_kinds`` are given; group tasks always use ``"fabric"``.
+    """
+
+    name: str
+    builder: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    backend: str = "compiled"
+    transport: Optional[str] = None
+    engine_kinds: Optional[Dict[str, str]] = None
+    max_cycles: float = 500_000_000.0
+    kind: str = "run"
+    group_index: int = 0
+    request: Optional[Request] = None
+    fabric_kind: str = "auto"
+    scheduler: str = "grouped"
+
+    def __post_init__(self):
+        if self.kind not in POOL_TASK_KINDS:
+            raise ValueError(
+                f"unknown pool task kind {self.kind!r} (expected one of {POOL_TASK_KINDS})"
+            )
+        if self.kind == "request" and self.request is None:
+            raise ValueError(f"pool task {self.name!r} has kind='request' but no request")
+
+
+@dataclass
+class PoolOutcome:
+    """Plain-data outcome of one pool task."""
+
+    name: str
+    kind: str
+    result: CosimResult
+    #: Group tasks only: final values of the done predicate's observed
+    #: registers the group owns, keyed by register full name.
+    observations: Optional[Dict[str, Any]]
+    #: Request tasks only: the request's named output registers.
+    outputs: Optional[Dict[str, Any]]
+    wall_seconds: float
+    pid: int
+    #: Whether this task paid elaboration (False: served by a resident
+    #: fabric the worker already held for the same builder spec).
+    elaborated: bool
+
+
+# --------------------------------------------------------------------------
+# per-worker resident servers
+# --------------------------------------------------------------------------
+
+#: builder-spec key -> resident server, least recently used first.  One per
+#: process: forked workers start with the parent's (usually empty) cache and
+#: diverge from there.
+_RESIDENT: "OrderedDict[tuple, FabricServer]" = OrderedDict()
+
+
+def resident_limit() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_POOL_RESIDENTS", DEFAULT_RESIDENT_LIMIT)))
+    except ValueError:
+        return DEFAULT_RESIDENT_LIMIT
+
+
+def _spec_key(task: PoolTask) -> tuple:
+    """The elaboration identity of a task: everything the fabric's shape
+    depends on (and nothing that can vary per run, like max_cycles)."""
+    builder = task.builder
+    return (
+        getattr(builder, "__module__", None),
+        getattr(builder, "__qualname__", repr(builder)),
+        repr(task.args),
+        repr(sorted(task.kwargs.items())),
+        task.backend,
+        task.transport,
+        repr(sorted((task.engine_kinds or {}).items())),
+        task.fabric_kind,
+    )
+
+
+def clear_residents() -> None:
+    """Drop this process's resident servers (test isolation hook)."""
+    _RESIDENT.clear()
+
+
+def _resident_server(task: PoolTask) -> Tuple[FabricServer, bool]:
+    """Get (or elaborate) the resident server for a task's builder spec."""
+    key = _spec_key(task)
+    server = _RESIDENT.get(key)
+    if server is not None:
+        _RESIDENT.move_to_end(key)
+        return server, False
+    server = FabricServer(
+        task.builder,
+        task.args,
+        dict(task.kwargs),
+        backend=task.backend,
+        transport=task.transport,
+        engine_kinds=dict(task.engine_kinds) if task.engine_kinds else None,
+        fabric_kind=task.fabric_kind,
+        scheduler=task.scheduler,
+        max_cycles=task.max_cycles,
+    )
+    _RESIDENT[key] = server
+    limit = resident_limit()
+    while len(_RESIDENT) > limit:
+        _RESIDENT.popitem(last=False)
+    return server, True
+
+
+def run_pool_task(task: PoolTask) -> PoolOutcome:
+    """Execute one pool task in the current process against a resident fabric.
+
+    This is the single worker-side execution path of sweeps, grouped runs
+    and request serving; the serial fallback of :func:`run_pool` calls it
+    directly, so parallel and serial execution share every code path after
+    dispatch.
+    """
+    t0 = time.perf_counter()
+    server, elaborated = _resident_server(task)
+    # Run-scoped knobs are not part of the elaboration identity; pin them
+    # per task so a resident serves mixed budgets/schedulers correctly.
+    server.max_cycles = task.max_cycles
+    server.scheduler = task.scheduler
+    observations: Optional[Dict[str, Any]] = None
+    outputs: Optional[Dict[str, Any]] = None
+    if task.kind == "run":
+        result = server.serve(Request(name=task.name)).result
+    elif task.kind == "group":
+        fabric = server.fabric
+        try:
+            result = fabric.run_group(
+                task.group_index, server.workload.cosim_done, max_cycles=task.max_cycles
+            )
+            observations = fabric.group_observations(task.group_index)
+        finally:
+            server.reset()
+    else:  # "request"
+        served = server.serve(task.request)
+        result = served.result
+        outputs = served.outputs
+    return PoolOutcome(
+        name=task.name,
+        kind=task.kind,
+        result=result,
+        observations=observations,
+        outputs=outputs,
+        wall_seconds=time.perf_counter() - t0,
+        pid=os.getpid(),
+        elaborated=elaborated,
+    )
+
+
+# --------------------------------------------------------------------------
+# the pool
+# --------------------------------------------------------------------------
+
+
+def _worker_loop(task_queue, result_queue) -> None:
+    """Worker main: steal tasks until the stop sentinel arrives."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, task = item
+        try:
+            payload = (index, True, run_pool_task(task))
+        except BaseException as exc:  # noqa: BLE001 -- report, parent re-raises
+            payload = (index, False, _picklable_error(exc))
+        result_queue.put(payload)
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """An exception safe to ship over a result queue."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return SimulationError(f"{type(exc).__name__}: {exc}")
+
+
+def run_pool(
+    tasks: List[PoolTask],
+    processes: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> Tuple[List[PoolOutcome], int]:
+    """Run tasks on a work-stealing worker pool; returns ``(outcomes, processes)``.
+
+    Outcomes are in task-submission order.  ``processes=None`` uses one
+    worker per CPU (capped at the task count); ``processes<=1`` (or a
+    single task) runs serially in this process through the identical
+    :func:`run_pool_task` path, which is also the automatic fallback when
+    the platform cannot start worker processes.  ``mp_context`` picks the
+    multiprocessing start method (``"fork"`` preferred: workloads built
+    from closures elaborate identically in forked children).
+    """
+    tasks = list(tasks)
+    if processes is None:
+        processes = min(len(tasks), os.cpu_count() or 1)
+    processes = max(1, min(processes, len(tasks))) if tasks else 1
+    if processes <= 1 or len(tasks) <= 1:
+        return [run_pool_task(task) for task in tasks], 1
+
+    if mp_context is None:
+        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    ctx = multiprocessing.get_context(mp_context)
+    try:
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        workers = [
+            ctx.Process(target=_worker_loop, args=(task_queue, result_queue), daemon=True)
+            for _ in range(processes)
+        ]
+        for worker in workers:
+            worker.start()
+    except (OSError, multiprocessing.ProcessError):
+        # Pool creation can fail in constrained sandboxes; degrade to serial.
+        return [run_pool_task(task) for task in tasks], 1
+
+    for item in enumerate(tasks):
+        task_queue.put(item)
+    for _ in workers:
+        task_queue.put(None)
+
+    outcomes: List[Optional[PoolOutcome]] = [None] * len(tasks)
+    failure: Optional[BaseException] = None
+    received = 0
+    stalled = 0.0
+    while received < len(tasks):
+        try:
+            index, ok, payload = result_queue.get(timeout=1.0)
+        except queue.Empty:
+            stalled += 1.0
+            if not any(worker.is_alive() for worker in workers):
+                failure = failure or SimulationError(
+                    f"worker pool died after {received}/{len(tasks)} tasks"
+                )
+                break
+            if stalled >= _POOL_STALL_SECONDS:
+                failure = failure or SimulationError(
+                    f"worker pool stalled with {received}/{len(tasks)} tasks done"
+                )
+                break
+            continue
+        stalled = 0.0
+        received += 1
+        if ok:
+            outcomes[index] = payload
+        elif failure is None:
+            failure = payload
+    for worker in workers:
+        worker.join(timeout=5.0)
+        if worker.is_alive():
+            worker.terminate()
+    if failure is not None:
+        raise failure
+    return outcomes, processes

@@ -1,11 +1,10 @@
 """Multiprocess sharding of co-simulations: sweeps and single-design groups.
 
-Two kinds of parallelism live here, both built on the same
-compile-once / run-anywhere model (workers never receive an elaborated
-design -- designs hold foreign-kernel closures that do not pickle, and
-shipping one would serialise the elaboration we want parallelised;
-instead every task names a module-level *builder*, picklable by qualified
-name, plus its arguments, and each worker elaborates for itself):
+Two kinds of parallelism live here, both thin wrappers over the unified
+work-stealing worker pool of :mod:`repro.sim.pool` (one submission path,
+one worker-side execution path, per-worker resident fabrics -- workers
+never receive an elaborated design; every task names a module-level
+*builder*, picklable by qualified name, plus its arguments):
 
 * **Sweeps** (:func:`run_sweep` over :class:`SweepTask`) -- a partitioning
   study (Figure 13: every placement letter of every application) is
@@ -13,18 +12,21 @@ name, plus its arguments, and each worker elaborates for itself):
   its own fabric, sharing nothing.  Results reassemble by task name, so a
   sharded sweep returns exactly the same per-task ``CosimResult``s as a
   serial one (``tests/test_fabric.py`` verifies this bit for bit).
+  Repeated points of the *same* builder spec within one worker reuse its
+  resident fabric (snapshot/restore instead of re-elaboration).
 
 * **Groups of one design** (:func:`run_grouped` over :class:`GroupTask`)
   -- the independent partition groups of a *single* design
   (:meth:`~repro.core.partition.Partitioning.independent_groups`) share no
   synchronizer, so each group sub-fabric runs under its own clock in its
   own worker (:meth:`~repro.sim.cosim.CosimFabric.run_group`): the worker
-  elaborates the full design, runs only its group, and returns the
-  group's plain-data ``CosimResult`` plus the final values of the done
-  predicate's observed registers it owns.  The parent merges the parts
-  with :meth:`~repro.sim.cosim.CosimResult.merge` and re-evaluates the
-  full done predicate over the reported finals -- producing a result
-  bitwise identical to the fabric's own serial grouped run
+  elaborates the full design (once per worker, resident thereafter), runs
+  only its group, and returns the group's plain-data ``CosimResult`` plus
+  the final values of the done predicate's observed registers it owns.
+  The parent merges the parts with
+  :meth:`~repro.sim.cosim.CosimResult.merge` and re-evaluates the full
+  done predicate over the reported finals -- producing a result bitwise
+  identical to the fabric's own serial grouped run
   (``tests/test_groups.py`` verifies this bit for bit).
 
 Process pools come from the ``fork`` start method where available
@@ -35,14 +37,15 @@ when pools are unavailable.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import SimulationError
-from repro.sim.cosim import CosimFabric, CosimResult, Cosimulator
+from repro.sim.cosim import CosimFabric, CosimResult
+from repro.sim.pool import PoolOutcome, PoolTask, run_pool, run_pool_task
+from repro.sim.serve import safe_ratio
 
 
 @dataclass
@@ -74,6 +77,9 @@ class SweepOutcome:
     result: CosimResult
     wall_seconds: float
     pid: int
+    #: Whether the worker elaborated for this task (False: it ran on a
+    #: resident fabric the worker already held for the same builder spec).
+    elaborated: bool = True
 
 
 @dataclass
@@ -94,9 +100,14 @@ class SweepReport:
         return sum(o.wall_seconds for o in self.outcomes.values())
 
     @property
+    def elaborations(self) -> int:
+        """How many tasks paid elaboration (the rest ran on resident fabrics)."""
+        return sum(1 for o in self.outcomes.values() if o.elaborated)
+
+    @property
     def speedup(self) -> float:
         """Parallel efficiency proxy: worker compute over sweep wall time."""
-        return self.worker_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+        return safe_ratio(self.worker_seconds, self.wall_seconds, default=1.0)
 
     def table(self) -> str:
         lines = [f"{'task':<18} {'fpga cycles':>12} {'wall (s)':>9} {'pid':>7}"]
@@ -107,54 +118,38 @@ class SweepReport:
         lines.append(
             f"{len(self.outcomes)} tasks on {self.processes} processes: "
             f"{self.wall_seconds:.3f}s wall, {self.worker_seconds:.3f}s compute "
-            f"({self.speedup:.2f}x)"
+            f"({self.speedup:.2f}x), {self.elaborations} elaborations"
         )
         return "\n".join(lines)
 
 
-def run_task(task: SweepTask) -> SweepOutcome:
-    """Elaborate and run one sweep task in the current process."""
-    t0 = time.perf_counter()
-    workload = task.builder(*task.args, **task.kwargs)
-    if task.engine_kinds is None:
-        sim = Cosimulator(workload.design, backend=task.backend, transport=task.transport)
-    else:
-        sim = CosimFabric(
-            workload.design,
-            backend=task.backend,
-            transport=task.transport,
-            engine_kinds=dict(task.engine_kinds),
-        )
-    result = sim.run(workload.cosim_done, max_cycles=task.max_cycles)
-    return SweepOutcome(
+def _sweep_pool_task(task: SweepTask) -> PoolTask:
+    return PoolTask(
         name=task.name,
-        result=result,
-        wall_seconds=time.perf_counter() - t0,
-        pid=os.getpid(),
+        builder=task.builder,
+        args=task.args,
+        kwargs=dict(task.kwargs),
+        backend=task.backend,
+        transport=task.transport,
+        engine_kinds=dict(task.engine_kinds) if task.engine_kinds else None,
+        max_cycles=task.max_cycles,
+        kind="run",
     )
 
 
-def _dispatch_tasks(runner, tasks, processes: int, mp_context: Optional[str]):
-    """Map ``runner`` over ``tasks`` on a worker pool; returns ``(outcomes, processes)``.
+def _sweep_outcome(outcome: PoolOutcome) -> SweepOutcome:
+    return SweepOutcome(
+        name=outcome.name,
+        result=outcome.result,
+        wall_seconds=outcome.wall_seconds,
+        pid=outcome.pid,
+        elaborated=outcome.elaborated,
+    )
 
-    The shared dispatch policy of both runners: ``processes<=1`` (or a
-    single task) runs serially in this process -- same code path, no pool
-    -- which is also the automatic fallback when the platform cannot
-    fork.  ``mp_context`` picks the multiprocessing start method
-    (``"fork"`` is preferred: workloads built from closures elaborate
-    identically in forked children).
-    """
-    if processes <= 1 or len(tasks) <= 1:
-        return [runner(task) for task in tasks], 1
-    if mp_context is None:
-        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-    ctx = multiprocessing.get_context(mp_context)
-    try:
-        with ctx.Pool(processes) as pool:
-            return pool.map(runner, tasks), processes
-    except (OSError, multiprocessing.ProcessError):
-        # Pool creation can fail in constrained sandboxes; degrade to serial.
-        return [runner(task) for task in tasks], 1
+
+def run_task(task: SweepTask) -> SweepOutcome:
+    """Run one sweep task in the current process (resident-cache aware)."""
+    return _sweep_outcome(run_pool_task(_sweep_pool_task(task)))
 
 
 def run_sweep(
@@ -165,7 +160,8 @@ def run_sweep(
     """Run a sweep, fanning tasks across ``processes`` worker processes.
 
     ``processes=None`` uses one worker per CPU (capped at the task count);
-    dispatch and serial-degradation policy per :func:`_dispatch_tasks`.
+    dispatch, work stealing and serial degradation per
+    :func:`repro.sim.pool.run_pool`.
     """
     names = [t.name for t in tasks]
     if len(set(names)) != len(names):
@@ -175,9 +171,11 @@ def run_sweep(
     processes = max(1, min(processes, len(tasks))) if tasks else 1
 
     t0 = time.perf_counter()
-    outcomes, processes = _dispatch_tasks(run_task, tasks, processes, mp_context)
+    outcomes, processes = run_pool(
+        [_sweep_pool_task(t) for t in tasks], processes, mp_context
+    )
     return SweepReport(
-        outcomes={o.name: o for o in outcomes},
+        outcomes={o.name: _sweep_outcome(o) for o in outcomes},
         wall_seconds=time.perf_counter() - t0,
         processes=processes,
     )
@@ -223,6 +221,8 @@ class GroupOutcome:
     observations: Dict[str, Any]
     wall_seconds: float
     pid: int
+    #: Whether the worker elaborated for this task (False: resident fabric).
+    elaborated: bool = True
 
 
 @dataclass
@@ -242,7 +242,7 @@ class GroupedReport:
     @property
     def speedup(self) -> float:
         """Wall-clock speedup factor: group compute over run wall time."""
-        return self.worker_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+        return safe_ratio(self.worker_seconds, self.wall_seconds, default=1.0)
 
     def table(self) -> str:
         lines = [f"{'group':<22} {'fpga cycles':>12} {'wall (s)':>9} {'pid':>7}"]
@@ -258,27 +258,40 @@ class GroupedReport:
         return "\n".join(lines)
 
 
-def run_group_task(task: GroupTask) -> GroupOutcome:
-    """Elaborate the design and run one of its groups in the current process."""
-    t0 = time.perf_counter()
-    workload = task.builder(*task.args, **task.kwargs)
-    fabric = CosimFabric(
-        workload.design,
+def _group_pool_task(task: GroupTask) -> PoolTask:
+    # Group workers always use the N-domain fabric (run_group is a fabric
+    # entry point), even with default engine kinds -- the historical
+    # run_group_task behaviour.
+    return PoolTask(
+        name=task.name,
+        builder=task.builder,
+        args=task.args,
+        kwargs=dict(task.kwargs),
         backend=task.backend,
         transport=task.transport,
         engine_kinds=dict(task.engine_kinds) if task.engine_kinds else None,
-    )
-    result = fabric.run_group(
-        task.group_index, workload.cosim_done, max_cycles=task.max_cycles
-    )
-    return GroupOutcome(
-        name=task.name,
+        max_cycles=task.max_cycles,
+        kind="group",
         group_index=task.group_index,
-        result=result,
-        observations=fabric.group_observations(task.group_index),
-        wall_seconds=time.perf_counter() - t0,
-        pid=os.getpid(),
+        fabric_kind="fabric",
     )
+
+
+def _group_outcome(task: GroupTask, outcome: PoolOutcome) -> GroupOutcome:
+    return GroupOutcome(
+        name=outcome.name,
+        group_index=task.group_index,
+        result=outcome.result,
+        observations=dict(outcome.observations or {}),
+        wall_seconds=outcome.wall_seconds,
+        pid=outcome.pid,
+        elaborated=outcome.elaborated,
+    )
+
+
+def run_group_task(task: GroupTask) -> GroupOutcome:
+    """Run one group of one design in the current process (resident-aware)."""
+    return _group_outcome(task, run_pool_task(_group_pool_task(task)))
 
 
 def run_grouped(
@@ -299,8 +312,9 @@ def run_grouped(
     The parent elaborates the workload once -- to count the fabric's groups
     and, at the end, to re-evaluate the full done predicate over the
     workers' reported finals -- but never runs it.  One :class:`GroupTask`
-    per group is dispatched in group order (``processes<=1`` runs them
-    serially in this process, same code path); the merged result obeys
+    per group is dispatched in group order through the unified pool
+    (``processes<=1`` runs them serially in this process, same code path);
+    the merged result obeys
     :meth:`~repro.sim.cosim.CosimResult.merge`'s deterministic rules and is
     bitwise identical to ``CosimFabric.run``'s own serial grouped result.
     """
@@ -340,8 +354,11 @@ def run_grouped(
     processes = max(1, min(processes, n_groups))
 
     t0 = time.perf_counter()
-    outcomes, processes = _dispatch_tasks(run_group_task, tasks, processes, mp_context)
+    pool_outcomes, processes = run_pool(
+        [_group_pool_task(t) for t in tasks], processes, mp_context
+    )
     wall = time.perf_counter() - t0
+    outcomes = [_group_outcome(t, o) for t, o in zip(tasks, pool_outcomes)]
 
     finals: Dict[str, Any] = {}
     for outcome in outcomes:
