@@ -121,7 +121,10 @@ def main():
     serial_cycles = {}
     for letter in MULTI_PARTITION_ORDER:
         workload = build_multi_partition(letter, params)
-        fabric = CosimFabric(workload.design, backend="compiled")
+        # verify=True: statically lint the design and audit this fabric's
+        # snapshot coverage before running (the `python -m repro.analysis`
+        # checks, in strict elaboration mode).
+        fabric = CosimFabric(workload.design, backend="compiled", verify=True)
         result = fabric.run(workload.cosim_done, max_cycles=500_000_000)
         serial_cycles[f"vorbis_{letter}_fabric"] = result.fpga_cycles
         checksum = fabric.read(workload.checksum)

@@ -1,0 +1,62 @@
+"""Static design verification: lint an elaborated design before running it.
+
+The paper's guarantee is that a partitioning is correct by construction;
+this package makes the repo's own correctness properties -- domain
+isolation, credit-safe transport, live rules, pure foreign kernels,
+complete fabric snapshots -- *statically checkable*, so a candidate
+partitioning can be diagnosed (and an autotuner can prune it) without
+executing a single rule.
+
+Entry points:
+
+* :func:`verify_design` / :func:`verify_partitioning` -- the design-level
+  checks (isolation/races, channel deadlock, dead rules, kernel purity);
+* :func:`audit_fabric` -- the snapshot-completeness audit over a live
+  :class:`~repro.sim.cosim.CosimFabric`;
+* ``python -m repro.analysis`` -- the lint CLI over the shipped-workload
+  catalog (:mod:`repro.analysis.workloads`);
+* ``verify=True`` on :class:`~repro.sim.cosim.CosimFabric` and
+  :func:`~repro.codegen.interface.build_interface_spec` -- strict mode,
+  raising :class:`VerificationError` on error-severity diagnostics.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    filter_suppressed,
+    render_report,
+    sort_diagnostics,
+)
+from repro.analysis.purity import check_kernel_purity, design_kernels
+from repro.analysis.snapshot_audit import audit_fabric
+from repro.analysis.verifier import (
+    VerificationError,
+    check_channel_deadlock,
+    check_dead_rules,
+    check_isolation,
+    require_clean,
+    verify_design,
+    verify_partitioning,
+)
+from repro.analysis.workloads import WorkloadSpec, shipped_workloads, workload_by_name
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "VerificationError",
+    "WorkloadSpec",
+    "audit_fabric",
+    "check_channel_deadlock",
+    "check_dead_rules",
+    "check_isolation",
+    "check_kernel_purity",
+    "design_kernels",
+    "filter_suppressed",
+    "render_report",
+    "require_clean",
+    "shipped_workloads",
+    "sort_diagnostics",
+    "verify_design",
+    "verify_partitioning",
+    "workload_by_name",
+]

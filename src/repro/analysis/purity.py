@@ -1,0 +1,294 @@
+"""Foreign-kernel purity analysis (check 4 of the static verifier).
+
+Foreign kernels -- the Python functions wrapped in
+:class:`~repro.core.expr.KernelCall` nodes -- are *assumed* pure by three
+separate layers of the simulator: the hardware engine re-evaluates a rule's
+kernels freely within a cycle, the dirty-set wakeup index assumes a rule's
+observable inputs are exactly its register read set, and the memoised
+kernel result cache (:mod:`repro.core.kernelcompile`) shares cached results
+between calls with equal raw inputs.  None of those layers can *check* the
+assumption; this pass can, statically, by parsing each registered kernel's
+source with :mod:`ast` and rejecting
+
+* mutation of global or closure state (``global``/``nonlocal``
+  declarations, assignments through names the kernel does not bind
+  locally, and mutating method calls on such names), and
+* nondeterminism sources (the ``random`` and ``time`` modules and the
+  ``id`` builtin -- address-dependent values differ across processes, which
+  would break the bitwise process-parallel equivalences).
+
+Reads of closure/global state are allowed: kernels routinely close over
+elaboration-time constants (formats, lookup tables, params), which is pure.
+Kernels whose source is unavailable (C builtins, interactively defined
+functions) are skipped -- the pass is best-effort by construction and must
+never fail a clean design for tooling reasons.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.action import MethodCallA
+from repro.core.expr import KernelCall, MethodCallE
+from repro.core.module import Design, Rule
+
+#: Modules/builtins whose mere use makes a kernel nondeterministic.
+NONDETERMINISM_MODULES = ("random", "time")
+NONDETERMINISM_BUILTINS = ("id",)
+
+#: Method names that mutate their receiver in place.  Calling one of these
+#: on a name the kernel does not bind locally is closure/global mutation.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+    }
+)
+
+
+def iter_kernel_calls(rule: Rule) -> Iterator[KernelCall]:
+    """Every kernel call a rule can perform, method bodies included.
+
+    Walks the rule's action and, like
+    :func:`repro.core.analysis.primitive_method_calls`, expands user-module
+    method calls so kernels buried inside method bodies are found too.
+    """
+    seen_methods: Set[tuple] = set()
+
+    def visit(node) -> Iterator[KernelCall]:
+        for sub in node.walk():
+            if isinstance(sub, KernelCall):
+                yield sub
+            elif isinstance(sub, (MethodCallA, MethodCallE)):
+                key = (id(sub.instance), sub.method)
+                if key in seen_methods:
+                    continue
+                seen_methods.add(key)
+                method = sub.instance.get_method(sub.method)
+                if getattr(method, "body", None) is not None:
+                    yield from visit(method.body)
+                if getattr(method, "guard", None) is not None:
+                    yield from visit(method.guard)
+
+    yield from visit(rule.action)
+
+
+def design_kernels(design: Design) -> Dict[Tuple[str, Callable], List[str]]:
+    """``(kernel name, function) -> sorted rule full-names`` using it."""
+    table: Dict[Tuple[str, Callable], List[str]] = {}
+    for rule in design.all_rules():
+        for call in iter_kernel_calls(rule):
+            key = (call.name, call.fn)
+            locations = table.setdefault(key, [])
+            if rule.full_name not in locations:
+                locations.append(rule.full_name)
+    return {key: sorted(locs) for key, locs in table.items()}
+
+
+# -- source recovery ---------------------------------------------------------
+
+_FILE_AST_CACHE: Dict[str, Optional[ast.Module]] = {}
+
+
+def _parsed_file(path: str) -> Optional[ast.Module]:
+    if path not in _FILE_AST_CACHE:
+        try:
+            with open(path, "r") as handle:
+                _FILE_AST_CACHE[path] = ast.parse(handle.read())
+        except (OSError, SyntaxError, ValueError):
+            _FILE_AST_CACHE[path] = None
+    return _FILE_AST_CACHE[path]
+
+
+def kernel_ast(fn: Callable):
+    """The ``FunctionDef``/``Lambda`` node of a kernel, or ``None``.
+
+    Plain functions parse from their dedented source.  Lambdas embedded in
+    larger expressions do not parse standalone, so they are located in the
+    parsed source *file* by line number instead.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        source = None
+    if source is not None:
+        try:
+            module = ast.parse(source)
+            for node in ast.walk(module):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    return node
+        except SyntaxError:
+            pass
+    # Lambda (or decorated oddity): find it in the defining file by lineno.
+    module = _parsed_file(code.co_filename)
+    if module is None:
+        return None
+    candidates = [
+        node
+        for node in ast.walk(module)
+        if isinstance(node, ast.Lambda) and node.lineno == code.co_firstlineno
+    ]
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+# -- the AST pass ------------------------------------------------------------
+
+
+def _local_names(fnode) -> Set[str]:
+    """Every name the kernel binds itself (params, assignments, imports...)."""
+    names: Set[str] = set()
+    args = fnode.args
+    for arg in (
+        list(getattr(args, "posonlyargs", []))
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + [args.vararg, args.kwarg]
+    ):
+        if arg is not None:
+            names.add(arg.arg)
+    for node in ast.walk(fnode):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fnode:
+                names.add(node.name)
+        elif isinstance(node, ast.Lambda) and node is not fnode:
+            for arg in node.args.args:
+                names.add(arg.arg)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names
+
+
+def _root_name(node) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def analyze_kernel_ast(fnode) -> List[Tuple[str, str]]:
+    """Purity problems of one kernel AST: ``(kind, detail)`` pairs.
+
+    ``kind`` is ``"mutation"`` or ``"nondeterminism"``; ``detail`` is the
+    human-readable description embedded in the diagnostic message.
+    """
+    problems: List[Tuple[str, str]] = []
+    local = _local_names(fnode)
+
+    for node in ast.walk(fnode):
+        if isinstance(node, ast.Global):
+            problems.append(
+                ("mutation", f"declares global {', '.join(node.names)}")
+            )
+        elif isinstance(node, ast.Nonlocal):
+            problems.append(
+                ("mutation", f"declares nonlocal {', '.join(node.names)}")
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = _root_name(target)
+                    if root is not None and root not in local:
+                        problems.append(
+                            ("mutation", f"writes through non-local name {root!r}")
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+            ):
+                root = _root_name(func.value)
+                if root is not None and root not in local:
+                    problems.append(
+                        (
+                            "mutation",
+                            f"calls mutating method {root}.{func.attr}()",
+                        )
+                    )
+            if (
+                isinstance(func, ast.Name)
+                and func.id in NONDETERMINISM_BUILTINS
+                and func.id not in local
+            ):
+                problems.append(("nondeterminism", f"calls builtin {func.id}()"))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in NONDETERMINISM_MODULES and node.id not in local:
+                problems.append(
+                    ("nondeterminism", f"references module {node.id!r}")
+                )
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                base = (
+                    node.module if isinstance(node, ast.ImportFrom) else alias.name
+                )
+                if base is not None and base.split(".")[0] in NONDETERMINISM_MODULES:
+                    problems.append(
+                        ("nondeterminism", f"imports module {base!r}")
+                    )
+    # Deterministic report order, duplicates folded.
+    return sorted(set(problems))
+
+
+def check_kernel_purity(design: Design) -> List[Diagnostic]:
+    """Run the purity pass over every kernel registered in a design."""
+    diags: List[Diagnostic] = []
+    for (name, fn), rules in sorted(design_kernels(design).items(), key=lambda kv: kv[0][0]):
+        fnode = kernel_ast(fn)
+        if fnode is None:
+            continue  # no recoverable source: best-effort skip
+        where = f"kernel {name} (used by {', '.join(rules)})"
+        for kind, detail in analyze_kernel_ast(fnode):
+            if kind == "mutation":
+                diags.append(
+                    Diagnostic(
+                        code="REPRO-E006",
+                        location=where,
+                        message=f"kernel {detail}; the HW engine, wakeup index and "
+                        "kernel result cache all assume kernels are pure",
+                        hint="return new values instead of mutating captured state, "
+                        "or pass the state in as a kernel argument",
+                    )
+                )
+            else:
+                diags.append(
+                    Diagnostic(
+                        code="REPRO-E007",
+                        location=where,
+                        message=f"kernel {detail}; kernel results must be a pure "
+                        "function of their arguments for bitwise reproducibility",
+                        hint="derive randomness/timestamps at elaboration time and "
+                        "close over the resulting constants",
+                    )
+                )
+    return diags

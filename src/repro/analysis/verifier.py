@@ -1,0 +1,450 @@
+"""The static design verifier: checks 1-3 plus orchestration.
+
+Takes an elaborated :class:`~repro.core.module.Design` (optionally an
+already computed :class:`~repro.core.partition.Partitioning`) and emits
+structured :class:`~repro.analysis.diagnostics.Diagnostic`\\ s **without
+executing a single rule**:
+
+* **domain isolation / races** (``REPRO-E001``/``E002``) -- the full
+  diagnostic generalisation of ``core/partition.py:_check_isolation``:
+  every register in a rule's read/write set must be owned by the rule's
+  domain or reached through a synchronizer on the cut, and no register may
+  be written from two domains;
+* **channel deadlock** (``REPRO-E003``) -- the credit-dependency graph
+  over the cut: channel ``A`` depends on channel ``B`` when some rule
+  dequeues ``A`` and enqueues ``B`` in one atomic action (draining ``A``
+  then requires credit on ``B``); a cycle means every channel's drain
+  waits on another channel's credit window, and since every window is
+  finite (``SyncFifo.depth``), each edge can credit-stall;
+* **dead rules** (``REPRO-W004``/``W005``) -- guards that fold to constant
+  false after the Section 6.3 optimisation pipeline, and rules whose guard
+  support (their register read set) is never written by any rule: the
+  static complement of the dirty-set wakeup index in
+  :mod:`repro.core.scheduler` (such a rule, once asleep, can never be
+  woken).
+
+Unlike ``partition_design`` -- which *raises* on the first isolation
+violation -- the verifier computes rule domains and the cut itself, so it
+can diagnose designs the partitioner would reject, and report every
+finding at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, filter_suppressed, sort_diagnostics
+from repro.analysis.purity import check_kernel_purity
+from repro.core.analysis import (
+    primitive_method_calls,
+    rule_read_set,
+    rule_write_set,
+)
+from repro.core.domains import (
+    SW,
+    Domain,
+    DomainError,
+    infer_rule_domain,
+    register_domain,
+)
+from repro.core.errors import BCLError
+from repro.core.expr import BINARY_OPS, Const, Expr, Mux, UNARY_OPS, UnOp, BinOp
+from repro.core.module import Design, Register, Rule
+from repro.core.optimize import OptimizationConfig, compile_rule
+from repro.core.partition import Partitioning
+from repro.core.synchronizers import SyncFifo, cross_domain_synchronizers
+
+
+class VerificationError(BCLError):
+    """Strict mode (``verify=True``) found error-severity diagnostics."""
+
+    def __init__(self, diagnostics: List[Diagnostic], context: str = ""):
+        self.diagnostics = list(diagnostics)
+        lines = [d.render() for d in self.diagnostics]
+        prefix = f"{context}: " if context else ""
+        super().__init__(
+            f"{prefix}static verification found {len(lines)} diagnostic(s):\n"
+            + "\n".join(lines)
+        )
+
+
+# -- constant folding over guard expressions ---------------------------------
+
+
+def const_value(expr: Expr) -> Optional[Any]:
+    """The constant value of an expression, or ``None`` if not constant.
+
+    A tiny fold over the operator tables of :mod:`repro.core.expr`; it only
+    needs to be strong enough to expose guards that the Section 6.3 lifting
+    already reduced to constants (``Const`` leaves combined by pure
+    operators).  ``None`` means "not statically constant", never "false".
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, UnOp):
+        operand = const_value(expr.operand)
+        if operand is None:
+            return None
+        try:
+            return UNARY_OPS[expr.op](operand)
+        except Exception:
+            return None
+    if isinstance(expr, BinOp):
+        left = const_value(expr.left)
+        if left is None:
+            return None
+        # Respect short-circuit semantics before evaluating the right side.
+        if expr.op == "&&" and not left:
+            return False
+        if expr.op == "||" and left:
+            return True
+        right = const_value(expr.right)
+        if right is None:
+            return None
+        try:
+            return BINARY_OPS[expr.op](left, right)
+        except Exception:
+            return None
+    if isinstance(expr, Mux):
+        cond = const_value(expr.cond)
+        if cond is None:
+            return None
+        return const_value(expr.then if cond else expr.orelse)
+    return None
+
+
+# -- check 1: domain isolation / races ---------------------------------------
+
+
+def _infer_domains(
+    design: Design, default_domain: Optional[Domain]
+) -> Tuple[Dict[Rule, Domain], List[Diagnostic]]:
+    """Per-rule domain inference that reports instead of raising.
+
+    A rule the type system rejects (it spans two domains, i.e. reaches
+    state it does not own without a synchronizer) becomes a ``REPRO-E001``
+    diagnostic and is excluded from the downstream checks.
+    """
+    domains: Dict[Rule, Domain] = {}
+    diags: List[Diagnostic] = []
+    for rule in design.all_rules():
+        try:
+            domains[rule] = infer_rule_domain(rule, default_domain)
+        except DomainError as err:
+            diags.append(
+                Diagnostic(
+                    code="REPRO-E001",
+                    location=f"rule {rule.full_name}",
+                    message=str(err),
+                    hint="route the cross-domain access through a SyncFifo "
+                    "synchronizer, or move the rule into the owning domain",
+                )
+            )
+    return domains, diags
+
+
+def check_isolation(
+    design: Design,
+    rule_domains: Dict[Rule, Domain],
+    cut: List[SyncFifo],
+) -> List[Diagnostic]:
+    """Checks 1a/1b: foreign-domain access and multi-domain write races."""
+    cut_set = set(cut)
+    diags: List[Diagnostic] = []
+    readers: Dict[Register, Dict[str, List[str]]] = {}
+    writers: Dict[Register, Dict[str, List[str]]] = {}
+    for rule, domain in sorted(rule_domains.items(), key=lambda kv: kv[0].full_name):
+        reads, writes = rule_read_set(rule), rule_write_set(rule)
+        for reg in reads | writes:
+            if reg.parent in cut_set:
+                continue  # synchronizer state: the legal boundary
+            table = writers if reg in writes else readers
+            table.setdefault(reg, {}).setdefault(domain.name, []).append(rule.full_name)
+
+    for reg in sorted(set(readers) | set(writers), key=lambda r: r.full_name):
+        writing = writers.get(reg, {})
+        touching = {**{d: r for d, r in readers.get(reg, {}).items()}, **writing}
+        owner = register_domain(reg)
+        if len(writing) > 1:
+            detail = "; ".join(
+                f"{dom} writes via {', '.join(sorted(rules))}"
+                for dom, rules in sorted(writing.items())
+            )
+            diags.append(
+                Diagnostic(
+                    code="REPRO-E002",
+                    location=f"register {reg.full_name}",
+                    message=f"written from {len(writing)} domains without a "
+                    f"synchronizer: {detail}",
+                    hint="give each domain its own copy of the state and join "
+                    "them with a SyncFifo, or move all writers into one domain",
+                )
+            )
+        elif len(touching) > 1:
+            detail = "; ".join(
+                f"{dom} via {', '.join(sorted(rules))}"
+                for dom, rules in sorted(touching.items())
+            )
+            diags.append(
+                Diagnostic(
+                    code="REPRO-E001",
+                    location=f"register {reg.full_name}",
+                    message=f"shared by {len(touching)} domains without a "
+                    f"synchronizer (owner: "
+                    f"{owner.name if owner else 'unannotated'}): {detail}",
+                    hint="cross-domain data must flow through a SyncFifo on "
+                    "the cut; direct foreign reads bypass the interface",
+                )
+            )
+    return diags
+
+
+# -- check 2: channel deadlock ----------------------------------------------
+
+
+def _rule_channel_sets(
+    rule: Rule, cut_set: Set[SyncFifo]
+) -> Tuple[Set[SyncFifo], Set[SyncFifo]]:
+    """The cut channels a rule drains (deq) and fills (enq), atomically."""
+    drains: Set[SyncFifo] = set()
+    fills: Set[SyncFifo] = set()
+    for module, methods in primitive_method_calls(rule).items():
+        if not isinstance(module, SyncFifo) or module not in cut_set:
+            continue
+        if "deq" in methods:
+            drains.add(module)
+        if "enq" in methods:
+            fills.add(module)
+    return drains, fills
+
+
+def check_channel_deadlock(
+    design: Design,
+    rule_domains: Dict[Rule, Domain],
+    cut: List[SyncFifo],
+    link_params: Optional[Dict[Tuple[str, str], Any]] = None,
+) -> List[Diagnostic]:
+    """Check 2: cycles in the credit-dependency graph of the cut.
+
+    Nodes are cut channels; channel ``a`` has an edge to channel ``b`` when
+    an atomic rule dequeues ``a`` and enqueues ``b`` -- draining ``a`` then
+    requires a free credit on ``b``, so ``b``'s credit window
+    (``depth``, the window the virtual-channel flow control grants) gates
+    ``a``'s progress.  In a cycle every channel's drain transitively waits
+    on its own credit window; once the windows fill (any injector rule that
+    enqueues into the cycle without dequeuing from it can fill them), no
+    rule in the cycle can ever fire again.
+    """
+    cut_set = set(cut)
+    edges: Dict[SyncFifo, Set[SyncFifo]] = {sync: set() for sync in cut}
+    edge_rules: Dict[Tuple[SyncFifo, SyncFifo], List[str]] = {}
+    injectors: Dict[SyncFifo, List[str]] = {}
+    for rule in sorted(rule_domains, key=lambda r: r.full_name):
+        drains, fills = _rule_channel_sets(rule, cut_set)
+        for a in drains:
+            for b in fills:
+                edges[a].add(b)
+                edge_rules.setdefault((a, b), []).append(rule.full_name)
+        if fills and not drains:
+            for b in fills:
+                injectors.setdefault(b, []).append(rule.full_name)
+
+    # Tarjan SCCs, iterative, over the deterministic cut order.
+    index_of: Dict[SyncFifo, int] = {}
+    lowlink: Dict[SyncFifo, int] = {}
+    on_stack: Set[SyncFifo] = set()
+    stack: List[SyncFifo] = []
+    sccs: List[List[SyncFifo]] = []
+    counter = [0]
+
+    def strongconnect(root: SyncFifo) -> None:
+        work = [(root, iter(sorted(edges[root], key=lambda s: s.full_name)))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter(sorted(edges[succ], key=lambda s: s.full_name)))
+                    )
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[SyncFifo] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node:
+                        break
+                sccs.append(component)
+
+    for sync in cut:
+        if sync not in index_of:
+            strongconnect(sync)
+
+    diags: List[Diagnostic] = []
+    overrides = link_params or {}
+    for component in sccs:
+        members = sorted(component, key=lambda s: s.full_name)
+        cyclic = len(members) > 1 or members[0] in edges[members[0]]
+        if not cyclic:
+            continue
+        member_set = set(members)
+        windows = ", ".join(
+            f"{s.full_name}={s.depth}" for s in members
+        )
+        couplings = sorted(
+            f"{a.name}->{b.name} via {', '.join(rules)}"
+            for (a, b), rules in edge_rules.items()
+            if a in member_set and b in member_set
+        )
+        pumps = sorted(
+            {r for s in members for r in injectors.get(s, [])}
+        )
+        routes = sorted(
+            {(s.domain_enq.name, s.domain_deq.name) for s in members}
+        )
+        route_note = ", ".join(f"{src}->{dst}" for src, dst in routes)
+        if any((src, dst) in overrides for src, dst in routes):
+            route_note += " (link_params-overridden)"
+        message = (
+            f"credit-dependency cycle over routes [{route_note}]: "
+            f"{'; '.join(couplings)}; every edge can credit-stall "
+            f"(finite windows: {windows})"
+        )
+        if pumps:
+            message += f"; injector rules {', '.join(pumps)} can fill the cycle"
+        diags.append(
+            Diagnostic(
+                code="REPRO-E003",
+                location="channels " + ", ".join(s.full_name for s in members),
+                message=message,
+                hint="break the cycle by splitting the deq+enq coupling into "
+                "separate rules through an internal FIFO, or size a window "
+                "to bound the in-flight tokens",
+            )
+        )
+    return diags
+
+
+# -- check 3: dead rules -----------------------------------------------------
+
+
+def check_dead_rules(
+    design: Design,
+    rule_domains: Dict[Rule, Domain],
+    config: Optional[OptimizationConfig] = None,
+) -> List[Diagnostic]:
+    """Check 3: constant-false guards and frozen (never-woken) guards."""
+    config = config or OptimizationConfig.all()
+    rules = sorted(rule_domains, key=lambda r: r.full_name)
+    written: Set[Register] = set()
+    for rule in rules:
+        written |= rule_write_set(rule)
+
+    diags: List[Diagnostic] = []
+    for rule in rules:
+        compiled = compile_rule(rule, config)
+        guard_const = const_value(compiled.guard)
+        if guard_const is not None and not guard_const:
+            diags.append(
+                Diagnostic(
+                    code="REPRO-W004",
+                    location=f"rule {rule.full_name}",
+                    message="guard folds to constant false after optimisation; "
+                    "the rule can never fire",
+                    hint="delete the rule or fix the guard expression",
+                )
+            )
+            continue
+        may_reject = compiled.can_fail or guard_const is None
+        if not may_reject:
+            continue  # guard is constantly true: the rule always fires
+        support = rule_read_set(rule)
+        if support & written:
+            continue  # some input can change: the wakeup index can wake it
+        diags.append(
+            Diagnostic(
+                code="REPRO-W005",
+                location=f"rule {rule.full_name}",
+                message="guard can reject but no rule ever writes its support "
+                f"({', '.join(sorted(r.full_name for r in support)) or 'empty read set'}); "
+                "the dirty-set wakeup index would never wake it once asleep",
+                hint="feed the guard from rule-written state, or drop the "
+                "guard if the rule should always fire",
+            )
+        )
+    return diags
+
+
+# -- orchestration -----------------------------------------------------------
+
+
+def verify_design(
+    design: Design,
+    default_domain: Optional[Domain] = SW,
+    link_params: Optional[Dict[Tuple[str, str], Any]] = None,
+    config: Optional[OptimizationConfig] = None,
+    suppress: Tuple[str, ...] = (),
+) -> List[Diagnostic]:
+    """Run every design-level static check; returns sorted diagnostics.
+
+    Works on designs the partitioner would reject (it computes rule
+    domains and the cut itself), so seeded-defect corpora and autotuner
+    candidates can be diagnosed without crashing.
+    """
+    rule_domains, diags = _infer_domains(design, default_domain)
+    cut = cross_domain_synchronizers(design)
+    diags += check_isolation(design, rule_domains, cut)
+    diags += check_channel_deadlock(design, rule_domains, cut, link_params)
+    diags += check_dead_rules(design, rule_domains, config)
+    diags += check_kernel_purity(design)
+    return sort_diagnostics(filter_suppressed(diags, suppress))
+
+
+def verify_partitioning(
+    partitioning: Partitioning,
+    link_params: Optional[Dict[Tuple[str, str], Any]] = None,
+    config: Optional[OptimizationConfig] = None,
+    suppress: Tuple[str, ...] = (),
+) -> List[Diagnostic]:
+    """Verify an already partitioned design (domains are stamped on rules)."""
+    return verify_design(
+        partitioning.design,
+        default_domain=SW,
+        link_params=link_params,
+        config=config,
+        suppress=suppress,
+    )
+
+
+def require_clean(
+    diagnostics: List[Diagnostic], context: str = "", errors_only: bool = True
+) -> None:
+    """Raise :class:`VerificationError` when strict mode must fail.
+
+    ``errors_only`` (the default) lets warnings through -- the strict mode
+    wired into elaboration and codegen rejects designs that are *wrong*,
+    not designs with dead code; the CLI is the place that fails on any
+    non-suppressed diagnostic.
+    """
+    failing = [d for d in diagnostics if not errors_only or d.severity == "error"]
+    if failing:
+        raise VerificationError(failing, context)

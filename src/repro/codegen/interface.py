@@ -289,6 +289,7 @@ def build_interface_spec(
     word_bits: int = 32,
     engine_kinds: Optional[Dict[Union[Domain, str], str]] = None,
     link_params: Optional[Dict[Tuple[str, str], ChannelParams]] = None,
+    verify: bool = False,
 ) -> InterfaceSpec:
     """Derive the route-keyed interface specification from a partitioned design.
 
@@ -300,7 +301,20 @@ def build_interface_spec(
     the same defaults-plus-overrides mapping the fabric simulates with -- so
     the generated transactors always agree with the simulation about which
     side of a link is a processor.
+
+    ``verify=True`` statically lints the partitioned design first (isolation,
+    channel deadlock, dead rules, kernel purity) and raises
+    :class:`repro.analysis.VerificationError` on error-severity diagnostics,
+    so transactors are never generated for a design the verifier rejects.
     """
+    if verify:
+        # Lazy import: the analysis package imports the simulator stack.
+        from repro.analysis import require_clean, verify_partitioning
+
+        require_clean(
+            verify_partitioning(partitioning, link_params=link_params),
+            context=f"build_interface_spec({partitioning.design.name!r})",
+        )
     kinds = partitioning.engine_kinds(engine_kinds)
     overrides = link_params or {}
 

@@ -277,7 +277,10 @@ class Partitioning:
         return {gid: split[gid] for gid in sorted(split)}
 
     def summary(self) -> str:
-        """Human-readable description used by examples and EXPERIMENTS.md."""
+        """Human-readable description used by examples, the lint CLI and
+        EXPERIMENTS.md: per-domain rule rosters, the cut with per-channel
+        credit windows (the FIFO depth is the credit window unless the link
+        overrides it), and route/group totals."""
         lines = [f"Partitioning of design {self.design.name!r}:"]
         for domain in self.domains:
             prog = self.programs[domain]
@@ -287,10 +290,16 @@ class Partitioning:
             for sync in self.cut:
                 lines.append(
                     f"  [cut] {sync.name}: {sync.domain_enq.name} -> {sync.domain_deq.name}"
-                    f" ({sync.ty!r})"
+                    f" ({sync.ty!r}, credit window {sync.depth})"
                 )
         else:
             lines.append("  [cut] empty (single-domain design)")
+        groups = self.independent_groups()
+        lines.append(
+            f"  [totals] {len(self.domains)} domain(s), {len(self.route_pairs())} "
+            f"route(s), {len(self.cut)} cut channel(s), {len(groups)} independent "
+            f"group(s)"
+        )
         return "\n".join(lines)
 
 

@@ -544,6 +544,7 @@ class CosimFabric:
         topology: Optional[Topology] = None,
         link_params=None,
         required_domains: Optional[List[Domain]] = None,
+        verify: bool = False,
     ):
         if transport is None:
             transport = backend
@@ -760,6 +761,21 @@ class CosimFabric:
         self._groups: List[_GroupFabric] = [
             _GroupFabric(self, i) for i in range(n_groups)
         ]
+
+        if verify:
+            # Strict mode: statically lint the design and audit this fabric's
+            # snapshot coverage before the first cycle runs.  Imported lazily
+            # -- the analysis package depends on this module.
+            from repro.analysis import audit_fabric, require_clean, verify_design
+
+            diags = verify_design(
+                design,
+                default_domain=default_domain if default_domain is not None else SW,
+                link_params=link_params,
+                config=self.config,
+            )
+            diags += audit_fabric(self)
+            require_clean(diags, context=f"CosimFabric({design.name!r})")
 
     # -- store access helpers ----------------------------------------------
 
@@ -1238,6 +1254,7 @@ class Cosimulator(CosimFabric):
         max_loop_iterations: int = 1_000_000,
         backend: str = "interp",
         transport: Optional[str] = None,
+        verify: bool = False,
     ):
         platform = platform or Platform.ml507()
         # Both directions always exist (the physical channel is full duplex
@@ -1262,6 +1279,7 @@ class Cosimulator(CosimFabric):
             transport=transport,
             topology=topology,
             required_domains=[hw_domain, sw_domain],
+            verify=verify,
         )
         self.hw_domain = hw_domain
         self.sw_domain = sw_domain

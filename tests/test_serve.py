@@ -16,6 +16,7 @@ from dataclasses import asdict
 
 import pytest
 
+from repro.analysis import audit_fabric
 from repro.apps.raytracer import partitions as rp
 from repro.apps.raytracer.params import RayTracerParams
 from repro.apps.vorbis import partitions as vp
@@ -102,6 +103,9 @@ class TestServeBitwise:
             )
             _assert_bitwise(resident, fresh)
         assert server.requests_served == 4
+        # The structural counterpart of the differential oracle above: the
+        # resident fabric's object graph has no state its snapshot misses.
+        assert audit_fabric(server.fabric) == []
 
     @pytest.mark.parametrize("backend", ["interp", "compiled"])
     def test_lockstep_scheduler(self, backend):
