@@ -38,7 +38,14 @@ Two extra sections ride along:
   design across processes -- recorded under ``grouped_execution`` in
   ``BENCH_compiled.json``.  The serial and process-grouped merged results
   must be bitwise identical (the run fails otherwise) and the lockstep
-  baseline must agree on firings, traffic and checksums.
+  baseline must agree on firings, traffic and checksums;
+* a **distributed execution** section: multi-domain (G/H) and multi-group
+  (mg_BC/mg_BCF) workloads run under :func:`repro.sim.distrib.run_distributed`
+  -- groups/domains in long-lived worker processes, cut links as framed
+  wire words over shared-memory rings and socket streams -- against the
+  serial grouped and lockstep schedulers, recorded under ``distributed``
+  in ``BENCH_compiled.json``.  Every distributed result must be bitwise
+  identical to the serial grouped run on both carriers.
 
 Usage::
 
@@ -524,6 +531,109 @@ def grouped_execution(size: str, repeats: int, processes: int = 2) -> Dict[str, 
     return rows
 
 
+#: Distributed-execution benchmark set: workload name -> (builder kind,
+#: letter arg, placement).  The multi-domain placements G/H exercise
+#: domain placement (every cut link becomes framed wire words between
+#: processes); the multi-group workloads exercise group placement (one
+#: process per independent pipeline) and, for BCF, domain placement too.
+DISTRIBUTED_WORKLOADS = {
+    "full": [
+        ("vorbis_G", "multi", "G", "domain"),
+        ("vorbis_H", "multi", "H", "domain"),
+        ("vorbis_mg_BC", "group", "BC", "group"),
+        ("vorbis_mg_BCF", "group", "BCF", "domain"),
+    ],
+    "quick": [
+        ("vorbis_G", "multi", "G", "domain"),
+        ("vorbis_mg_BC", "group", "BC", "group"),
+    ],
+}
+
+
+def distributed_execution(size: str, repeats: int, processes: int = 2) -> Dict[str, Any]:
+    """Serial grouped vs. lockstep vs. distributed workers on the same design.
+
+    The distributed rows pay real costs the serial schedulers do not --
+    process spawn, per-member re-elaboration, barrier spins and the
+    physical word copies -- in exchange for running members on separate
+    cores.  The recorded ``cpus`` field says whether this host could
+    actually overlap them: on a single-CPU runner the distributed arm is
+    expected to *lose* wall-clock (every barrier is a context switch), and
+    the numbers are recorded as the protocol baseline rather than the
+    claim; see EXPERIMENTS.md for the multi-core measurement protocol.
+    Both carriers are measured; results must stay bitwise identical to the
+    serial grouped run (the run fails otherwise).
+    """
+    from repro.apps.vorbis.partitions import build_group_partition, build_multi_partition
+    from repro.sim.distrib import run_distributed
+
+    params = SIZES[size]["vorbis"]
+    attempts = min(repeats, 2) + 1  # best-of; the +1 absorbs compilation
+
+    def best_of(run_fn):
+        best = None
+        keep = None
+        for _ in range(attempts):
+            t0 = time.perf_counter()
+            outcome = run_fn()
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best, keep = elapsed, outcome
+        return best, keep
+
+    rows: Dict[str, Any] = {"processes": processes, "cpus": os.cpu_count() or 1}
+    workload_rows: Dict[str, Any] = {}
+    for name, kind, letter, placement in DISTRIBUTED_WORKLOADS[size]:
+        builder = build_multi_partition if kind == "multi" else build_group_partition
+
+        def run_scheduler(scheduler):
+            workload = builder(letter, params)
+            fabric = CosimFabric(workload.design, backend="compiled")
+            return fabric.run(
+                workload.cosim_done, max_cycles=500_000_000, scheduler=scheduler
+            )
+
+        grouped_seconds, grouped_result = best_of(lambda: run_scheduler("grouped"))
+        lockstep_seconds, lockstep_result = best_of(lambda: run_scheduler("lockstep"))
+        if lockstep_result.fire_counts != grouped_result.fire_counts:
+            raise SystemExit(f"lockstep disagrees with grouped on {name}")
+
+        row: Dict[str, Any] = {
+            "placement": placement,
+            "fpga_cycles": grouped_result.fpga_cycles,
+            "grouped_seconds": grouped_seconds,
+            "lockstep_seconds": lockstep_seconds,
+        }
+        for carrier in ("shm", "socket"):
+            dist_seconds, report = best_of(
+                lambda: run_distributed(
+                    builder,
+                    (letter, params),
+                    backend="compiled",
+                    placement=placement,
+                    carrier=carrier,
+                    processes=processes,
+                )
+            )
+            if asdict(report.result) != asdict(grouped_result):
+                raise SystemExit(
+                    f"distributed ({placement}/{carrier}) diverged from the "
+                    f"serial grouped run on {name}"
+                )
+            row[carrier] = {
+                "seconds": dist_seconds,
+                "speedup_vs_grouped": grouped_seconds / dist_seconds,
+                "workers": report.processes,
+                "records": report.data_plane["records"],
+                "words": report.data_plane["words"],
+                "full_retries": report.data_plane["full_retries"],
+                "fallback": report.fallback,
+            }
+        workload_rows[name] = row
+    rows["workloads"] = workload_rows
+    return rows
+
+
 #: Serving benchmark composition: a small-frame Vorbis workload in the
 #: small-request regime (single-frame decodes, so elaboration dominates
 #: the per-request baseline) and the stream length.  The embedded oracle
@@ -769,6 +879,30 @@ def main(argv=None) -> int:
         "across backends; lockstep agrees on firings/traffic/checksums"
     )
 
+    # -- distributed execution ---------------------------------------------
+    distributed = distributed_execution(size, repeats, processes=args.processes or 2)
+    print(
+        f"\n=== Distributed co-simulation: worker processes + framed wire words "
+        f"({distributed['cpus']} CPU(s)) ==="
+    )
+    x_header = (
+        f"{'workload':<15} {'place':<7} {'grouped (s)':>12} {'lockstep (s)':>13} "
+        f"{'shm (s)':>9} {'socket (s)':>11} {'workers':>8} {'records':>8} {'words':>8}"
+    )
+    print(x_header)
+    print("-" * len(x_header))
+    for name, row in distributed["workloads"].items():
+        print(
+            f"{name:<15} {row['placement']:<7} {row['grouped_seconds']:>12.4f} "
+            f"{row['lockstep_seconds']:>13.4f} {row['shm']['seconds']:>9.4f} "
+            f"{row['socket']['seconds']:>11.4f} {row['shm']['workers']:>8} "
+            f"{row['shm']['records']:>8} {row['shm']['words']:>8}"
+        )
+    print(
+        "every distributed CosimResult bitwise identical to the serial grouped "
+        "run (both carriers); wall-clock wins need >1 CPU -- see EXPERIMENTS.md"
+    )
+
     # -- persistent serving ------------------------------------------------
     serving = serving_benchmark(size)
     print(
@@ -817,6 +951,7 @@ def main(argv=None) -> int:
             payload["transport_dataplane"] = dataplane
             payload["kernel_microbench"] = kernels_bench
             payload["grouped_execution"] = grouped
+            payload["distributed"] = distributed
             payload["serving"] = serving
             if sweep is not None:
                 payload["sweep"] = sweep

@@ -64,6 +64,14 @@ def shipped_workloads() -> List[WorkloadSpec]:
             args=("BC",),
         )
     )
+    specs.append(
+        WorkloadSpec(
+            name="vorbis_mg_BCF",
+            module="repro.apps.vorbis.partitions",
+            builder="build_group_partition",
+            args=("BCF",),
+        )
+    )
     for letter in "ABCD":
         specs.append(
             WorkloadSpec(

@@ -1307,6 +1307,7 @@ def compile_transport_pump(
     direction: Any,
     locked: Callable[[], Any],
     charge_driver: Optional[Callable[[int, float], None]] = None,
+    occupancy_of: Optional[Callable[[], int]] = None,
 ) -> Callable[[float], bool]:
     """Compile one producer-side transport route to a pump closure.
 
@@ -1328,8 +1329,20 @@ def compile_transport_pump(
     counts, driver charges) is identical to marshaling and sending one
     element at a time through ``ChannelDirection.send_words``.
 
+    ``occupancy_of`` overrides where the consumer occupancy is read from:
+    by default it is ``len(consumer_store[data_reg])`` (the in-process
+    consumer endpoint), but a distributed route pre-binds a reader over the
+    consumer process's published occupancy cell instead -- the credit
+    arithmetic is unchanged, only the observation point moves across the
+    process boundary.
+
     Returns ``pump(now) -> bool`` (whether any element was launched).
     """
+    if occupancy_of is None:
+
+        def occupancy_of() -> int:
+            return len(consumer_store[data_reg])
+
     vc_id = vc.vc_id
     words = vc.words_per_element
     encode_batch = vc.encode_batch
@@ -1362,7 +1375,7 @@ def compile_transport_pump(
             # An in-flight rule will commit a deferred update to this
             # endpoint; draining it now would be clobbered by that commit.
             return False
-        window = depth - len(consumer_store[data_reg]) - vc.in_flight
+        window = depth - occupancy_of() - vc.in_flight
         if window <= 0:
             note_stall()
             return False

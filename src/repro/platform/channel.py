@@ -223,6 +223,37 @@ class MessagePool:
         self.bounds.append(len(self.words))
         self.due.append(due)
 
+    def next_record_words(self) -> int:
+        """Word count of the head message (0 when nothing is in flight).
+
+        Carrier endpoints (:mod:`repro.sim.distrib`) use this to check ring
+        space *before* committing to :meth:`pop_next`, so a full carrier
+        leaves the message queued here instead of needing an un-pop.
+        """
+        head = self.head
+        if head >= len(self.due):
+            return 0
+        return self.bounds[head] - self.word_head
+
+    def pop_next(self) -> Optional[Tuple[int, List[int], float]]:
+        """Remove and return the head message regardless of its due time.
+
+        The producer-side view of a cut link that crosses a process
+        boundary: the framed words leave this pool immediately (they travel
+        on the carrier ring) and are re-queued, with the same delivery time,
+        in the consumer process's replica pool -- so ``due`` keeps meaning
+        *simulated* delivery time while the words physically cross now.
+        """
+        head = self.head
+        due = self.due
+        if head >= len(due):
+            return None
+        start, end = self.word_head, self.bounds[head]
+        message = (self.vc_ids[head], self.words[start:end], due[head])
+        self.head = head + 1
+        self.word_head = end
+        return message
+
     def pop_due(self, now: float) -> Optional[Tuple[int, List[int], float]]:
         """Remove and return the next due message as ``(vc_id, words, due)``.
 

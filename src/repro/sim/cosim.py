@@ -732,6 +732,12 @@ class CosimFabric:
             self._default_store = {}
 
         self.now: float = 0.0
+        #: Picklable elaboration spec (builder, args, kwargs, done_attr),
+        #: attached via :meth:`bind_builder`; required by
+        #: ``run(scheduler="distributed")``, whose worker processes
+        #: re-elaborate the design from it (foreign-kernel closures do not
+        #: pickle, so the fabric itself can never cross a process boundary).
+        self._builder_spec: Optional[tuple] = None
 
         # -- group decomposition --------------------------------------------
         # The fabric is a composition of independently clocked *group
@@ -995,6 +1001,104 @@ class CosimFabric:
             if self.group_of_register(reg) == index
         }
 
+    def observations_for_domains(self, domain_names) -> Dict[str, Any]:
+        """Final values of the last-probed predicate's registers owned by a
+        subset of domains.
+
+        The per-*member* refinement of :meth:`group_observations`: a
+        distributed lockstep member hosts only some of its group's domains,
+        so it reports (and publishes into the group's shared control block)
+        exactly the observed registers whose authoritative store belongs to
+        one of its domains.  Keys are register full names, sorted, like
+        :meth:`group_observations`.
+        """
+        wanted = set(domain_names)
+        stores = {
+            id(self.engines[d].store) for d in self.domains if d.name in wanted
+        }
+        out: Dict[str, Any] = {}
+        for reg in sorted(self._last_observed, key=lambda r: r.full_name):
+            store = self._owner_store.get(reg)
+            if store is None:
+                store = self._owner_store[reg] = self._resolve_owner(reg)
+            if id(store) in stores:
+                out[reg.full_name] = self.read(reg)
+        return out
+
+    def group_layout(self, index: int) -> Dict[str, Any]:
+        """One group sub-fabric's shape as plain data (the distributed export).
+
+        Everything a parent process needs to plan a distributed placement of
+        the group and to reassemble its ``CosimResult`` bitwise from member
+        reports, without shipping any elaborated object:
+
+        * ``domains`` -- ``(name, engine_kind)`` in the group's engine order
+          (hardware engines first; result assembly iterates this order);
+        * ``routes`` -- the group's producer-side transport routes in cut
+          order, each with its cut index, endpoint domains, FIFO depth,
+          framed words per element and vc-statistics key;
+        * ``links`` -- ``(src, dst)`` of the topology links attributed to
+          the group, in registration order (channel statistics sum in this
+          order).
+
+        Elaboration is deterministic, so a worker that rebuilds the design
+        from the same builder spec computes an identical layout -- the
+        contract that lets parent and members agree on shared-ring and
+        control-slot assignments without negotiation.
+        """
+        group = self._groups[index]
+        names = {d.name for d in group.domains}
+        routes: List[Dict[str, Any]] = []
+        for j, route in enumerate(self._routes):
+            sync, vc = route[0], route[1]
+            if sync.domain_enq.name not in names:
+                continue
+            routes.append(
+                {
+                    "cut_index": j,
+                    "src": sync.domain_enq.name,
+                    "dst": sync.domain_deq.name,
+                    "depth": sync.depth,
+                    "words_per_element": vc.words_per_element,
+                    "key": self._vc_keys[vc],
+                }
+            )
+        gidx = self._group_index
+        links = [
+            (link.src, link.dst)
+            for link in self.topology.links
+            if gidx.get(link.dst, gidx.get(link.src, 0)) == index
+        ]
+        return {
+            "index": index,
+            "design": self.design.name,
+            "domains": [(d.name, self.engine_kinds[d.name]) for d in group.domains],
+            "routes": routes,
+            "links": links,
+        }
+
+    def bind_builder(
+        self,
+        builder: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        done_attr: str = "cosim_done",
+    ) -> "CosimFabric":
+        """Attach the picklable builder spec this fabric was elaborated from.
+
+        ``builder(*args, **kwargs)`` must be a module-level callable
+        returning the same workload this fabric was built on, exposing its
+        done predicate as attribute ``done_attr`` -- the compile-once /
+        run-anywhere contract of :mod:`repro.sim.shard`.
+        ``run(scheduler="distributed")`` requires it: distributed worker
+        processes re-elaborate the design from the spec and resolve the done
+        predicate from their own workload object, so the predicate passed to
+        ``run`` must be (semantically) ``getattr(workload, done_attr)``.
+        Returns ``self`` for chaining.
+        """
+        self._builder_spec = (builder, tuple(args), dict(kwargs or {}), done_attr)
+        return self
+
     # -- transport ----------------------------------------------------------
 
     def _pump_transport(self, now: float) -> bool:
@@ -1024,6 +1128,10 @@ class CosimFabric:
         max_cycles: float = 100_000_000.0,
         max_iterations: int = 5_000_000,
         scheduler: str = "grouped",
+        *,
+        placement: str = "group",
+        carrier: str = "shm",
+        processes: Optional[int] = None,
     ) -> CosimResult:
         """Run until ``done(self)`` or until no further progress is possible.
 
@@ -1045,6 +1153,17 @@ class CosimFabric:
           finished early (which is exactly the waste grouped execution
           removes), while cycle counts, firings, stores and channel traffic
           agree.
+        * ``"distributed"`` -- the grouped semantics executed across
+          long-lived worker processes (:mod:`repro.sim.distrib`), with every
+          cut link that crosses a process boundary carried as real framed
+          wire words.  Requires :meth:`bind_builder` (workers re-elaborate
+          from the spec); ``placement`` puts each group (``"group"``,
+          default) or each domain (``"domain"``) in its own worker,
+          ``carrier`` picks the cross-process word transport (``"shm"``
+          shared-memory rings or ``"socket"`` byte streams) and
+          ``processes`` caps the group-placement worker count.  The result
+          is bitwise identical to ``"grouped"`` on a freshly elaborated
+          fabric.
 
         Grouped-execution contract: while one group runs, ``done``'s reads
         of *other* groups' registers resolve to reset values, so a group
@@ -1056,9 +1175,41 @@ class CosimFabric:
         """
         if scheduler == "lockstep":
             return self._run_lockstep(done, max_cycles, max_iterations)
+        if scheduler == "distributed":
+            # Imported lazily: distrib builds on this module.
+            from repro.sim.distrib import run_distributed
+
+            if self._builder_spec is None:
+                raise SimulationError(
+                    "scheduler='distributed' needs a picklable builder spec: "
+                    "call bind_builder(builder, args, kwargs) first (worker "
+                    "processes re-elaborate the design from it; an elaborated "
+                    "fabric cannot cross a process boundary)"
+                )
+            builder, bargs, bkwargs, done_attr = self._builder_spec
+            report = run_distributed(
+                builder,
+                bargs,
+                bkwargs,
+                backend=self.backend,
+                transport=self.transport,
+                engine_kinds=dict(self.engine_kinds),
+                fabric_kind="duplex" if isinstance(self, Cosimulator) else "fabric",
+                done_attr=done_attr,
+                placement=placement,
+                carrier=carrier,
+                processes=processes,
+                max_cycles=max_cycles,
+                max_iterations=max_iterations,
+                parent=self,
+                done=done,
+            )
+            self.now = report.result.fpga_cycles
+            return report.result
         if scheduler != "grouped":
             raise ValueError(
-                f"unknown scheduler {scheduler!r} (expected 'grouped'/'lockstep')"
+                f"unknown scheduler {scheduler!r} "
+                "(expected 'grouped'/'lockstep'/'distributed')"
             )
         groups = self._groups
         if len(groups) == 1:

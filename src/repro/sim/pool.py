@@ -248,6 +248,80 @@ def _picklable_error(exc: BaseException) -> BaseException:
         return SimulationError(f"{type(exc).__name__}: {exc}")
 
 
+def _collect_pool_results(
+    result_queue,
+    workers,
+    n_tasks: int,
+    stall_seconds: float = _POOL_STALL_SECONDS,
+) -> Tuple[Dict[int, Tuple[bool, Any]], Optional[BaseException]]:
+    """Collect ``(index, ok, payload)`` triples until every task reported.
+
+    Returns ``(received, failure)`` where ``received`` maps task index to
+    its ``(ok, payload)`` pair.  Factored out of :func:`run_pool` (and
+    duck-typed: anything with ``get(timeout=)`` / ``is_alive()`` /
+    ``exitcode`` will do) so the worker-shutdown edge cases are
+    unit-testable without real processes.
+
+    The subtle edge is telling *clean* worker exit apart from a dead pool:
+    a worker exits the moment it consumes its stop sentinel, and a
+    multiprocessing queue flushes through a feeder thread, so the parent
+    can observe "no worker alive" while completed results are still in
+    flight.  Seeing dead workers therefore first drains the queue with a
+    grace timeout; only results that are *still* missing afterwards mean
+    the pool died, and the error says whether any worker actually crashed
+    (nonzero exit code) or the results were simply lost.
+    """
+    received: Dict[int, Tuple[bool, Any]] = {}
+    failure: Optional[BaseException] = None
+
+    def record(index, ok, payload):
+        nonlocal failure
+        received[index] = (ok, payload)
+        if not ok and failure is None:
+            failure = payload
+
+    stalled = 0.0
+    while len(received) < n_tasks:
+        try:
+            index, ok, payload = result_queue.get(timeout=1.0)
+        except queue.Empty:
+            if any(worker.is_alive() for worker in workers):
+                stalled += 1.0
+                if stalled >= stall_seconds:
+                    failure = failure or SimulationError(
+                        f"worker pool stalled with {len(received)}/{n_tasks} tasks done"
+                    )
+                    break
+                continue
+            # Every worker has exited.  A clean shutdown (all sentinels
+            # consumed, exit code 0) may still have results buffered in the
+            # queue's feeder pipe: drain with a grace timeout before
+            # concluding anything died.
+            while len(received) < n_tasks:
+                try:
+                    index, ok, payload = result_queue.get(timeout=1.0)
+                except queue.Empty:
+                    break
+                record(index, ok, payload)
+            if len(received) < n_tasks and failure is None:
+                crashed = sorted(
+                    {worker.exitcode for worker in workers} - {0, None}
+                )
+                detail = (
+                    f"worker exit codes {crashed}"
+                    if crashed
+                    else "all workers exited cleanly but results are missing"
+                )
+                failure = SimulationError(
+                    f"worker pool died after {len(received)}/{n_tasks} tasks "
+                    f"({detail})"
+                )
+            break
+        stalled = 0.0
+        record(index, ok, payload)
+    return received, failure
+
+
 def run_pool(
     tasks: List[PoolTask],
     processes: Optional[int] = None,
@@ -291,32 +365,11 @@ def run_pool(
     for _ in workers:
         task_queue.put(None)
 
+    received, failure = _collect_pool_results(result_queue, workers, len(tasks))
     outcomes: List[Optional[PoolOutcome]] = [None] * len(tasks)
-    failure: Optional[BaseException] = None
-    received = 0
-    stalled = 0.0
-    while received < len(tasks):
-        try:
-            index, ok, payload = result_queue.get(timeout=1.0)
-        except queue.Empty:
-            stalled += 1.0
-            if not any(worker.is_alive() for worker in workers):
-                failure = failure or SimulationError(
-                    f"worker pool died after {received}/{len(tasks)} tasks"
-                )
-                break
-            if stalled >= _POOL_STALL_SECONDS:
-                failure = failure or SimulationError(
-                    f"worker pool stalled with {received}/{len(tasks)} tasks done"
-                )
-                break
-            continue
-        stalled = 0.0
-        received += 1
+    for index, (ok, payload) in received.items():
         if ok:
             outcomes[index] = payload
-        elif failure is None:
-            failure = payload
     for worker in workers:
         worker.join(timeout=5.0)
         if worker.is_alive():

@@ -186,6 +186,49 @@ def run_sweep(
 # --------------------------------------------------------------------------
 
 
+def evaluate_grouped_done(
+    fabric: CosimFabric,
+    done: Callable[[CosimFabric], bool],
+    observed,
+    finals: Dict[str, Any],
+    *,
+    caller: str = "run_grouped",
+) -> bool:
+    """Re-evaluate a full done predicate over worker-reported finals.
+
+    The shared completion step of every process-parallel grouped execution
+    (:func:`run_grouped` and :func:`repro.sim.distrib.run_distributed`):
+    evaluate ``done`` on the parent's never-run fabric with the workers'
+    observed finals overriding the registers they own, while *recording*
+    the evaluation's read set.  ``observed`` is the reset-state probe's
+    read set from before dispatch.
+
+    A predicate whose read set is static is fully served by the finals.
+    One that reads *different* registers at completion than it did at the
+    reset-state probe (e.g. a cross-group conjunction built from a
+    short-circuiting generator) just evaluated those reads against reset
+    values -- whichever way the verdict went, it is unreliable, so this
+    fails loudly instead of reporting it.
+    """
+    completed, final_reads = fabric.probe_done(done, finals)
+    unreported = sorted(
+        reg.full_name
+        for reg in final_reads
+        if reg.full_name not in finals
+        and reg not in observed
+        and fabric.group_of_register(reg) is not None
+    )
+    if unreported:
+        raise SimulationError(
+            f"{caller} cannot evaluate {fabric.design.name}'s done "
+            f"predicate: it read {unreported} at completion but not at the "
+            "reset-state probe, so no worker reported their finals.  Done "
+            "predicates for grouped runs must read their full register set "
+            "on every evaluation (no cross-group short-circuit)."
+        )
+    return completed
+
+
 @dataclass
 class GroupTask:
     """One independent group of one design: what a worker builds and runs.
@@ -364,29 +407,9 @@ def run_grouped(
     for outcome in outcomes:
         finals.update(outcome.observations)
     merged = CosimResult.merge([o.result for o in outcomes])
-    completed, final_reads = fabric.probe_done(workload.cosim_done, finals)
-    # A predicate whose read set is static is fully served by the workers'
-    # observed finals.  One that reads *different* registers at completion
-    # than it did at the reset-state probe (e.g. a cross-group conjunction
-    # built from a short-circuiting generator) just evaluated those reads
-    # against reset values -- whichever way the verdict went, it is
-    # unreliable, so fail loudly instead of reporting it.
-    unreported = sorted(
-        reg.full_name
-        for reg in final_reads
-        if reg.full_name not in finals
-        and reg not in observed
-        and fabric.group_of_register(reg) is not None
+    merged.completed = evaluate_grouped_done(
+        fabric, workload.cosim_done, observed, finals
     )
-    if unreported:
-        raise SimulationError(
-            f"run_grouped cannot evaluate {workload.design.name}'s done "
-            f"predicate: it read {unreported} at completion but not at the "
-            "reset-state probe, so no worker reported their finals.  Done "
-            "predicates for grouped runs must read their full register set "
-            "on every evaluation (no cross-group short-circuit)."
-        )
-    merged.completed = completed
     return GroupedReport(
         result=merged, outcomes=outcomes, wall_seconds=wall, processes=processes
     )
