@@ -1,19 +1,22 @@
-"""Wall-clock performance harness for the two execution backends.
+"""Wall-clock performance harness for the three execution backends.
 
 Runs the Figure 13 workloads -- every Ogg Vorbis partition (A-F) and every
 ray-tracer partition (A-D) -- plus the multi-domain fabric workload
 (``vorbis_G3``: SW front-end -> HW-imdct/ifft -> HW-window, three engines
-on a routed topology), under both the tree-walking reference backend
-(``interp``) and the closure-compiled backend with dirty-set scheduling
-(``compiled``), and records per-workload wall-clock seconds, rule firings
-per second and simulated FPGA cycles.
+on a routed topology), under the tree-walking reference backend
+(``interp``), the closure-compiled backend with dirty-set scheduling
+(``compiled``) and the source-lowered backend (``source``: one generated
+flat Python module per design, fused engine supersteps -- see
+:mod:`repro.core.pycodegen`), and records per-workload wall-clock seconds,
+rule firings per second and simulated FPGA cycles.
 
-Outputs one JSON file per backend next to this script (``BENCH_interp.json``
-and ``BENCH_compiled.json``) so future PRs have a perf trajectory to regress
-against, and prints a comparison table.  The harness also *verifies* the
-backends agree: every workload's :class:`~repro.sim.cosim.CosimResult`
-(stores statistics, fire counts, channel stats) must be bitwise identical
-between the two, otherwise the run fails.
+Outputs one JSON file per backend next to this script
+(``BENCH_interp.json``, ``BENCH_compiled.json`` and ``BENCH_source.json``)
+so future PRs have a perf trajectory to regress against, and prints a
+comparison table.  The harness also *verifies* the backends agree: every
+workload's :class:`~repro.sim.cosim.CosimResult` (stores statistics, fire
+counts, channel stats) must be bitwise identical across all three,
+otherwise the run fails.
 
 Two extra sections ride along:
 
@@ -82,7 +85,10 @@ from repro.apps.vorbis.params import VorbisParams
 from repro.sim.cosim import CosimFabric, Cosimulator
 from repro.sim.shard import SweepTask, run_sweep
 
-BACKENDS = ("interp", "compiled")
+BACKENDS = ("interp", "compiled", "source")
+
+#: The backends whose results are differentially verified against ``interp``.
+FAST_BACKENDS = ("compiled", "source")
 
 #: Multi-domain fabric workloads: name -> (builder letter, #domains).
 MULTI_DOMAIN = {"vorbis_G3": "G"}
@@ -510,8 +516,9 @@ def grouped_execution(size: str, repeats: int, processes: int = 2) -> Dict[str, 
             "grouped_seconds": grouped_seconds,
             "grouped_speedup_vs_lockstep": lock_seconds / grouped_seconds,
         }
-    if asdict(grouped_results["interp"]) != asdict(grouped_results["compiled"]):
-        raise SystemExit("grouped execution backends disagree")
+    for backend in BACKENDS[1:]:
+        if asdict(grouped_results["interp"]) != asdict(grouped_results[backend]):
+            raise SystemExit(f"grouped execution backends disagree ({backend})")
 
     process_seconds, process_report = best_of(
         lambda: run_grouped(
@@ -782,28 +789,47 @@ def main(argv=None) -> int:
     for name, workload, is_fabric in workloads:
         for backend in BACKENDS:
             bench[backend][name] = measure(workload, backend, repeats, is_fabric)
-        if bench["interp"][name]["result"] != bench["compiled"][name]["result"]:
-            mismatches.append(name)
+        for backend in FAST_BACKENDS:
+            if bench[backend][name]["result"] != bench["interp"][name]["result"]:
+                mismatches.append(f"{name}:{backend}")
 
     # -- report ------------------------------------------------------------
-    header = f"{'workload':<14} {'interp (s)':>11} {'compiled (s)':>13} {'speedup':>8} {'firings/s (compiled)':>21}"
-    print("\n=== Figure 13 workloads (+ multi-domain fabric): interp vs. compiled backend ===")
+    header = (
+        f"{'workload':<14} {'interp (s)':>11} {'compiled (s)':>13} {'source (s)':>11} "
+        f"{'src/int':>8} {'src/cmp':>8} {'firings/s (source)':>19}"
+    )
+    print("\n=== Figure 13 workloads (+ multi-domain fabric): interp vs. compiled vs. source ===")
     print(header)
     print("-" * len(header))
     total = {backend: 0.0 for backend in BACKENDS}
+    src_vs_compiled: Dict[str, float] = {}
     for name, _, _ in workloads:
         ti = bench["interp"][name]["wall_seconds"]
         tc = bench["compiled"][name]["wall_seconds"]
+        ts = bench["source"][name]["wall_seconds"]
         total["interp"] += ti
         total["compiled"] += tc
+        total["source"] += ts
+        src_vs_compiled[name] = tc / ts if ts > 0 else float("inf")
         print(
-            f"{name:<14} {ti:>11.4f} {tc:>13.4f} {ti / tc:>7.2f}x "
-            f"{bench['compiled'][name]['firings_per_sec']:>20,.0f}"
+            f"{name:<14} {ti:>11.4f} {tc:>13.4f} {ts:>11.4f} "
+            f"{ti / ts:>7.2f}x {tc / ts:>7.2f}x "
+            f"{bench['source'][name]['firings_per_sec']:>18,.0f}"
         )
-    aggregate = total["interp"] / total["compiled"]
     print("-" * len(header))
     print(
-        f"{'TOTAL':<14} {total['interp']:>11.4f} {total['compiled']:>13.4f} {aggregate:>7.2f}x"
+        f"{'TOTAL':<14} {total['interp']:>11.4f} {total['compiled']:>13.4f} "
+        f"{total['source']:>11.4f} {total['interp'] / total['source']:>7.2f}x "
+        f"{total['compiled'] / total['source']:>7.2f}x"
+    )
+    fig13 = [n for n, _, _ in workloads if n.startswith(("vorbis_", "raytracer_"))]
+    fast_partitions = sorted(
+        (n for n in fig13 if src_vs_compiled[n] >= 1.25),
+        key=lambda n: -src_vs_compiled[n],
+    )
+    print(
+        f"source >= 1.25x over compiled on {len(fast_partitions)} fig13 partition(s): "
+        + (", ".join(f"{n} ({src_vs_compiled[n]:.2f}x)" for n in fast_partitions) or "none")
     )
     if mismatches:
         print(f"\nBACKEND MISMATCH on: {', '.join(mismatches)}")
@@ -955,6 +981,9 @@ def main(argv=None) -> int:
             payload["serving"] = serving
             if sweep is not None:
                 payload["sweep"] = sweep
+        elif backend == "source":
+            payload["source_vs_compiled"] = src_vs_compiled
+            payload["fig13_partitions_at_1_25x"] = fast_partitions
         # Quick (CI smoke) runs get their own files so they never clobber
         # the committed full-size trajectory that EXPERIMENTS.md records.
         suffix = "_quick" if size == "quick" else ""

@@ -155,6 +155,14 @@ MANIFEST: Dict[Type, CoverageSpec] = {
             "_use_dirty",
             "_count_fns",
             "compiled",
+            # Source backend: generated attempt functions, their module, and
+            # the fused superstep installed as an instance attribute.  All
+            # pre-bind only identity-stable containers, so restore() keeps
+            # them truthful without re-generation.
+            "_attempt_fns",
+            "_gen",
+            "_step_gen",
+            "step",
         },
         children={"store", "_wakeup"},
         snapshot_arity=15,
@@ -180,6 +188,12 @@ MANIFEST: Dict[Type, CoverageSpec] = {
             "_exec",
             "_read_sets",
             "_write_sets",
+            # Source backend: generated rule module and the fused step_cycle
+            # installed as an instance attribute (pre-binds identity-stable
+            # state only; see sim/hwsim.py).
+            "_gen",
+            "_step_gen",
+            "step_cycle",
         },
         children={"store", "_wakeup"},
         snapshot_arity=11,

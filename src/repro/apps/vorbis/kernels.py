@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.core import kernelcompile as kc
 from repro.core.fixedpoint import (
@@ -57,6 +57,21 @@ FixVec = Tuple[FixedPoint, ...]
 CplxVec = Tuple[FixComplex, ...]
 
 RawVec = Tuple[int, ...]
+
+
+# Per-format backend bindings: the choice (oracle/python/numpy after width
+# demotion) is resolved once and revalidated only when the selection
+# generation moves (``set_kernel_backend`` / ``kernel_backend_override``),
+# keeping the string resolution out of the per-invocation hot path.
+_backend_bindings: Dict[int, Callable[[], str]] = {}
+
+
+def _backend_for(total_bits: int) -> str:
+    try:
+        bound = _backend_bindings[total_bits]
+    except KeyError:
+        bound = _backend_bindings[total_bits] = kc.bind_effective_backend(total_bits)
+    return bound()
 
 
 # --------------------------------------------------------------------------
@@ -265,7 +280,7 @@ def _backend_input_np(raws: RawVec, int_bits: int, frac_bits: int) -> List[int]:
 
 def backend_input(frame: FixVec, int_bits: int = 8, frac_bits: int = 24) -> FixVec:
     """The back-end's ``input`` glue (dispatching)."""
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         return backend_input_oracle(frame, int_bits, frac_bits)
     raws = tuple(v.raw for v in frame)
@@ -332,7 +347,7 @@ def _imdct_pre_np(raws: RawVec, int_bits: int, frac_bits: int) -> Tuple[List[int
 
 def imdct_pre(frame: FixVec, int_bits: int = 8, frac_bits: int = 24) -> CplxVec:
     """IMDCT pre-multiply (dispatching)."""
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         return imdct_pre_oracle(frame, int_bits, frac_bits)
     raws = tuple(v.raw for v in frame)
@@ -488,7 +503,7 @@ def _ifft_stages(
 
 def ifft_radix_stage(stage: int, data: CplxVec, int_bits: int = 8, frac_bits: int = 24) -> CplxVec:
     """Apply one radix-2 decimation-in-frequency stage of the IFFT (dispatching)."""
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         return ifft_radix_stage_oracle(stage, data, int_bits, frac_bits)
     return _ifft_stages(stage, stage + 1, data, int_bits, frac_bits, backend)
@@ -513,7 +528,7 @@ def ifft_rule_stage(
     last = min(first + stages_per_rule, total)
     if last <= first:
         return data
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         out = data
         for stage in range(first, last):
@@ -530,7 +545,7 @@ def ifft_full(data: CplxVec, int_bits: int = 8, frac_bits: int = 24) -> CplxVec:
     """
     points = len(data)
     total = points.bit_length() - 1
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         out = data
         for stage in range(total):
@@ -596,7 +611,7 @@ def _imdct_post_np(re_in: RawVec, im_in: RawVec, int_bits: int, frac_bits: int) 
 
 def imdct_post(spectrum: CplxVec, int_bits: int = 8, frac_bits: int = 24) -> FixVec:
     """IMDCT post step (dispatching)."""
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         return imdct_post_oracle(spectrum, int_bits, frac_bits)
     re = tuple(v.real.raw for v in spectrum)
@@ -666,7 +681,7 @@ def window_overlap(
     previous: FixVec, current: FixVec, int_bits: int = 8, frac_bits: int = 24
 ) -> Tuple[FixVec, FixVec]:
     """Sliding-window overlap-add (dispatching)."""
-    backend = kc.effective_backend(int_bits + frac_bits)
+    backend = _backend_for(int_bits + frac_bits)
     if backend == "oracle":
         return window_overlap_oracle(previous, current, int_bits, frac_bits)
     n = len(previous)

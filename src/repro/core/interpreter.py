@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.core.compile import raise_for_missing_register, rule_exec
 from repro.core.errors import GuardFail, SchedulingError
 from repro.core.module import Design, Register, Rule
+from repro.core.pycodegen import VALID_BACKENDS, default_rule_backend, generate_rule_execs
 from repro.core.scheduler import RuleWakeup
 from repro.core.semantics import Evaluator, EvalHooks, RuleOutcome, Store, commit, try_rule
 
@@ -58,8 +59,12 @@ class Simulator:
         the software cost model).  Installing hooks disables dirty-set
         skipping so the observer sees every attempted rule evaluation.
     backend:
-        ``"interp"`` (tree-walking reference) or ``"compiled"`` (closure
-        compiled; observationally equivalent and much faster).
+        ``"interp"`` (tree-walking reference), ``"compiled"`` (closure
+        compiled; observationally equivalent and much faster) or
+        ``"source"`` (flat generated Python; observationally equivalent
+        and faster still).  ``None`` resolves to
+        :func:`~repro.core.pycodegen.default_rule_backend` (the
+        ``REPRO_RULE_BACKEND`` environment variable, else ``"interp"``).
     """
 
     def __init__(
@@ -69,11 +74,13 @@ class Simulator:
         seed: Optional[int] = None,
         hooks: Optional[EvalHooks] = None,
         max_loop_iterations: int = 1_000_000,
-        backend: str = "interp",
+        backend: Optional[str] = None,
     ):
+        if backend is None:
+            backend = default_rule_backend()
         if policy not in ("round-robin", "priority", "random"):
             raise ValueError(f"unknown scheduling policy {policy!r}")
-        if backend not in ("interp", "compiled"):
+        if backend not in VALID_BACKENDS:
             raise ValueError(f"unknown execution backend {backend!r}")
         self.design = design
         self.policy = policy
@@ -87,7 +94,7 @@ class Simulator:
         # backend stays the untouched exhaustive-scan reference), and its
         # skipping is exact only when nobody observes the skipped
         # (guaranteed-failing) evaluations.
-        self._skip_sleeping = backend == "compiled" and hooks is None
+        self._skip_sleeping = backend != "interp" and hooks is None
         store = design.initial_store()
         if self._skip_sleeping:
             self._wakeup: Optional[RuleWakeup] = RuleWakeup(self.rules)
@@ -95,7 +102,12 @@ class Simulator:
         else:
             self._wakeup = None
             self.store = store
-        if backend == "compiled":
+        self._gen = None
+        if backend == "source":
+            self._exec, self._gen = generate_rule_execs(
+                self.rules, design.name, max_loop_iterations
+            )
+        elif backend == "compiled":
             self._exec = [rule_exec(r, max_loop_iterations) for r in self.rules]
         else:
             self._exec = []
@@ -136,7 +148,7 @@ class Simulator:
 
     def _attempt(self, rule: Rule) -> Optional[Dict[Register, Any]]:
         """Evaluate ``rule``; its updates if the guard held, else ``None``."""
-        if self.backend == "compiled":
+        if self.backend != "interp":
             read = self.store.__getitem__
             try:
                 if self.hooks is not None:

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 
 def _env_flag(name: str) -> bool:
@@ -90,19 +90,31 @@ def _initial_backend() -> str:
 
 _backend = _initial_backend()
 
+#: Monotonic selection stamp: bumped by every (successful) backend change so
+#: hoisted per-kernel bindings (:func:`bind_effective_backend`) know when
+#: their cached choice is stale without re-resolving on every invocation.
+_generation = 0
+
 
 def kernel_backend() -> str:
     """The resolved kernel backend: ``oracle``, ``python`` or ``numpy``."""
     return _backend
 
 
+def kernel_backend_generation() -> int:
+    """The current backend-selection generation (see :func:`set_kernel_backend`)."""
+    return _generation
+
+
 def set_kernel_backend(name: str) -> str:
     """Select the kernel backend; returns the previously resolved backend.
 
     ``auto`` re-resolves to ``numpy`` when available, else ``python``.
-    Requesting ``numpy`` without NumPy raises.
+    Requesting ``numpy`` without NumPy raises.  Every call (including via
+    :func:`kernel_backend_override`) bumps the selection generation, which
+    invalidates all bindings made by :func:`bind_effective_backend`.
     """
-    global _backend
+    global _backend, _generation
     name = name.strip().lower()
     if name not in KERNEL_BACKENDS + ("auto",):
         raise ValueError(f"unknown kernel backend {name!r}; expected one of {KERNEL_BACKENDS + ('auto',)}")
@@ -110,6 +122,7 @@ def set_kernel_backend(name: str) -> str:
         raise ValueError("NumPy kernel backend requested but NumPy is not importable")
     previous = _backend
     _backend = _resolve(name)
+    _generation += 1
     return previous
 
 
@@ -133,6 +146,27 @@ def effective_backend(total_bits: int) -> str:
     if backend == "numpy" and total_bits > NUMPY_MAX_TOTAL_BITS:
         return "python"
     return backend
+
+
+def bind_effective_backend(total_bits: int) -> Callable[[], str]:
+    """Bind :func:`effective_backend`'s choice once, at elaboration time.
+
+    Returns a zero-argument callable for the per-invocation hot path: it
+    re-runs the width demotion logic only when the selection generation has
+    moved (``set_kernel_backend`` / ``kernel_backend_override``), otherwise
+    it returns the cached choice.  Dispatching kernels call the binding
+    instead of re-resolving the backend on every invocation.
+    """
+    choice = [_generation, effective_backend(total_bits)]
+
+    def bound() -> str:
+        gen = _generation
+        if choice[0] != gen:
+            choice[0] = gen
+            choice[1] = effective_backend(total_bits)
+        return choice[1]
+
+    return bound
 
 
 # --------------------------------------------------------------------------

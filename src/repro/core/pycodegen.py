@@ -1,0 +1,1581 @@
+"""Source-lowered execution tier: flat generated Python per rule and route.
+
+The closure backend (:mod:`repro.core.compile`) already removed the tree
+walk, but every rule firing still pays a chain of nested closure calls,
+tuple env-frame indexing and per-attempt dispatch.  This module is the next
+rung of the performance ladder: the classic template-JIT move of lowering
+each *already elaborated* ``Expr``/``Action`` tree once to flat Python
+source -- operators inlined as Python infix, environment frames become
+local variables, registers / native methods / kernel functions resolved to
+direct names in the module namespace, ``GuardFail`` raised from prebuilt
+singletons -- then ``exec``-compiling the module at elaboration time.
+
+Three generation modes reproduce the three closure modes bit-for-bit:
+
+* ``fast``    -- hook-free evaluation (``Simulator`` fast path);
+* ``hooked``  -- generic :class:`~repro.core.semantics.EvalHooks` callbacks,
+  with the closure tier's convention that ``on_node`` fires only for
+  cost-bearing nodes (BinOp/UnOp/Mux/FieldSelect);
+* ``latency`` -- kernel/method hooks only (the HW engine's
+  ``HwLatencyAccumulator``);
+* ``count``   -- :class:`~repro.core.compile.CountingCompiler`'s folded
+  cost accumulation: straight-line subtrees collapse to one integer add,
+  dynamic subtrees charge at exactly the same program points.
+
+On top of the per-rule functions the engine supersteps themselves are
+generated (``generate_sw_step`` / ``generate_hw_step``): the dirty-set
+scan, guard, body and cost commit of one engine step fuse into a single
+generated function with all identity-stable collaborators pre-bound in the
+module namespace, so a quiescent engine is one generated-function call.
+Rebindable engine state (``busy_until``, ``_pending_updates``, counters)
+is always accessed through ``self`` so the snapshot/restore identity
+contract keeps holding.
+
+Anything the lowerer cannot confidently translate falls back, per rule, to
+the closure backend (still bitwise identical), so coverage can grow
+without ever risking parity.
+
+Debugging: set ``REPRO_DUMP_SOURCE=<dir>`` to write every generated module
+to disk; all modules are registered with :mod:`linecache` so tracebacks
+through generated functions show real source lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import keyword
+import linecache
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.action import (
+    Action,
+    IfA,
+    LetA,
+    LocalGuard,
+    Loop,
+    MethodCallA,
+    NoAction,
+    Par,
+    RegWrite,
+    Seq,
+    WhenA,
+)
+from repro.core.compile import (
+    CountingCompiler,
+    _seq_never_reads_back,
+    compiled_rule_exec,
+    raise_for_missing_register,
+    rule_exec,
+)
+from repro.core.errors import (
+    DoubleWriteError,
+    ElaborationError,
+    GuardFail,
+    SimulationError,
+)
+from repro.core.expr import (
+    BinOp,
+    Const,
+    Expr,
+    FieldSelect,
+    KernelCall,
+    LetE,
+    MethodCallE,
+    Mux,
+    RegRead,
+    UnOp,
+    Var,
+    WhenE,
+)
+from repro.core.module import Method, Module, PrimitiveModule, Rule
+
+__all__ = [
+    "GeneratedModule",
+    "SourceRuleExec",
+    "default_rule_backend",
+    "VALID_BACKENDS",
+    "generate_rule_execs",
+    "generate_counting_attempts",
+    "generate_sw_step",
+    "generate_hw_step",
+    "generate_transport_pump",
+    "generate_transport_delivery",
+]
+
+#: Rule-execution backends the engines accept.
+VALID_BACKENDS = ("interp", "compiled", "source")
+
+
+def default_rule_backend() -> str:
+    """The backend engines use when the caller does not pick one.
+
+    ``REPRO_RULE_BACKEND`` overrides the historical default (``interp``) so
+    a CI leg can push the whole tier-1 suite through the source tier.
+    """
+    name = os.environ.get("REPRO_RULE_BACKEND", "").strip().lower()
+    return name if name in VALID_BACKENDS else "interp"
+
+
+# --------------------------------------------------------------------------
+# generated modules: compile cache, linecache registration, source dumping
+# --------------------------------------------------------------------------
+
+#: source text -> compiled code object; the harness re-elaborates the same
+#: design many times and ``compile()`` dominates re-elaboration otherwise.
+_CODE_CACHE: Dict[Tuple[str, str], Any] = {}
+_CODE_CACHE_LIMIT = 256
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+class GeneratedModule:
+    """One exec-compiled generated module plus its namespace and source."""
+
+    __slots__ = ("name", "filename", "source", "namespace")
+
+    def __init__(self, name: str, source: str, bindings: Dict[str, Any]):
+        self.name = name
+        # The content digest keeps distinct designs that share a module name
+        # (two engines both called "HW") from clobbering each other's
+        # linecache entry; identical source still maps to one filename.
+        digest = hashlib.sha1(source.encode("utf-8")).hexdigest()[:8]
+        self.filename = f"<repro-generated:{name}#{digest}>"
+        self.source = source
+        namespace: Dict[str, Any] = dict(bindings)
+        namespace["__name__"] = f"repro.generated.{name}"
+        code = _CODE_CACHE.get((self.filename, source))
+        if code is None:
+            code = compile(source, self.filename, "exec")
+            if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+                _CODE_CACHE.pop(next(iter(_CODE_CACHE)))
+            _CODE_CACHE[(self.filename, source)] = code
+        # Tracebacks through generated functions resolve to real source
+        # lines: linecache consults this entry when formatting frames.
+        linecache.cache[self.filename] = (
+            len(source),
+            None,
+            source.splitlines(True),
+            self.filename,
+        )
+        exec(code, namespace)
+        self.namespace = namespace
+        dump_dir = os.environ.get("REPRO_DUMP_SOURCE")
+        if dump_dir:
+            self.dump(dump_dir)
+
+    def dump(self, directory: str) -> str:
+        """Write the generated source to ``directory`` and return the path."""
+        os.makedirs(directory, exist_ok=True)
+        fname = _SAFE_NAME.sub("_", self.name) + ".py"
+        path = os.path.join(directory, fname)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.source)
+        return path
+
+
+class _ModuleBuilder:
+    """Accumulates functions and deterministic namespace bindings.
+
+    Symbol names come from a monotonically increasing counter in lowering
+    order, so the same design always produces byte-identical source (the
+    bound *objects* differ per elaboration; the *text* does not).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.chunks: List[str] = [
+            f"# generated by repro.core.pycodegen -- {name}\n"
+        ]
+        self.bindings: Dict[str, Any] = {
+            "GuardFail": GuardFail,
+            "SimulationError": SimulationError,
+            "DoubleWriteError": DoubleWriteError,
+            "ElaborationError": ElaborationError,
+        }
+        self._by_id: Dict[int, str] = {}
+        self._counter = 0
+        self._fn_counter = 0
+
+    def bind(self, obj: Any, prefix: str = "o") -> str:
+        """Bind ``obj`` into the namespace under a deterministic name."""
+        key = id(obj)
+        name = self._by_id.get(key)
+        if name is None:
+            name = f"_{prefix}{self._counter}"
+            self._counter += 1
+            self._by_id[key] = name
+            self.bindings[name] = obj
+        return name
+
+    def fn_name(self, stem: str) -> str:
+        self._fn_counter += 1
+        return f"_{stem}{self._fn_counter}"
+
+    def add(self, lines: List[str]) -> None:
+        self.chunks.append("\n".join(lines) + "\n\n")
+
+    def build(self) -> GeneratedModule:
+        return GeneratedModule(self.name, "".join(self.chunks), self.bindings)
+
+
+class _FnWriter:
+    """Emits one generated function, with statement-level charge coalescing."""
+
+    def __init__(self, name: str, params: List[str]):
+        self.lines: List[str] = [f"def {name}({', '.join(params)}):"]
+        self.indent = 1
+        self._tmp = 0
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    def emit(self, stmt: str) -> None:
+        self.lines.append("    " * self.indent + stmt)
+
+    def emit_lines(self, lines: List[str]) -> None:
+        self.lines.extend(lines)
+
+    def charge(self, sink: str, amount: int) -> None:
+        """Emit ``sink += amount`` and merge adjacent integer charges."""
+        if amount == 0:
+            return
+        prefix = "    " * self.indent + f"{sink} += "
+        if self.lines and self.lines[-1].startswith(prefix):
+            tail = self.lines[-1][len(prefix):]
+            if tail.isdigit():
+                self.lines[-1] = prefix + str(int(tail) + amount)
+                return
+        self.emit(f"{sink} += {amount}")
+
+
+def _reindent(lines: List[str]) -> List[str]:
+    return ["    " + line for line in lines]
+
+
+class _Unsupported(Exception):
+    """Raised when a subtree cannot be lowered; callers fall back to closures."""
+
+
+# --------------------------------------------------------------------------
+# expression / action lowering
+# --------------------------------------------------------------------------
+
+#: Binary operators that lower to Python infix with identical semantics.
+_INFIX = {
+    "+": "+", "-": "-", "*": "*", "//": "//", "/": "/", "%": "%",
+    "<<": "<<", ">>": ">>", "&": "&", "|": "|", "^": "^",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "==", "!=": "!=",
+}
+_UNARY = {"-": "-", "~": "~", "!": "not "}
+
+
+class _Lowerer:
+    """Lowers one rule (or method) tree into a flat generated function.
+
+    ``mode`` is one of ``fast``/``hooked``/``latency``/``count``; the
+    emitted statements reproduce the corresponding closure compiler's
+    evaluation order, hook order and (for ``count``) charge points exactly.
+    """
+
+    def __init__(
+        self,
+        module: _ModuleBuilder,
+        mode: str,
+        max_loop_iterations: int = 1_000_000,
+        sw_params: Any = None,
+        methods: Optional[Dict[Tuple[int, bool], Tuple[str, List[str]]]] = None,
+    ):
+        self.module = module
+        self.mode = mode
+        self.all_hooks = mode == "hooked"
+        self.kernel_hooks = mode in ("hooked", "latency")
+        self.counting = mode == "count"
+        self.max_loop_iterations = max_loop_iterations
+        self.params = sw_params
+        self._static = (
+            CountingCompiler(sw_params, max_loop_iterations) if self.counting else None
+        )
+        # (id(method), is_action) -> (guard_fn_name, body_fn_name, param names)
+        self.methods = methods if methods is not None else {}
+        self.w: Optional[_FnWriter] = None
+        #: name -> ("strict"|"thunk", python local name); insertion-ordered.
+        self.scope: Dict[str, Tuple[str, str]] = {}
+        self.read = "read"
+        #: where cost charges go: a local ("_cc") or a cell slot ("_cl[0]").
+        self.sink = "_cc"
+        #: True while inside a statically costed region (charges pre-folded).
+        self.charging = self.counting
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _capture(self, fn: Callable[[], str]) -> Tuple[List[str], str]:
+        saved = self.w.lines
+        self.w.lines = []
+        expr = fn()
+        captured = self.w.lines
+        self.w.lines = saved
+        return captured, expr
+
+    def _materialize(self, parts: List[Tuple[List[str], str]]) -> List[str]:
+        """Emit each part's statements and pin its value into a temp, in order.
+
+        Used whenever sibling operands cannot all stay inline: the closure
+        tier evaluates operands strictly left to right, and hooks / charges /
+        guard failures make that order observable.
+        """
+        names = []
+        for stmts, expr in parts:
+            self.w.emit_lines(stmts)
+            if expr.isidentifier():
+                names.append(expr)
+            else:
+                t = self.w.tmp()
+                self.w.emit(f"{t} = {expr}")
+                names.append(t)
+        return names
+
+    def _operands(self, nodes: List[Any]) -> List[str]:
+        """Lower ``nodes`` in order; returns inline exprs or temps as needed."""
+        parts = [self._capture(lambda n=n: self.lower_expr(n)) for n in nodes]
+        if any(stmts for stmts, _ in parts):
+            return self._materialize(parts)
+        return [expr for _, expr in parts]
+
+    def _charge(self, amount: int) -> None:
+        if self.charging:
+            self.w.charge(self.sink, amount)
+
+    def _static_cost(self, node: Any) -> Optional[int]:
+        scope = {name: (0, kind == "thunk") for name, (kind, _) in self.scope.items()}
+        return self._static.static_cost(node, scope)
+
+    def _const(self, value: Any) -> str:
+        if value is None or value is True or value is False:
+            return repr(value)
+        if type(value) is int:
+            return repr(value) if -(2**31) <= value <= 2**31 else self.module.bind(value, "c")
+        return self.module.bind(value, "c")
+
+    def _fail(self, message: str) -> str:
+        return self.module.bind(GuardFail(message), "x")
+
+    def _raise_fail(self, fail_name: str) -> None:
+        self.w.emit(f"{fail_name}.__traceback__ = None")
+        self.w.emit(f"raise {fail_name}")
+
+    # -- expressions -------------------------------------------------------
+
+    def lower_expr(self, expr: Expr) -> str:
+        if self.counting and self.charging:
+            cost = self._static_cost(expr)
+            if cost is not None:
+                # Straight-line subtree: one folded add, then hook-free code.
+                self._charge(cost)
+                self.charging = False
+                try:
+                    return self.lower_expr(expr)
+                finally:
+                    self.charging = True
+        return self._lower_expr(expr)
+
+    def _lower_expr(self, expr: Expr) -> str:
+        w = self.w
+
+        if isinstance(expr, Const):
+            return self._const(expr.value)
+
+        if isinstance(expr, Var):
+            entry = self.scope.get(expr.name)
+            if entry is None:
+                name = self.module.bind(expr.name, "c")
+                w.emit(f"raise ElaborationError('unbound variable %r' % ({name},))")
+                return "None"
+            kind, local = entry
+            if kind == "thunk":
+                return f"_force({local})"
+            return local
+
+        if isinstance(expr, RegRead):
+            reg = self.module.bind(expr.reg, "r")
+            if self.all_hooks:
+                w.emit(f"hooks.on_register_read({reg})")
+            return f"{self.read}({reg})"
+
+        if isinstance(expr, UnOp):
+            if self.all_hooks:
+                w.emit(f"hooks.on_node({self.module.bind(expr, 'n')})")
+            self._charge_alu()
+            (operand,) = self._operands([expr.operand])
+            op = _UNARY.get(expr.op)
+            if op is None:
+                raise _Unsupported(f"unary operator {expr.op!r}")
+            return f"({op}{operand})"
+
+        if isinstance(expr, BinOp):
+            if expr.op in ("&&", "||"):
+                return self._lower_shortcircuit(expr)
+            if self.all_hooks:
+                w.emit(f"hooks.on_node({self.module.bind(expr, 'n')})")
+            self._charge_alu()
+            left, right = self._operands([expr.left, expr.right])
+            op = _INFIX.get(expr.op)
+            if op is None:
+                raise _Unsupported(f"binary operator {expr.op!r}")
+            return f"({left} {op} {right})"
+
+        if isinstance(expr, Mux):
+            if self.all_hooks:
+                w.emit(f"hooks.on_node({self.module.bind(expr, 'n')})")
+            self._charge_alu()
+            cond_stmts, cond = self._capture(lambda: self.lower_expr(expr.cond))
+            then_stmts, then = self._capture(lambda: self.lower_expr(expr.then))
+            else_stmts, orelse = self._capture(lambda: self.lower_expr(expr.orelse))
+            if not cond_stmts and not then_stmts and not else_stmts:
+                return f"({then} if {cond} else {orelse})"
+            w.emit_lines(cond_stmts)
+            t = w.tmp()
+            w.emit(f"if {cond}:")
+            w.emit_lines(_reindent(then_stmts))
+            w.emit(f"    {t} = {then}")
+            w.emit("else:")
+            w.emit_lines(_reindent(else_stmts))
+            w.emit(f"    {t} = {orelse}")
+            return t
+
+        if isinstance(expr, WhenE):
+            fail = self._fail(f"expression guard failed at {expr!r}")
+            guard = self.lower_expr(expr.guard)
+            w.emit(f"if not {guard}:")
+            w.indent += 1
+            if self.all_hooks:
+                w.emit(f"hooks.on_guard_fail({self.module.bind(expr, 'n')})")
+            self._raise_fail(fail)
+            w.indent -= 1
+            return self.lower_expr(expr.body)
+
+        if isinstance(expr, LetE):
+            local = self._lower_let(expr.name, expr.value)
+            saved = self.scope.get(expr.name)
+            self.scope[expr.name] = ("thunk", local)
+            try:
+                return self.lower_expr(expr.body)
+            finally:
+                if saved is None:
+                    del self.scope[expr.name]
+                else:
+                    self.scope[expr.name] = saved
+
+        if isinstance(expr, FieldSelect):
+            if self.all_hooks:
+                w.emit(f"hooks.on_node({self.module.bind(expr, 'n')})")
+            self._charge_alu()
+            (operand,) = self._operands([expr.operand])
+            field = expr.field
+            if isinstance(field, int):
+                return f"{operand}[{field}]"
+            if not operand.isidentifier():
+                t = w.tmp()
+                w.emit(f"{t} = {operand}")
+                operand = t
+            if field.isidentifier() and not keyword.iskeyword(field):
+                attr = f"{operand}.{field}"
+            else:
+                attr = f"getattr({operand}, {field!r})"
+            return f"({operand}[{field!r}] if isinstance({operand}, dict) else {attr})"
+
+        if isinstance(expr, KernelCall):
+            return self._lower_kernel(expr)
+
+        if isinstance(expr, MethodCallE):
+            return self._lower_method_call(expr, is_action=False)
+
+        raise _Unsupported(f"expression node {type(expr).__name__}")
+
+    def _charge_alu(self) -> None:
+        if self.counting and self.charging:
+            self._charge(self.params.alu_op)
+
+    def _lower_shortcircuit(self, expr: BinOp) -> str:
+        w = self.w
+        if self.all_hooks:
+            w.emit(f"hooks.on_node({self.module.bind(expr, 'n')})")
+        self._charge_alu()
+        left_stmts, left = self._capture(lambda: self.lower_expr(expr.left))
+        right_stmts, right = self._capture(lambda: self.lower_expr(expr.right))
+        if not left_stmts and not right_stmts:
+            if expr.op == "&&":
+                return f"(bool({right}) if {left} else False)"
+            return f"(True if {left} else bool({right}))"
+        w.emit_lines(left_stmts)
+        t = w.tmp()
+        if expr.op == "&&":
+            w.emit(f"if not {left}:")
+            w.emit(f"    {t} = False")
+        else:
+            w.emit(f"if {left}:")
+            w.emit(f"    {t} = True")
+        w.emit("else:")
+        w.emit_lines(_reindent(right_stmts))
+        w.emit(f"    {t} = bool({right})")
+        return t
+
+    def _lower_let(self, name: str, value: Expr) -> str:
+        """Emit a lazy binding; returns the local holding the thunk cell.
+
+        The closure tier's ``_Cell`` captures the binding-site ``read`` and
+        charge cell; the generated thunk does the same by passing them into
+        a module-level value function explicitly, so a thunk forced under a
+        ``Seq``/``Loop`` overlay still reads through the binding-site view
+        and charges the binding-site cell.
+        """
+        w = self.w
+        value_fn = self._lower_scoped_fn("lv", value, is_action=False)
+        free = self._free_locals(value)
+        cell = w.tmp()
+        captured = ", ".join([self._sink_cell()] + free)
+        w.emit(f"{cell} = [False, None, {value_fn}, {self.read}, ({captured},)]")
+        return cell
+
+    def _sink_cell(self) -> str:
+        """The charge-cell object to capture at a binding site."""
+        if self.counting:
+            # ``_cc`` is a local int; thunks need a mutable cell.  The rule
+            # wrappers always provide ``_cl`` (a one-element list) whose
+            # slot 0 is folded into ``_cc`` at the boundaries.
+            return "_cl"
+        if self.kernel_hooks:
+            return "hooks"
+        return "None"
+
+    def _free_locals(self, node: Any) -> List[str]:
+        used = set()
+        for sub in node.walk():
+            if isinstance(sub, Var):
+                used.add(sub.name)
+        return [local for name, (_, local) in self.scope.items() if name in used]
+
+    def _lower_scoped_fn(self, stem: str, node: Any, is_action: bool) -> str:
+        """Lower ``node`` as a module-level function over its free scope vars.
+
+        The function's signature is ``(read, _ctx, *free_locals)`` where
+        ``_ctx`` is the hooks object (hooked/latency), the charge cell list
+        (count) or None (fast); call sites pass the binding-site values
+        explicitly, which reproduces the closure tier's creation-time
+        capture without relying on late-bound outer locals.
+        """
+        free_nodes = self._free_scope(node)
+        fn = self.module.fn_name(stem)
+        params = ["read", "_ctx"] + [local for _, (_, local) in free_nodes]
+        sub = _Lowerer(
+            self.module,
+            self.mode,
+            self.max_loop_iterations,
+            self.params,
+            self.methods,
+        )
+        sub.scope = {name: entry for name, entry in free_nodes}
+        sub.w = _FnWriter(fn, params)
+        if self.all_hooks or self.kernel_hooks:
+            sub.w.emit("hooks = _ctx")
+        if self.counting:
+            sub.w.emit("_cl = _ctx")
+            sub.sink = "_cl[0]"
+        body = sub.lower_action(node) if is_action else sub.lower_expr(node)
+        sub.w.emit(f"return {body}")
+        self.module.add(sub.w.lines)
+        return fn
+
+    def _free_scope(self, node: Any) -> List[Tuple[str, Tuple[str, str]]]:
+        used = set()
+        for sub in node.walk():
+            if isinstance(sub, Var):
+                used.add(sub.name)
+        return [(name, entry) for name, entry in self.scope.items() if name in used]
+
+    def _lower_kernel(self, expr: KernelCall) -> str:
+        w = self.w
+        fn = self.module.bind(expr.fn, "k")
+        if self.counting and self.charging:
+            args = self._operands(list(expr.args))
+            values = self._materialize([([], a) for a in args])
+            if callable(expr.sw_cycles):
+                cost_fn = self.module.bind(expr.sw_cycles, "k")
+                self.w.emit(
+                    f"{self.sink} += int({cost_fn}({', '.join(values)})) + "
+                    f"{self.params.kernel_dispatch}"
+                )
+            else:
+                self._charge(int(expr.sw_cycles) + self.params.kernel_dispatch)
+            return f"{fn}({', '.join(values)})"
+        if self.kernel_hooks:
+            args = self._operands(list(expr.args))
+            values = self._materialize([([], a) for a in args])
+            node = self.module.bind(expr, "n")
+            w.emit(f"hooks.on_kernel({node}, [{', '.join(values)}])")
+            return f"{fn}({', '.join(values)})"
+        args = self._operands(list(expr.args))
+        return f"{fn}({', '.join(args)})"
+
+    # -- actions -----------------------------------------------------------
+
+    def lower_action(self, action: Action) -> str:
+        if self.counting and self.charging:
+            cost = self._static_cost(action)
+            if cost is not None:
+                self._charge(cost)
+                self.charging = False
+                try:
+                    return self.lower_action(action)
+                finally:
+                    self.charging = True
+        return self._lower_action(action)
+
+    def _lower_action(self, action: Action) -> str:
+        w = self.w
+
+        if isinstance(action, NoAction):
+            return "{}"
+
+        if isinstance(action, RegWrite):
+            reg = self.module.bind(action.reg, "r")
+            if self.counting and self.charging:
+                (value,) = self._operands([action.value])
+                if not value.isidentifier():
+                    t = w.tmp()
+                    w.emit(f"{t} = {value}")
+                    value = t
+                self._charge(self.params.reg_write)
+                return f"{{{reg}: {value}}}"
+            if self.all_hooks:
+                (value,) = self._operands([action.value])
+                if not value.isidentifier():
+                    t = w.tmp()
+                    w.emit(f"{t} = {value}")
+                    value = t
+                w.emit(f"hooks.on_register_write({reg})")
+                return f"{{{reg}: {value}}}"
+            (value,) = self._operands([action.value])
+            return f"{{{reg}: {value}}}"
+
+        if isinstance(action, IfA):
+            cond_stmts, cond = self._capture(lambda: self.lower_expr(action.cond))
+            then_stmts, then = self._capture(lambda: self.lower_action(action.then))
+            if action.orelse is None:
+                else_stmts, orelse = [], "{}"
+            else:
+                else_stmts, orelse = self._capture(
+                    lambda: self.lower_action(action.orelse)
+                )
+            if not cond_stmts and not then_stmts and not else_stmts:
+                return f"({then} if {cond} else {orelse})"
+            w.emit_lines(cond_stmts)
+            t = w.tmp()
+            w.emit(f"if {cond}:")
+            w.emit_lines(_reindent(then_stmts))
+            w.emit(f"    {t} = {then}")
+            w.emit("else:")
+            w.emit_lines(_reindent(else_stmts))
+            w.emit(f"    {t} = {orelse}")
+            return t
+
+        if isinstance(action, WhenA):
+            fail = self._fail(f"action guard failed at {action!r}")
+            guard = self.lower_expr(action.guard)
+            w.emit(f"if not {guard}:")
+            w.indent += 1
+            if self.all_hooks:
+                w.emit(f"hooks.on_guard_fail({self.module.bind(action, 'n')})")
+            self._raise_fail(fail)
+            w.indent -= 1
+            return self.lower_action(action.body)
+
+        if isinstance(action, Par):
+            subs = list(action.actions)
+            if len(subs) == 1:
+                return self.lower_action(subs[0])
+            merged = self.w.tmp()
+            first = self.lower_action(subs[0])
+            w.emit(f"{merged} = {first}")
+            for sub in subs[1:]:
+                value = self.lower_action(sub)
+                k, v = w.tmp(), w.tmp()
+                w.emit(f"for {k}, {v} in {value}.items():")
+                w.emit(f"    if {k} in {merged}:")
+                w.emit(
+                    "        raise DoubleWriteError(f\"parallel composition "
+                    f"writes register {{{k}.full_name}} twice\")"
+                )
+                w.emit(f"    {merged}[{k}] = {v}")
+            return merged
+
+        if isinstance(action, Seq):
+            subs = list(action.actions)
+            overlay = w.tmp()
+            w.emit(f"{overlay} = {{}}")
+            if _seq_never_reads_back(subs):
+                for sub in subs:
+                    value = self.lower_action(sub)
+                    w.emit(f"{overlay}.update({value})")
+                return overlay
+            ov_read = self._emit_overlay_read(overlay)
+            saved_read = self.read
+            self.read = ov_read
+            try:
+                for sub in subs:
+                    value = self.lower_action(sub)
+                    w.emit(f"{overlay}.update({value})")
+            finally:
+                self.read = saved_read
+            return overlay
+
+        if isinstance(action, LetA):
+            local = self._lower_let(action.name, action.value)
+            saved = self.scope.get(action.name)
+            self.scope[action.name] = ("thunk", local)
+            try:
+                return self.lower_action(action.body)
+            finally:
+                if saved is None:
+                    del self.scope[action.name]
+                else:
+                    self.scope[action.name] = saved
+
+        if isinstance(action, Loop):
+            limit = min(action.max_iterations, self.max_loop_iterations)
+            overlay = w.tmp()
+            w.emit(f"{overlay} = {{}}")
+            ov_read = self._emit_overlay_read(overlay)
+            iters = w.tmp()
+            w.emit(f"{iters} = 0")
+            saved_read = self.read
+            self.read = ov_read
+            try:
+                w.emit("while True:")
+                w.indent += 1
+                cond = self.lower_expr(action.cond)
+                w.emit(f"if not {cond}:")
+                w.emit("    break")
+                value = self.lower_action(action.body)
+                w.emit(f"{overlay}.update({value})")
+                w.emit(f"{iters} += 1")
+                w.emit(f"if {iters} >= {limit}:")
+                w.emit(
+                    f"    raise SimulationError(\"loop exceeded {limit} "
+                    "iterations; either the bound is too small or the loop "
+                    "does not terminate\")"
+                )
+                w.indent -= 1
+            finally:
+                self.read = saved_read
+            return overlay
+
+        if isinstance(action, LocalGuard):
+            t = w.tmp()
+            w.emit("try:")
+            body_stmts, body = self._capture(lambda: self.lower_action(action.body))
+            w.emit_lines(_reindent(body_stmts))
+            w.emit(f"    {t} = {body}")
+            w.emit("except GuardFail:")
+            w.emit(f"    {t} = {{}}")
+            return t
+
+        if isinstance(action, MethodCallA):
+            return self._lower_method_call(action, is_action=True)
+
+        raise _Unsupported(f"action node {type(action).__name__}")
+
+    def _emit_overlay_read(self, overlay: str) -> str:
+        """Emit a sequential-overlay read view over the current read fn."""
+        name = self.w.tmp()
+        self.w.emit(
+            f"def {name}(reg, _o={overlay}, _r={self.read}):"
+        )
+        self.w.emit("    if reg in _o:")
+        self.w.emit("        return _o[reg]")
+        self.w.emit("    return _r(reg)")
+        return name
+
+    # -- method calls ------------------------------------------------------
+
+    def _lower_method_call(self, call: Any, is_action: bool) -> str:
+        w = self.w
+        instance: Module = call.instance
+        method: Method = instance.get_method(call.method)
+        if len(call.args) != len(method.params):
+            raise ElaborationError(
+                f"method {instance.name}.{call.method} expects "
+                f"{len(method.params)} arguments, got {len(call.args)}"
+            )
+        method_name = call.method
+        fail = self._fail(
+            f"{'action' if is_action else 'value'} method "
+            f"{instance.name}.{method_name} is not ready"
+        )
+
+        if isinstance(instance, PrimitiveModule):
+            native = instance.get_native(method_name)
+            guard_fn = self.module.bind(native.guard_fn, "g")
+            body_fn = self.module.bind(native.body_fn, "b")
+            if self.kernel_hooks:
+                inst = self.module.bind(instance, "i")
+                w.emit(f"hooks.on_method({inst}, {method_name!r})")
+            if self.counting and self.charging:
+                overhead = self.params.native_method_overhead
+                if hasattr(instance, "read_latency"):
+                    overhead += self.params.regfile_access
+                self._charge(overhead)
+            values = self._materialize(
+                [self._capture(lambda a=a: self.lower_expr(a)) for a in call.args]
+            )
+            arglist = ", ".join([self.read] + values)
+            w.emit(f"if not {guard_fn}({arglist}):")
+            w.indent += 1
+            if self.all_hooks:
+                w.emit(f"hooks.on_guard_fail({self.module.bind(method, 'm')})")
+            self._raise_fail(fail)
+            w.indent -= 1
+            t = w.tmp()
+            if is_action:
+                w.emit(f"{t}, _ = {body_fn}({arglist})")
+                if self.all_hooks:
+                    r = w.tmp()
+                    w.emit(f"for {r} in {t}:")
+                    w.emit(f"    hooks.on_register_write({r})")
+                if self.counting and self.charging:
+                    self.w.emit(
+                        f"{self.sink} += {self.params.reg_write} * len({t})"
+                    )
+                return t
+            w.emit(f"_, {t} = {body_fn}({arglist})")
+            return t
+
+        # User-defined method: one generated module-level function pair per
+        # (method, mode), pre-registered so recursive methods terminate.
+        guard_name, body_name = self._user_method(method, is_action)
+        if self.kernel_hooks:
+            inst = self.module.bind(instance, "i")
+            w.emit(f"hooks.on_method({inst}, {method_name!r})")
+        if self.counting and self.charging:
+            self._charge(self.params.method_call_overhead)
+        values = self._materialize(
+            [self._capture(lambda a=a: self.lower_expr(a)) for a in call.args]
+        )
+        ctx = self._call_ctx()
+        arglist = ", ".join([self.read, ctx] + values)
+        w.emit(f"if not {guard_name}({arglist}):")
+        w.indent += 1
+        if self.all_hooks:
+            w.emit(f"hooks.on_guard_fail({self.module.bind(method, 'm')})")
+        self._raise_fail(fail)
+        w.indent -= 1
+        t = w.tmp()
+        w.emit(f"{t} = {body_name}({arglist})")
+        return t
+
+    def _call_ctx(self) -> str:
+        """Second argument threaded into generated method/thunk functions."""
+        if self.counting:
+            return "_cl"
+        if self.kernel_hooks or self.all_hooks:
+            return "hooks"
+        return "None"
+
+    def _user_method(self, method: Method, is_action: bool) -> Tuple[str, str]:
+        key = (id(method), is_action)
+        entry = self.methods.get(key)
+        if entry is not None:
+            return entry
+        guard_name = self.module.fn_name("mg")
+        body_name = self.module.fn_name("mb")
+        self.methods[key] = (guard_name, body_name)
+        param_locals = [f"_p{i}" for i in range(len(method.params))]
+        for stem, node, action_node in (
+            (guard_name, method.guard, False),
+            (body_name, method.body, is_action),
+        ):
+            sub = _Lowerer(
+                self.module,
+                self.mode,
+                self.max_loop_iterations,
+                self.params,
+                self.methods,
+            )
+            sub.scope = {
+                p: ("strict", param_locals[i]) for i, p in enumerate(method.params)
+            }
+            sub.w = _FnWriter(stem, ["read", "_ctx"] + param_locals)
+            if self.counting:
+                sub.sink = "_ctx[0]"
+            if self.all_hooks or self.kernel_hooks:
+                sub.w.emit("hooks = _ctx")
+            if self.counting:
+                sub.w.emit("_cl = _ctx")
+            if node is None:
+                owner = method.module.name if method.module is not None else "?"
+                msg = self.module.bind(
+                    f"{method.kind} method {owner}.{method.name} has no body", "c"
+                )
+                sub.w.emit(f"raise ElaborationError({msg})")
+            else:
+                result = (
+                    sub.lower_action(node) if action_node else sub.lower_expr(node)
+                )
+                sub.w.emit(f"return {result}")
+            self.module.add(sub.w.lines)
+        return guard_name, body_name
+
+
+# --------------------------------------------------------------------------
+# function-level generation: rule wrappers, counting attempts
+# --------------------------------------------------------------------------
+
+_FORCE_HELPER = '''\
+def _force(cell):
+    """Force a lazy let binding (mirrors compile._Cell's memoised thunks)."""
+    if cell[0]:
+        return cell[1]
+    value = cell[2](cell[3], *cell[4])
+    cell[1] = value
+    cell[0] = True
+    return value
+'''
+
+
+def _add_force_helper(module: _ModuleBuilder) -> None:
+    if "_force_added" not in module.bindings:
+        module.bindings["_force_added"] = True
+        module.chunks.append(_FORCE_HELPER + "\n")
+
+
+def _lower_rule_fn(
+    module: _ModuleBuilder,
+    name: str,
+    node: Any,
+    is_action: bool,
+    mode: str,
+    max_loop_iterations: int,
+    sw_params: Any = None,
+    methods: Optional[Dict] = None,
+) -> None:
+    """Emit ``def name(read, hooks_or_cell)`` evaluating ``node`` flat."""
+    low = _Lowerer(module, mode, max_loop_iterations, sw_params, methods)
+    if mode == "count":
+        low.w = _FnWriter(name, ["read", "_cl"])
+        low.w.emit("_cc = 0")
+        low.sink = "_cc"
+    elif mode in ("hooked", "latency"):
+        low.w = _FnWriter(name, ["read", "hooks"])
+    else:
+        low.w = _FnWriter(name, ["read"])
+    result = low.lower_action(node) if is_action else low.lower_expr(node)
+    if mode == "count":
+        low.w.emit("_cl[0] += _cc")
+        low.w.emit(f"return {result}")
+    else:
+        low.w.emit(f"return {result}")
+    module.add(low.w.lines)
+
+
+class SourceRuleExec:
+    """Generated fast/hooked/latency entry points for one rule.
+
+    Drop-in for :class:`repro.core.compile.RuleExec` at the call sites the
+    engines use (``fast(read)``, ``hooked(read, hooks)``,
+    ``latency(read, hooks)``); the attributes hold plain generated
+    functions, with closure fallbacks per mode when lowering declined.
+    """
+
+    __slots__ = ("rule", "fast", "hooked", "latency")
+
+    def __init__(self, rule: Rule, fast, hooked, latency):
+        self.rule = rule
+        self.fast = fast
+        self.hooked = hooked
+        self.latency = latency
+
+
+def generate_rule_execs(
+    rules: List[Rule],
+    design_name: str,
+    max_loop_iterations: int = 1_000_000,
+    modes: Tuple[str, ...] = ("fast", "hooked", "latency"),
+) -> Tuple[List[SourceRuleExec], GeneratedModule]:
+    """Generate flat executors for raw rule actions (Simulator / HwEngine)."""
+    module = _ModuleBuilder(f"{design_name}.rules")
+    _add_force_helper(module)
+    specs: List[Dict[str, Any]] = []
+    methods: Dict[str, Dict] = {mode: {} for mode in modes}
+    for i, rule in enumerate(rules):
+        spec: Dict[str, Any] = {"rule": rule}
+        for mode in modes:
+            fn = f"_rule_{mode}_{i}"
+            try:
+                _lower_rule_fn(
+                    module, fn, rule.action, True, mode,
+                    max_loop_iterations, None, methods[mode],
+                )
+                spec[mode] = fn
+            except _Unsupported:
+                spec[mode] = None
+        specs.append(spec)
+    gen = module.build()
+    ns = gen.namespace
+    execs = []
+    for spec in specs:
+        rule = spec["rule"]
+        fallback = rule_exec(rule, max_loop_iterations)
+        execs.append(
+            SourceRuleExec(
+                rule,
+                ns[spec["fast"]] if spec.get("fast") else fallback.fast,
+                ns[spec["hooked"]] if spec.get("hooked") else fallback.hooked,
+                ns[spec["latency"]] if spec.get("latency") else fallback.latency,
+            )
+        )
+    return execs, gen
+
+
+# --------------------------------------------------------------------------
+# software engine: generated counting attempts and fused superstep
+# --------------------------------------------------------------------------
+
+
+def _float_lit(value: float) -> str:
+    return repr(float(value))
+
+
+def _emit_attempt(
+    module: _ModuleBuilder,
+    name: str,
+    compiled_rule: Any,
+    params: Any,
+    config: Any,
+    max_loop_iterations: int,
+    methods: Dict,
+) -> bool:
+    """Emit ``def name(read)`` -> ``(cpu_cost, updates_or_None)``.
+
+    The whole of ``SwEngine._attempt`` folds into one generated function:
+    guard, setup, body and commit costs are pre-folded constants, the
+    guard/body trees are lowered inline in counting mode, and the
+    ``GuardFail`` control flow stays in-frame.  Returns False when lowering
+    declined (caller installs the closure fallback).
+    """
+    cr = compiled_rule
+    w = _FnWriter(name, ["read"])
+    w.emit("_cl = [0]")
+    w.emit("_cc = 0")
+    w.emit("try:")
+    low = _Lowerer(module, "count", max_loop_iterations, params, methods)
+    low.w = w
+    w.indent += 1
+    try:
+        guard_stmts, guard = low._capture(lambda: low.lower_expr(cr.guard))
+        w.emit_lines(guard_stmts)
+        w.emit(f"_g = {guard}")
+        w.indent -= 1
+        w.emit("except GuardFail:")
+        w.emit("    _g = False")
+        w.emit(f"_cost = {_float_lit(params.rule_attempt_overhead)} + _cc + _cl[0]")
+        w.emit("if not _g:")
+        w.emit("    return _cost, None")
+        if cr.can_fail:
+            setup = 0.0
+            if config.inline_methods:
+                setup += params.branch_guard_handling
+            else:
+                setup += params.try_catch_setup
+            setup += len(cr.shadow_registers) * params.shadow_per_register
+            w.emit(f"_cost += {_float_lit(setup)}")
+        w.emit("_cl[0] = 0")
+        w.emit("_cc = 0")
+        w.emit("try:")
+        w.indent += 1
+        body_stmts, body = low._capture(lambda: low.lower_action(cr.body))
+        w.emit_lines(body_stmts)
+        w.emit(f"_u = {body}")
+        w.indent -= 1
+        w.emit("except GuardFail:")
+        w.emit("    _cost += _cc + _cl[0]")
+        w.emit(f"    _cost += {params.rollback_base}")
+        w.emit(
+            f"    _cost += {len(cr.shadow_registers) * params.rollback_per_register}"
+        )
+        w.emit("    return _cost, None")
+        w.emit("_cost += _cc + _cl[0]")
+        if cr.can_fail:
+            w.emit(f"_cost += len(_u) * {params.commit_per_register}")
+        w.emit("return _cost, _u")
+    except _Unsupported:
+        return False
+    module.add(w.lines)
+    return True
+
+
+def _fallback_attempt(
+    compiled_rule: Any, params: Any, config: Any, max_loop_iterations: int
+):
+    """Closure-backed attempt with the same ``(cost, updates|None)`` contract."""
+    cr = compiled_rule
+    guard_fn, body_fn = compiled_rule_exec(cr, max_loop_iterations).counting_fns(
+        params
+    )
+    overhead = float(params.rule_attempt_overhead)
+    setup = 0.0
+    if cr.can_fail:
+        if config.inline_methods:
+            setup += params.branch_guard_handling
+        else:
+            setup += params.try_catch_setup
+        setup += len(cr.shadow_registers) * params.shadow_per_register
+    rollback_base = params.rollback_base
+    rollback = len(cr.shadow_registers) * params.rollback_per_register
+    commit_per = params.commit_per_register
+    can_fail = cr.can_fail
+
+    def attempt(read):
+        cell = [0]
+        try:
+            ok = guard_fn((), read, cell)
+        except GuardFail:
+            ok = False
+        cost = overhead + cell[0]
+        if not ok:
+            return cost, None
+        if can_fail:
+            cost += setup
+        cell = [0]
+        try:
+            updates = body_fn((), read, cell)
+        except GuardFail:
+            cost += cell[0]
+            cost += rollback_base
+            cost += rollback
+            return cost, None
+        cost += cell[0]
+        if can_fail:
+            cost += len(updates) * commit_per
+        return cost, updates
+
+    return attempt
+
+
+def generate_counting_attempts(
+    rules: List[Rule],
+    compiled: Dict[Rule, Any],
+    params: Any,
+    config: Any,
+    design_name: str,
+    max_loop_iterations: int = 1_000_000,
+) -> Tuple[List[Callable], GeneratedModule]:
+    """Generated ``attempt(read) -> (cost, updates|None)`` per rule."""
+    module = _ModuleBuilder(f"{design_name}.attempts")
+    _add_force_helper(module)
+    methods: Dict = {}
+    emitted: List[Optional[str]] = []
+    for i, rule in enumerate(rules):
+        name = f"_attempt_{i}"
+        ok = _emit_attempt(
+            module, name, compiled[rule], params, config,
+            max_loop_iterations, methods,
+        )
+        emitted.append(name if ok else None)
+    gen = module.build()
+    attempts = []
+    for i, rule in enumerate(rules):
+        if emitted[i] is not None:
+            attempts.append(gen.namespace[emitted[i]])
+        else:
+            attempts.append(
+                _fallback_attempt(compiled[rule], params, config, max_loop_iterations)
+            )
+    return attempts, gen
+
+
+def generate_sw_step(engine: Any, attempts: List[Callable]) -> GeneratedModule:
+    """Fuse ``SwEngine.step`` into one generated function bound to ``engine``.
+
+    Pre-binds only identity-stable collaborators (the wrapped store, the
+    wakeup arrays, the fire-count / fail-cost dicts, the schedule's
+    candidate cache); every field ``restore()`` rebinds is reached through
+    ``self`` so resident serving keeps working.
+    """
+    module = _ModuleBuilder(f"{engine.name}.swstep")
+    n = len(engine.rules)
+    b = module.bindings
+    b["_self"] = engine
+    if n:
+        wakeup = engine._wakeup
+        b["_store"] = engine.store
+        b["_read"] = engine.store.__getitem__
+        b["_sleeping"] = wakeup.sleeping
+        b["_index_of"] = wakeup.index_of
+        b["_wakeup"] = wakeup
+        b["_sleep"] = wakeup.sleep_index
+        b["_candidates"] = engine.schedule.candidates
+        b["_lfc"] = engine._last_fail_cost
+        b["_fire_counts"] = engine.fire_counts
+        b["_names"] = tuple(r.full_name for r in engine.rules)
+        b["_attempts"] = list(attempts)
+        b["_cpu_to_fpga"] = engine.platform.cpu_to_fpga_cycles
+    lines = ["def step(now):"]
+    if not n:
+        lines.append("    return False")
+    else:
+        lines += [
+            "    if now < _self.busy_until:",
+            "        return False",
+            "    progress = False",
+            "    _pu = _self._pending_updates",
+            "    if _pu is not None:",
+            "        _store.update(_pu)",
+            "        _self._pending_updates = None",
+            "        progress = True",
+            "    _pd = _self._pending_deliveries",
+            "    if _pd:",
+            "        for _reg, _item in _pd:",
+            "            _store[_reg] = tuple(_store[_reg]) + (_item,)",
+            "        _self._pending_deliveries = []",
+            f"    if _wakeup.n_sleeping == {n}:",
+            f"        _self.guard_failures += {n}",
+            "        return progress",
+            "    _wasted = 0.0",
+            "    for _rule in _candidates(_self._last_fired):",
+            "        _i = _index_of[_rule]",
+            "        if _sleeping[_i]:",
+            "            _wasted += _lfc[_rule]",
+            "            _self.guard_failures += 1",
+            "            continue",
+            "        _cost, _u = _attempts[_i](_read)",
+            "        if _u is not None:",
+            "            _self.cpu_cycles_useful += _cost",
+            "            _self.cpu_cycles_wasted += _wasted",
+            "            _dur = _cpu_to_fpga(_cost + _wasted)",
+            "            _self.busy_until = now + _dur",
+            "            _self.busy_fpga_cycles += _dur",
+            "            _self._pending_updates = _u",
+            "            _self._last_fired = _rule",
+            "            _fire_counts[_names[_i]] += 1",
+            "            _self.total_firings += 1",
+            "            return True",
+            "        _sleep(_i)",
+            "        _lfc[_rule] = _cost",
+            "        _wasted += _cost",
+            "        _self.guard_failures += 1",
+            "    return progress",
+        ]
+    module.chunks.append("\n".join(lines) + "\n")
+    return module.build()
+
+
+# --------------------------------------------------------------------------
+# hardware engine: generated latency executors and fused step_cycle
+# --------------------------------------------------------------------------
+
+
+def generate_hw_step(
+    engine: Any, execs: Dict[Rule, Any], latency_acc_cls: Any
+) -> GeneratedModule:
+    """Fuse ``HwEngine.step_cycle`` into one generated function.
+
+    Same pre-binding discipline as :func:`generate_sw_step`: the busy
+    table, locked-count view, store and wakeup arrays keep their identity
+    across ``restore()``; rebindable scalars go through ``self``.
+    """
+    module = _ModuleBuilder(f"{engine.name}.hwstep")
+    rules = engine.rules
+    n = len(rules)
+    b = module.bindings
+    b["_self"] = engine
+    if n:
+        wakeup = engine._wakeup
+        b["_store"] = engine.store
+        b["_read"] = engine.store.__getitem__
+        b["_sleeping"] = wakeup.sleeping
+        b["_sleep"] = wakeup.sleep_index
+        b["_wakeup"] = wakeup
+        b["_busy"] = engine.busy
+        b["_locked"] = engine._locked_count.keys()
+        b["_rules"] = tuple(rules)
+        b["_wsets"] = [engine._write_sets[r] for r in rules]
+        b["_rsets"] = [engine._read_sets[r] for r in rules]
+        b["_lat"] = [execs[r].latency for r in rules]
+        b["_index_of"] = wakeup.index_of
+        b["_select"] = engine.schedule.select
+        b["_fire_counts"] = engine.fire_counts
+        b["_names"] = tuple(r.full_name for r in rules)
+        b["_flush"] = engine._flush_pending_deliveries
+        b["_lock"] = engine._lock_rule
+        b["_unlock"] = engine._unlock_rule
+        b["_Acc"] = latency_acc_cls
+        b["_raise_missing"] = raise_for_missing_register
+    lines = ["def step_cycle(now):"]
+    if not n:
+        lines.append("    return False")
+    else:
+        lines += [
+            "    if _self.last_cycle_stepped == now:",
+            "        return False",
+            "    _self.last_cycle_stepped = now",
+            "    progress = False",
+            "    _nf = _self._next_finish",
+            "    if _nf is not None and _nf <= now:",
+            "        _fin = [r for r, (f, _) in _busy.items() if f <= now]",
+            "        for _r in _fin:",
+            "            _store.update(_unlock(_r))",
+            "            progress = True",
+            "        _flush()",
+            f"    if _wakeup.n_sleeping == {n} and not _busy:",
+            "        if progress:",
+            "            _self.cycles_active += 1",
+            "        return progress",
+            f"    _cand = [_i for _i in range({n})",
+            "             if _rules[_i] not in _busy and not _sleeping[_i]",
+            "             and not (_wsets[_i] & _locked)]",
+            "    if not _cand:",
+            "        if progress:",
+            "            _self.cycles_active += 1",
+            "        return progress",
+            "    _enabled = []",
+            "    _eval = {}",
+            "    for _i in _cand:",
+            "        _h = _Acc()",
+            "        try:",
+            "            _u = _lat[_i](_read, _h)",
+            "        except GuardFail:",
+            "            _sleep(_i)",
+            "            continue",
+            "        except KeyError as _exc:",
+            "            _raise_missing(_exc)",
+            "            raise",
+            "        _eval[_i] = (_u, _h.latency)",
+            "        _enabled.append(_rules[_i])",
+            "    _chosen = _select(_enabled)",
+            "    _cycle_locked = set(_locked)",
+            "    _cycle_dirty = set()",
+            "    for _r in _chosen:",
+            "        _i = _index_of[_r]",
+            "        if _wsets[_i] & _cycle_locked:",
+            "            continue",
+            "        _u, _latency = _eval[_i]",
+            "        if _rsets[_i] & _cycle_dirty:",
+            "            _h = _Acc()",
+            "            try:",
+            "                _u = _lat[_i](_read, _h)",
+            "            except GuardFail:",
+            "                _sleep(_i)",
+            "                continue",
+            "            except KeyError as _exc:",
+            "                _raise_missing(_exc)",
+            "                raise",
+            "            _latency = _h.latency",
+            "        _fire_counts[_names[_i]] += 1",
+            "        _self.total_firings += 1",
+            "        progress = True",
+            "        if _latency <= 1:",
+            "            _store.update(_u)",
+            "            _cycle_dirty.update(_u)",
+            "        else:",
+            "            _lock(_r, now + _latency, _u)",
+            "            _cycle_locked |= _wsets[_i]",
+            "    if progress:",
+            "        _self.cycles_active += 1",
+            "    return progress",
+        ]
+    module.chunks.append("\n".join(lines) + "\n")
+    return module.build()
+
+
+# --------------------------------------------------------------------------
+# transport routes: generated pump / delivery functions
+# --------------------------------------------------------------------------
+
+
+def generate_transport_pump(
+    data_reg,
+    depth: int,
+    producer_store,
+    consumer_store,
+    vc,
+    direction,
+    locked,
+    charge_driver=None,
+    occupancy_of=None,
+    name: str = "route",
+) -> Callable[[float], bool]:
+    """Generated analogue of :func:`~repro.core.compile.compile_transport_pump`.
+
+    Per-route constants (credit depth, words per element, occupancy and
+    latency cycles, the vc id) are inlined as literals; the mutable
+    collaborators (stores, pool rings, stats) are pre-bound names.  The
+    emitted control flow mirrors the closure pump statement for statement,
+    so every stat commit and stall count lands identically.
+    """
+    module = _ModuleBuilder(f"{name}.pump")
+    b = module.bindings
+    words = vc.words_per_element
+    occupancy = direction.params.occupancy_cycles(words, direction.burst)
+    latency = direction.params.one_way_latency_cycles
+    pool = direction.pool
+    b["_pstore"] = producer_store
+    b["_cstore"] = consumer_store
+    b["_dreg"] = data_reg
+    b["_vc"] = vc
+    b["_vcs"] = vc.stats
+    b["_dir"] = direction
+    b["_stats"] = direction.stats
+    b["_per_vc"] = direction.stats.per_vc_messages
+    b["_locked"] = locked
+    b["_encode_batch"] = vc.encode_batch
+    b["_note_stall"] = vc.note_credit_stall
+    b["_pool_words"] = pool.words
+    b["_words_extend"] = pool.words.extend
+    b["_vc_extend"] = pool.vc_ids.extend
+    b["_bounds_extend"] = pool.bounds.extend
+    b["_due_append"] = pool.due.append
+    b["_compact"] = pool.compact
+    if occupancy_of is not None:
+        b["_occ"] = occupancy_of
+    if charge_driver is not None:
+        b["_charge"] = charge_driver
+    occ_expr = "_occ()" if occupancy_of is not None else "len(_cstore[_dreg])"
+    lines = [
+        "def pump(now):",
+        "    _q = _pstore[_dreg]",
+        "    if not _q:",
+        "        return False",
+        "    if _dreg in _locked():",
+        "        return False",
+        f"    _win = {depth} - {occ_expr} - _vc.in_flight",
+        "    if _win <= 0:",
+        "        _note_stall()",
+        "        return False",
+        "    _n = len(_q)",
+        "    if _win < _n:",
+        "        _n = _win",
+        "    _compact()",
+        "    _words_extend(_encode_batch(_q[:_n]))",
+        "    _end = len(_pool_words)",
+        f"    _bounds_extend(range(_end - (_n - 1) * {words}, _end + 1, {words}))",
+        f"    _vc_extend([{vc.vc_id}] * _n)",
+        "    _busy = _dir.busy_until",
+        "    _bc = _stats.busy_cycles",
+        "    for _ in range(_n):",
+        "        _start = _busy if _busy > now else now",
+        f"        _busy = _start + {occupancy!r}",
+        f"        _due_append(_busy + {latency!r})",
+        f"        _bc += {occupancy!r}",
+    ]
+    if charge_driver is not None:
+        lines.append(f"        _charge({words}, now)")
+    lines += [
+        "    _dir.busy_until = _busy",
+        "    _stats.busy_cycles = _bc",
+        "    _stats.messages += _n",
+        f"    _stats.words += _n * {words}",
+        f"    _per_vc[{vc.vc_id}] = _per_vc.get({vc.vc_id}, 0) + _n",
+        "    _vc.credits = _win - _n",
+        "    _vc.in_flight += _n",
+        "    _vcs.messages_sent += _n",
+        f"    _vcs.words_sent += _n * {words}",
+        "    _pstore[_dreg] = _q[_n:]",
+        "    if _n < len(_q):",
+        "        _note_stall()",
+        "    return True",
+    ]
+    module.chunks.append("\n".join(lines) + "\n")
+    return module.build().namespace["pump"]
+
+
+def generate_transport_delivery(
+    direction,
+    vc_by_id,
+    deliver,
+    deliver_batch=None,
+    charge_driver=None,
+    name: str = "route",
+) -> Callable[[float], bool]:
+    """Generated analogue of :func:`~repro.core.compile.compile_transport_delivery`."""
+    if deliver_batch is not None and charge_driver is not None:
+        raise ValueError("deliver_batch and charge_driver are mutually exclusive")
+    module = _ModuleBuilder(f"{name}.deliver")
+    b = module.bindings
+    pool = direction.pool
+    b["_pool"] = pool
+    b["_due"] = pool.due
+    b["_vc_ids"] = pool.vc_ids
+    b["_bounds"] = pool.bounds
+    b["_pool_words"] = pool.words
+    b["_info"] = {
+        vc_id: (vc, vc.decode, vc.decode_run, vc.sync.data, vc.words_per_element)
+        for vc_id, vc in vc_by_id.items()
+    }
+    if deliver_batch is not None:
+        b["_deliver_batch"] = deliver_batch
+        lines = [
+            "def deliver_due(now):",
+            "    _head = _pool.head",
+            "    _end = len(_due)",
+            "    if _head >= _end:",
+            "        return False",
+            "    _cut = _head",
+            "    while _cut < _end and _due[_cut] <= now:",
+            "        _cut += 1",
+            "    if _cut == _head:",
+            "        return False",
+            "    _start = _pool.word_head",
+            "    _i = _head",
+            "    while _i < _cut:",
+            "        _vc_id = _vc_ids[_i]",
+            "        _j = _i + 1",
+            "        while _j < _cut and _vc_ids[_j] == _vc_id:",
+            "            _j += 1",
+            "        _vc, _decode, _decode_run, _data_reg, _words = _info[_vc_id]",
+            "        _k = _j - _i",
+            "        if _k == 1:",
+            "            _items = (_decode(_pool_words, _start + 1),)",
+            "        else:",
+            "            _items = tuple(_decode_run(_pool_words, _start, _k))",
+            "        _start = _bounds[_j - 1]",
+            "        _deliver_batch(_data_reg, _items, now)",
+            "        _vc.in_flight -= _k",
+            "        _vc.stats.messages_delivered += _k",
+            "        _i = _j",
+            "    _pool.head = _cut",
+            "    _pool.word_head = _start",
+            "    return True",
+        ]
+    else:
+        b["_deliver"] = deliver
+        if charge_driver is not None:
+            b["_charge"] = charge_driver
+        lines = [
+            "def deliver_due(now):",
+            "    _head = _pool.head",
+            "    _end = len(_due)",
+            "    if _head >= _end:",
+            "        return False",
+            "    _start = _pool.word_head",
+            "    _i = _head",
+            "    while _i < _end and _due[_i] <= now:",
+            "        _vc_id = _vc_ids[_i]",
+            "        _vc, _decode, _decode_run, _data_reg, _words = _info[_vc_id]",
+            "        _deliver(_data_reg, _decode(_pool_words, _start + 1), now)",
+            "        _vc.on_deliver()",
+        ]
+        if charge_driver is not None:
+            lines.append("        _charge(_words, now)")
+        lines += [
+            "        _start = _bounds[_i]",
+            "        _i += 1",
+            "    if _i == _head:",
+            "        return False",
+            "    _pool.head = _i",
+            "    _pool.word_head = _start",
+            "    return True",
+        ]
+    module.chunks.append("\n".join(lines) + "\n")
+    return module.build().namespace["deliver_due"]

@@ -82,7 +82,7 @@ class Message:
     delivered_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
     """Aggregate channel traffic accounting, reported in benchmark output."""
 
@@ -279,6 +279,8 @@ class ChannelDirection:
     crosses the link is the packed wire words of each message (header +
     payload), exactly the byte stream the generated interfaces move.
     """
+
+    __slots__ = ("params", "name", "burst", "busy_until", "pool", "stats")
 
     def __init__(self, params: ChannelParams, name: str, burst: bool = True):
         self.params = params

@@ -25,7 +25,7 @@ from repro.core.types import BCLType
 from repro.platform.marshal import MessageLayout, layout_for, validate_wire_format
 
 
-@dataclass
+@dataclass(slots=True)
 class VirtualChannelStats:
     """Per-virtual-channel traffic counters."""
 
@@ -37,6 +37,21 @@ class VirtualChannelStats:
 
 class VirtualChannel:
     """Flow-control state for one synchronizer mapped onto the physical channel."""
+
+    __slots__ = (
+        "vc_id",
+        "sync",
+        "word_bits",
+        "credits",
+        "in_flight",
+        "stats",
+        "layout",
+        "words_per_element",
+        "encode",
+        "encode_batch",
+        "decode",
+        "decode_run",
+    )
 
     def __init__(self, vc_id: int, sync: SyncFifo, word_bits: int = 32):
         self.vc_id = vc_id

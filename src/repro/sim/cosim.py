@@ -35,14 +35,18 @@ deterministic rules of :meth:`CosimResult.merge`, and on single-group
 designs (every two-partition workload) the group loop *is* the historical
 loop, bitwise identical to the pre-decomposition fabric.
 
-Transport is two-backend, like rule execution: ``transport="interp"`` is
-the per-synchronizer reference bookkeeping; ``transport="compiled"`` lowers
-each route to a closure at elaboration
+Transport mirrors rule execution's backend ladder: ``transport="interp"``
+is the per-synchronizer reference bookkeeping; ``transport="compiled"``
+lowers each route to a closure at elaboration
 (:func:`~repro.core.compile.compile_transport_pump` /
 :func:`~repro.core.compile.compile_transport_delivery`: pre-resolved
 endpoint stores, pre-computed credit arithmetic, prebuilt delivery
-callbacks, batch FIFO draining).  By default the transport backend follows
-the rule-execution backend.
+callbacks, batch FIFO draining); ``transport="source"`` generates flat
+Python per route with the layout constants inlined as literals
+(:func:`~repro.core.pycodegen.generate_transport_pump` /
+:func:`~repro.core.pycodegen.generate_transport_delivery`), observationally
+identical to both.  By default the transport backend follows the
+rule-execution backend.
 """
 
 from __future__ import annotations
@@ -52,6 +56,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.compile import compile_transport_delivery, compile_transport_pump
 from repro.core.domains import HW, SW, Domain, effective_module_domain
+from repro.core.pycodegen import (
+    VALID_BACKENDS,
+    default_rule_backend,
+    generate_transport_delivery,
+    generate_transport_pump,
+)
 from repro.core.errors import SimulationError
 from repro.core.module import Design, Register
 from repro.core.optimize import OptimizationConfig
@@ -539,16 +549,20 @@ class CosimFabric:
         default_domain: Optional[Domain] = None,
         burst: bool = True,
         max_loop_iterations: int = 1_000_000,
-        backend: str = "interp",
+        backend: Optional[str] = None,
         transport: Optional[str] = None,
         topology: Optional[Topology] = None,
         link_params=None,
         required_domains: Optional[List[Domain]] = None,
         verify: bool = False,
     ):
+        if backend is None:
+            backend = default_rule_backend()
+        if backend not in VALID_BACKENDS:
+            raise ValueError(f"unknown execution backend {backend!r}")
         if transport is None:
             transport = backend
-        if transport not in ("interp", "compiled"):
+        if transport not in VALID_BACKENDS:
             raise ValueError(f"unknown transport backend {transport!r}")
         self.design = design
         self.platform = platform or Platform.ml507()
@@ -679,7 +693,34 @@ class CosimFabric:
             )
             self._delivery_dsts.append(link.dst)
 
-        if transport == "compiled":
+        if transport == "source":
+            self._pump_fns = [
+                generate_transport_pump(
+                    sync.data,
+                    sync.depth,
+                    producer_store,
+                    consumer_store,
+                    vc,
+                    direction,
+                    producer_engine.locked_registers,
+                    producer_engine.charge_driver if sw_producer else None,
+                    name=f"{design.name}.route{i}",
+                )
+                for i, (sync, vc, producer_engine, producer_store, consumer_store, direction, sw_producer) in enumerate(self._routes)
+            ]
+            vc_by_id = self.vcs.id_table
+            self._deliver_fns = [
+                generate_transport_delivery(
+                    direction,
+                    vc_by_id,
+                    target.deliver,
+                    deliver_batch=None if sw_target else target.deliver_batch,
+                    charge_driver=target.charge_driver if sw_target else None,
+                    name=f"{design.name}.delivery{i}",
+                )
+                for i, (direction, target, sw_target) in enumerate(self._delivery_routes)
+            ]
+        elif transport == "compiled":
             self._pump_fns = [
                 compile_transport_pump(
                     sync.data,
@@ -1403,7 +1444,7 @@ class Cosimulator(CosimFabric):
         default_domain: Optional[Domain] = None,
         burst: bool = True,
         max_loop_iterations: int = 1_000_000,
-        backend: str = "interp",
+        backend: Optional[str] = None,
         transport: Optional[str] = None,
         verify: bool = False,
     ):

@@ -24,6 +24,12 @@ from repro.core.analysis import rule_read_set, rule_write_set
 from repro.core.compile import RuleExec, raise_for_missing_register, rule_exec
 from repro.core.errors import GuardFail
 from repro.core.module import Register, Rule
+from repro.core.pycodegen import (
+    VALID_BACKENDS,
+    default_rule_backend,
+    generate_hw_step,
+    generate_rule_execs,
+)
 from repro.core.scheduler import HwSchedule, RuleWakeup
 from repro.core.semantics import Evaluator, Store, commit, try_rule
 from repro.sim.costmodel import HwLatencyAccumulator
@@ -51,14 +57,16 @@ class HwEngine:
         rules: List[Rule],
         store: Store,
         name: str = "HW",
-        backend: str = "interp",
+        backend: Optional[str] = None,
     ):
-        if backend not in ("interp", "compiled"):
+        if backend is None:
+            backend = default_rule_backend()
+        if backend not in VALID_BACKENDS:
             raise ValueError(f"unknown execution backend {backend!r}")
         self.name = name
         self.rules = list(rules)
         self.backend = backend
-        self._use_dirty = backend == "compiled"
+        self._use_dirty = backend != "interp"
         if self._use_dirty:
             self._wakeup: Optional[RuleWakeup] = RuleWakeup(self.rules)
             self.store = self._wakeup.wrap_store(store)
@@ -67,11 +75,17 @@ class HwEngine:
             self.store = store
         self.schedule = HwSchedule(self.rules)
         self.evaluator = Evaluator()
-        self._exec: Dict[Rule, RuleExec] = (
-            {rule: rule_exec(rule) for rule in self.rules}
-            if backend == "compiled"
-            else {}
-        )
+        self._gen = None
+        self._step_gen = None
+        if backend == "source":
+            execs, self._gen = generate_rule_execs(
+                self.rules, name, modes=("latency",)
+            )
+            self._exec: Dict[Rule, RuleExec] = dict(zip(self.rules, execs))
+        elif backend == "compiled":
+            self._exec = {rule: rule_exec(rule) for rule in self.rules}
+        else:
+            self._exec = {}
         #: rule -> (finish_time, deferred updates) for in-flight multi-cycle rules.
         self.busy: Dict[Rule, Tuple[float, Dict[Register, Any]]] = {}
         #: reference-counted union of the busy rules' write sets (kept
@@ -92,6 +106,12 @@ class HwEngine:
         self.cycles_active = 0
         self.total_firings = 0
         self.last_cycle_stepped: Optional[float] = None
+        # Source backend: a fused generated step_cycle shadows the class
+        # method.  Installed last so the generated module pre-binds the
+        # fully initialised engine state (busy table, locked view, wakeup).
+        if backend == "source":
+            self._step_gen = generate_hw_step(self, self._exec, HwLatencyAccumulator)
+            self.step_cycle = self._step_gen.namespace["step_cycle"]
 
     # -- snapshot / restore ---------------------------------------------------
 
@@ -286,7 +306,7 @@ class HwEngine:
                 self.cycles_active += 1
             return progress
 
-        compiled = self.backend == "compiled"
+        compiled = self.backend != "interp"
         enabled: List[Rule] = []
         #: rule -> (updates, latency) evaluated against this cycle's initial state.
         evaluated: Dict[Rule, Tuple[Dict[Register, Any], int]] = {}

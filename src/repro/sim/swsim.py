@@ -22,6 +22,12 @@ from repro.core.compile import compiled_rule_exec
 from repro.core.errors import GuardFail
 from repro.core.module import Register, Rule
 from repro.core.optimize import CompiledRule, OptimizationConfig, compile_rule
+from repro.core.pycodegen import (
+    VALID_BACKENDS,
+    default_rule_backend,
+    generate_counting_attempts,
+    generate_sw_step,
+)
 from repro.core.scheduler import RuleWakeup, SwSchedule
 from repro.core.semantics import Evaluator, Store, commit
 from repro.platform.platform import Platform
@@ -37,8 +43,11 @@ class SwEngine:
     ``backend`` selects how a rule attempt is evaluated: ``"interp"`` walks
     the optimised rule's guard/body ASTs through the tree-walking
     :class:`~repro.core.semantics.Evaluator`; ``"compiled"`` calls their
-    closure-compiled forms (:mod:`repro.core.compile`).  Both charge
-    identical CPU-cycle costs.
+    closure-compiled forms (:mod:`repro.core.compile`); ``"source"``
+    calls flat generated-Python attempt functions and replaces ``step``
+    with a fused generated superstep (:mod:`repro.core.pycodegen`).  All
+    charge identical CPU-cycle costs.  ``None`` resolves to
+    :func:`~repro.core.pycodegen.default_rule_backend`.
 
     The compiled backend additionally uses dirty-set scheduling: a rule
     whose attempt failed is skipped (not re-evaluated) until a register in
@@ -59,14 +68,16 @@ class SwEngine:
         all_registers: Optional[List[Register]] = None,
         name: str = "SW",
         max_loop_iterations: int = 1_000_000,
-        backend: str = "interp",
+        backend: Optional[str] = None,
     ):
-        if backend not in ("interp", "compiled"):
+        if backend is None:
+            backend = default_rule_backend()
+        if backend not in VALID_BACKENDS:
             raise ValueError(f"unknown execution backend {backend!r}")
         self.name = name
         self.rules = list(rules)
         self.backend = backend
-        self._use_dirty = backend == "compiled"
+        self._use_dirty = backend != "interp"
         if self._use_dirty:
             self._wakeup: Optional[RuleWakeup] = RuleWakeup(self.rules)
             self.store = self._wakeup.wrap_store(store)
@@ -106,6 +117,23 @@ class SwEngine:
         self.cpu_cycles_driver = 0.0
         self.guard_failures = 0
         self.busy_fpga_cycles = 0.0
+        # Source backend: generated per-rule attempt functions plus a fused
+        # superstep that shadows the class's ``step``.  Installed last so
+        # the generated module pre-binds the fully initialised engine state.
+        self._attempt_fns: List[Any] = []
+        self._gen = None
+        self._step_gen = None
+        if backend == "source":
+            self._attempt_fns, self._gen = generate_counting_attempts(
+                self.rules,
+                self.compiled,
+                platform.sw_costs,
+                config,
+                name,
+                max_loop_iterations,
+            )
+            self._step_gen = generate_sw_step(self, self._attempt_fns)
+            self.step = self._step_gen.namespace["step"]
 
     # -- snapshot / restore ----------------------------------------------------
 
@@ -305,8 +333,13 @@ class SwEngine:
         """
         params = self.platform.sw_costs
         cr = self.compiled[rule]
-        cost = float(params.rule_attempt_overhead)
         read = self.store.__getitem__
+        if self.backend == "source":
+            cost, updates = self._attempt_fns[self._wakeup.index_of[rule]](read)
+            if updates is None:
+                return cost, False, {}
+            return cost, True, updates
+        cost = float(params.rule_attempt_overhead)
         count_fns = self._count_fns.get(rule)
 
         # 1. Top-level (lifted) guard check.

@@ -1,12 +1,13 @@
-"""Differential tests: the closure-compiled backend against the tree walker.
+"""Differential tests: the fast rule backends against the tree walker.
 
 The tree-walking :class:`~repro.core.semantics.Evaluator` is the semantic
 reference oracle; the closure-compiled backend (:mod:`repro.core.compile`)
-plus dirty-set scheduling (:class:`~repro.core.scheduler.RuleWakeup`) must be
-*observationally equivalent*: identical final stores, identical fire counts,
-identical guard-failure counts and identical cost statistics -- on the
-reference simulator under every scheduling policy, and on the full HW/SW
-co-simulation of both applications.
+and the source-lowered backend (:mod:`repro.core.pycodegen`), each paired
+with dirty-set scheduling (:class:`~repro.core.scheduler.RuleWakeup`), must
+be *observationally equivalent*: identical final stores, identical fire
+counts, identical guard-failure counts and identical cost statistics -- on
+the reference simulator under every scheduling policy, and on the full
+HW/SW co-simulation of both applications.
 """
 
 from dataclasses import asdict
@@ -150,6 +151,10 @@ def build_kitchen_sink():
 
 CORPUS = [build_fifo_pipeline, build_kitchen_sink]
 
+#: The full rule-execution backend matrix; ``interp`` is the oracle.
+BACKENDS = ("interp", "compiled", "source")
+FAST_BACKENDS = ("compiled", "source")
+
 
 def final_state(sim: Simulator):
     stores = {reg.full_name: sim.store[reg] for reg in sim.design.all_registers()}
@@ -166,25 +171,27 @@ class TestSimulatorEquivalence:
     @pytest.mark.parametrize("builder", CORPUS, ids=lambda b: b.__name__)
     def test_backends_agree_under_every_policy(self, builder, policy):
         sims = {}
-        for backend in ("interp", "compiled"):
+        for backend in BACKENDS:
             sim = Simulator(builder(), policy=policy, seed=1234, backend=backend)
             sim.run(500)
             sims[backend] = final_state(sim)
-        assert sims["interp"] == sims["compiled"]
+        for backend in FAST_BACKENDS:
+            assert sims[backend] == sims["interp"], backend
 
     @pytest.mark.parametrize("seed", [0, 7, 99, 1234])
     def test_randomized_schedules_agree(self, seed):
         """The random policy consumes its RNG identically in both backends."""
         results = {}
-        for backend in ("interp", "compiled"):
+        for backend in BACKENDS:
             sim = Simulator(build_kitchen_sink(), policy="random", seed=seed, backend=backend)
             sim.run(500)
             results[backend] = final_state(sim)
-        assert results["interp"] == results["compiled"]
+        for backend in FAST_BACKENDS:
+            assert results[backend] == results["interp"], backend
 
     def test_quiescence_and_wakeup(self):
         """Dirty-set sleeping must not miss a test-bench poke."""
-        for backend in ("interp", "compiled"):
+        for backend in BACKENDS:
             top = Module("top")
             go = top.add_register("go", BoolT(), False)
             n = top.add_register("n", UIntT(32), 0)
@@ -203,12 +210,13 @@ class TestSimulatorEquivalence:
         """Simulator-with-hooks: compiled hooks charge the same cycles."""
         params = Platform.ml507().sw_costs
         totals = {}
-        for backend in ("interp", "compiled"):
+        for backend in BACKENDS:
             acc = SwCostAccumulator(params)
             sim = Simulator(build_kitchen_sink(), hooks=acc, backend=backend)
             sim.run(200)
             totals[backend] = (acc.cpu_cycles, acc.kernel_cycles, sim.firings)
-        assert totals["interp"] == totals["compiled"]
+        for backend in FAST_BACKENDS:
+            assert totals[backend] == totals["interp"], backend
 
 
 # --------------------------------------------------------------------------
@@ -230,8 +238,9 @@ class TestCosimEquivalence:
         from repro.apps.vorbis.params import VorbisParams
 
         workload = vp.build_partition(letter, VorbisParams(n_frames=4))
-        results = {b: _cosim_result(workload, b) for b in ("interp", "compiled")}
-        assert asdict(results["interp"]) == asdict(results["compiled"])
+        results = {b: _cosim_result(workload, b) for b in BACKENDS}
+        for backend in FAST_BACKENDS:
+            assert asdict(results[backend]) == asdict(results["interp"]), backend
 
     @pytest.mark.parametrize("letter", ["B", "D"])
     def test_raytracer_partitions_bitwise_identical(self, letter):
@@ -241,8 +250,9 @@ class TestCosimEquivalence:
         workload = rp.build_partition(
             letter, RayTracerParams(n_triangles=24, image_width=3, image_height=3)
         )
-        results = {b: _cosim_result(workload, b) for b in ("interp", "compiled")}
-        assert asdict(results["interp"]) == asdict(results["compiled"])
+        results = {b: _cosim_result(workload, b) for b in BACKENDS}
+        for backend in FAST_BACKENDS:
+            assert asdict(results[backend]) == asdict(results["interp"]), backend
 
     @pytest.mark.parametrize(
         "config",
@@ -255,8 +265,9 @@ class TestCosimEquivalence:
         from repro.apps.vorbis.params import VorbisParams
 
         workload = vp.build_partition("F", VorbisParams(n_frames=3))
-        results = {b: _cosim_result(workload, b, config) for b in ("interp", "compiled")}
-        assert asdict(results["interp"]) == asdict(results["compiled"])
+        results = {b: _cosim_result(workload, b, config) for b in BACKENDS}
+        for backend in FAST_BACKENDS:
+            assert asdict(results[backend]) == asdict(results["interp"]), backend
 
     def test_final_stores_identical(self):
         """Beyond statistics: the committed architectural state must match."""
@@ -265,10 +276,11 @@ class TestCosimEquivalence:
 
         workload = vp.build_partition("E", VorbisParams(n_frames=3))
         stores = {}
-        for backend in ("interp", "compiled"):
+        for backend in BACKENDS:
             cosim = Cosimulator(workload.design, backend=backend)
             cosim.run(workload.cosim_done, max_cycles=500_000_000)
             stores[backend] = {
                 reg.full_name: cosim.read(reg) for reg in workload.design.all_registers()
             }
-        assert stores["interp"] == stores["compiled"]
+        for backend in FAST_BACKENDS:
+            assert stores[backend] == stores["interp"], backend

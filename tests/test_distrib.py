@@ -84,7 +84,7 @@ def distributed(name, **kwargs):
 class TestDistributedDifferential:
     @pytest.mark.parametrize("carrier", ["shm", "socket"])
     @pytest.mark.parametrize("placement", ["group", "domain"])
-    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "source"])
     def test_vorbis_B_full_matrix(self, backend, placement, carrier):
         report = distributed(
             "vorbis_B", backend=backend, placement=placement, carrier=carrier
@@ -106,6 +106,7 @@ class TestDistributedDifferential:
         ("vorbis_H", "compiled", "domain", "socket"),
         ("vorbis_H", "interp", "domain", "shm"),
         ("vorbis_mg_BC", "compiled", "domain", "shm"),
+        ("vorbis_mg_BC", "source", "domain", "shm"),
         ("vorbis_mg_BC", "interp", "group", "socket"),
         ("vorbis_mg_BCF", "compiled", "group", "shm"),
         ("vorbis_mg_BCF", "compiled", "domain", "socket"),

@@ -98,25 +98,29 @@ def _snapshot(workload, backend, transport=None):
 
 
 class TestGoldenDifferential:
-    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "source"])
     @pytest.mark.parametrize("letter", ["A", "B", "C", "D", "E", "F"])
     def test_vorbis_matches_prerefactor(self, letter, backend):
-        golden = _golden()[f"vorbis_{letter}"][backend]
+        # The golden file predates the source tier; source must reproduce
+        # the same bits the compiled backend was recorded with.
+        golden = _golden()[f"vorbis_{letter}"]["compiled" if backend == "source" else backend]
         assert _snapshot(_vorbis(letter), backend) == golden
 
-    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "source"])
     @pytest.mark.parametrize("letter", ["A", "B", "C", "D"])
     def test_raytracer_matches_prerefactor(self, letter, backend):
-        golden = _golden()[f"raytracer_{letter}"][backend]
+        golden = _golden()[f"raytracer_{letter}"]["compiled" if backend == "source" else backend]
         assert _snapshot(_raytracer(letter), backend) == golden
 
     @pytest.mark.parametrize("letter", ["B", "C"])
     def test_transport_backends_bitwise_identical(self, letter):
-        """Compiled (batch-drain) transport == interpreted reference transport,
-        independently of the rule-execution backend."""
+        """Compiled (batch-drain) and source-lowered transports == the
+        interpreted reference transport, independently of the rule backend."""
         interp_t = _snapshot(_vorbis(letter), "compiled", transport="interp")
         compiled_t = _snapshot(_vorbis(letter), "compiled", transport="compiled")
+        source_t = _snapshot(_vorbis(letter), "compiled", transport="source")
         assert interp_t == compiled_t
+        assert interp_t == source_t
         assert interp_t == _golden()[f"vorbis_{letter}"]["compiled"]
 
 
@@ -224,17 +228,19 @@ class TestThreeDomainFabric:
 
     def test_backends_bitwise_identical(self):
         results = {}
-        for backend in ("interp", "compiled"):
+        for backend in ("interp", "compiled", "source"):
             _, _, result, _ = self._run(backend=backend)
             results[backend] = asdict(result)
-        assert results["interp"] == results["compiled"]
+        assert results["compiled"] == results["interp"]
+        assert results["source"] == results["interp"]
 
     def test_transport_modes_bitwise_identical(self):
         results = {}
-        for transport in ("interp", "compiled"):
+        for transport in ("interp", "compiled", "source"):
             _, _, result, _ = self._run(backend="compiled", transport=transport)
             results[transport] = asdict(result)
-        assert results["interp"] == results["compiled"]
+        assert results["compiled"] == results["interp"]
+        assert results["source"] == results["interp"]
 
     def test_per_link_parameters_shape_timing(self):
         """A slow HW_A->HW_B lane lengthens the run without changing results."""
@@ -318,11 +324,12 @@ class TestMultiDomainVorbis:
         from repro.apps.vorbis.params import VorbisParams
 
         results = {}
-        for backend in ("interp", "compiled"):
+        for backend in ("interp", "compiled", "source"):
             wl = vp.build_multi_partition("G", VorbisParams(n_frames=4))
             fabric = CosimFabric(wl.design, backend=backend)
             results[backend] = asdict(fabric.run(wl.cosim_done, max_cycles=500_000_000))
-        assert results["interp"] == results["compiled"]
+        assert results["compiled"] == results["interp"]
+        assert results["source"] == results["interp"]
 
     def test_vorbis_g_routes(self):
         from repro.apps.vorbis import partitions as vp

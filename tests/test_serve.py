@@ -107,7 +107,27 @@ class TestServeBitwise:
         # resident fabric's object graph has no state its snapshot misses.
         assert audit_fabric(server.fabric) == []
 
-    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize(
+        "wid,builder,args,opts,make_request", WORKLOADS, ids=lambda w: None
+    )
+    def test_resident_equals_fresh_source_tier(
+        self, wid, builder, args, opts, make_request
+    ):
+        """The source-lowered leg: generated supersteps and transport pumps
+        must survive snapshot/reset exactly like the closure tiers."""
+        server = FabricServer(
+            builder, args, backend="source", transport="source", **opts
+        )
+        for start in (1, 0, 2, 1):
+            request = make_request(server.workload, start)
+            resident = server.serve(request)
+            fresh = serve_fresh(
+                builder, request, args, backend="source", transport="source", **opts
+            )
+            _assert_bitwise(resident, fresh)
+        assert audit_fabric(server.fabric) == []
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "source"])
     def test_lockstep_scheduler(self, backend):
         server = FabricServer(
             vp.build_partition, ("B", PARAMS), backend=backend, scheduler="lockstep"
